@@ -1,0 +1,84 @@
+//! Hyper-parameters, following the original papers and the DGL/PyG
+//! example configurations the paper's evaluation uses (§5.1).
+
+/// Hyper-parameters shared across the algorithm builders.
+#[derive(Debug, Clone)]
+pub struct Hyper {
+    /// Mini-batch size (frontier seeds per batch).
+    pub batch_size: usize,
+    /// Per-layer fanout for node-wise algorithms (GraphSAGE default
+    /// `[25, 10]` from the original paper).
+    pub fanouts: Vec<usize>,
+    /// Nodes kept per layer for layer-wise algorithms (LADIES default 512).
+    pub layer_width: usize,
+    /// Number of layer-wise layers.
+    pub layers: usize,
+    /// Random-walk length (DeepWalk/Node2Vec default 80).
+    pub walk_length: usize,
+    /// Node2Vec return parameter `p`.
+    pub p: f32,
+    /// Node2Vec in-out parameter `q`.
+    pub q: f32,
+    /// Restart probability for PinSAGE/HetGNN-style walks.
+    pub restart: f32,
+    /// Walks per seed for visit counting (PinSAGE).
+    pub walks_per_seed: usize,
+    /// Top-k visited neighbours kept (PinSAGE/HetGNN).
+    pub top_k: usize,
+    /// Hidden width for model-driven bias (PASS/AS-GCN projections).
+    pub hidden: usize,
+    /// Number of node "types" simulated for HetGNN's typed selection.
+    pub num_types: usize,
+}
+
+impl Hyper {
+    /// Paper-style defaults.
+    pub fn paper() -> Hyper {
+        Hyper {
+            batch_size: 512,
+            fanouts: vec![25, 10],
+            layer_width: 512,
+            layers: 3,
+            walk_length: 80,
+            p: 2.0,
+            q: 0.5,
+            restart: 0.15,
+            walks_per_seed: 10,
+            top_k: 10,
+            hidden: 16,
+            num_types: 3,
+        }
+    }
+
+    /// Small settings for unit tests and quick runs.
+    pub fn small() -> Hyper {
+        Hyper {
+            batch_size: 16,
+            fanouts: vec![4, 3],
+            layer_width: 16,
+            layers: 2,
+            walk_length: 6,
+            p: 2.0,
+            q: 0.5,
+            restart: 0.2,
+            walks_per_seed: 3,
+            top_k: 4,
+            hidden: 4,
+            num_types: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_conventions() {
+        let h = Hyper::paper();
+        assert_eq!(h.batch_size, 512);
+        assert_eq!(h.fanouts, vec![25, 10]);
+        assert_eq!(h.walk_length, 80);
+        assert_eq!(h.layer_width, 512);
+    }
+}

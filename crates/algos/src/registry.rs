@@ -1,0 +1,185 @@
+//! Registry of all 15 algorithms — the coverage surface of paper Table 2.
+
+use gsampler_core::builder::Layer;
+
+use crate::params::Hyper;
+use crate::{layerwise, nodewise, walks};
+
+/// How an algorithm is driven at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Multi-layer chained programs; `Sampler::run_epoch` drives it
+    /// directly (super-batch capable).
+    Chained,
+    /// Single-step program looped by the walk driver.
+    Walk,
+    /// Walk driver with restarts plus visit counting.
+    WalkCounting,
+    /// Walks followed by subgraph induction.
+    WalkInduce,
+    /// Chained expansion followed by subgraph induction.
+    ChainedInduce,
+    /// Chained with host-side bandit arm updates between batches.
+    Bandit,
+    /// Chained with model-weight bindings updated by the trainer.
+    ModelDriven,
+}
+
+/// One algorithm: identity, classification (Table 2 columns), programs,
+/// and required driver.
+pub struct AlgoSpec {
+    /// Algorithm name as in the paper.
+    pub name: &'static str,
+    /// `"node-wise"` or `"layer-wise"`.
+    pub category: &'static str,
+    /// `"uniform"`, `"static"`, or `"dynamic"`.
+    pub bias: &'static str,
+    /// Per-layer (or per-step) programs.
+    pub layers: Vec<Layer>,
+    /// How to drive it.
+    pub driver: Driver,
+}
+
+/// Build all 15 algorithms of Table 2 with the given hyper-parameters.
+pub fn all_algorithms(h: &Hyper) -> Vec<AlgoSpec> {
+    vec![
+        AlgoSpec {
+            name: "DeepWalk",
+            category: "node-wise",
+            bias: "uniform",
+            layers: vec![walks::deepwalk_step()],
+            driver: Driver::Walk,
+        },
+        AlgoSpec {
+            name: "GraphSAINT",
+            category: "node-wise",
+            bias: "uniform",
+            layers: vec![walks::deepwalk_step()],
+            driver: Driver::WalkInduce,
+        },
+        AlgoSpec {
+            name: "PinSAGE",
+            category: "node-wise",
+            bias: "uniform",
+            layers: vec![walks::deepwalk_step()],
+            driver: Driver::WalkCounting,
+        },
+        AlgoSpec {
+            name: "HetGNN",
+            category: "node-wise",
+            bias: "uniform",
+            layers: vec![walks::deepwalk_step()],
+            driver: Driver::WalkCounting,
+        },
+        AlgoSpec {
+            name: "GraphSAGE",
+            category: "node-wise",
+            bias: "uniform",
+            layers: nodewise::graphsage(&h.fanouts),
+            driver: Driver::Chained,
+        },
+        AlgoSpec {
+            name: "VR-GCN",
+            category: "node-wise",
+            bias: "uniform",
+            layers: nodewise::vrgcn(&h.fanouts),
+            driver: Driver::Chained,
+        },
+        AlgoSpec {
+            name: "SEAL",
+            category: "node-wise",
+            bias: "static",
+            layers: nodewise::seal(&h.fanouts),
+            driver: Driver::ChainedInduce,
+        },
+        AlgoSpec {
+            name: "ShaDow",
+            category: "node-wise",
+            bias: "static",
+            layers: nodewise::shadow_expansion(&h.fanouts),
+            driver: Driver::ChainedInduce,
+        },
+        AlgoSpec {
+            name: "Node2Vec",
+            category: "node-wise",
+            bias: "dynamic",
+            layers: vec![walks::node2vec_step(h.p, h.q)],
+            driver: Driver::Walk,
+        },
+        AlgoSpec {
+            name: "GCN-BS",
+            category: "node-wise",
+            bias: "dynamic",
+            layers: nodewise::bandit(&h.fanouts),
+            driver: Driver::Bandit,
+        },
+        AlgoSpec {
+            name: "Thanos",
+            category: "node-wise",
+            bias: "dynamic",
+            layers: nodewise::bandit(&h.fanouts),
+            driver: Driver::Bandit,
+        },
+        AlgoSpec {
+            name: "PASS",
+            category: "node-wise",
+            bias: "dynamic",
+            layers: nodewise::pass(&h.fanouts),
+            driver: Driver::ModelDriven,
+        },
+        AlgoSpec {
+            name: "FastGCN",
+            category: "layer-wise",
+            bias: "static",
+            layers: layerwise::fastgcn(h.layer_width, h.layers),
+            driver: Driver::Chained,
+        },
+        AlgoSpec {
+            name: "AS-GCN",
+            category: "layer-wise",
+            bias: "dynamic",
+            layers: layerwise::asgcn(h.layer_width, h.layers),
+            driver: Driver::ModelDriven,
+        },
+        AlgoSpec {
+            name: "LADIES",
+            category: "layer-wise",
+            bias: "dynamic",
+            layers: layerwise::ladies(h.layer_width, h.layers),
+            driver: Driver::Chained,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_algorithms_all_validate() {
+        let algos = all_algorithms(&Hyper::small());
+        assert_eq!(algos.len(), 15);
+        for a in &algos {
+            assert!(!a.layers.is_empty(), "{} has no layers", a.name);
+            for (i, layer) in a.layers.iter().enumerate() {
+                layer
+                    .program
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} layer {i}: {e}", a.name));
+            }
+        }
+    }
+
+    #[test]
+    fn table2_classification() {
+        let algos = all_algorithms(&Hyper::small());
+        let layerwise: Vec<&str> = algos
+            .iter()
+            .filter(|a| a.category == "layer-wise")
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(layerwise, vec!["FastGCN", "AS-GCN", "LADIES"]);
+        let dynamic: usize = algos.iter().filter(|a| a.bias == "dynamic").count();
+        assert_eq!(dynamic, 6); // Node2Vec, GCN-BS, Thanos, PASS, AS-GCN, LADIES
+    }
+}

@@ -1,0 +1,621 @@
+//! DGL-like eager execution baseline.
+//!
+//! DGL implements and optimizes each sampling algorithm by hand against
+//! message-passing operators executed one at a time (paper §2.2, §6). The
+//! costs that architecture pays relative to gSampler, all modeled here:
+//!
+//! - **per-operator dispatch**: every high-level call launches bookkeeping
+//!   kernels besides the math (the `DISPATCH_LAUNCHES` surcharge);
+//! - **no fusion**: extract materializes the sub-matrix before select;
+//!   bias computation materializes edge messages before aggregating
+//!   (the `copy_e` + `sum` pattern of paper Fig. 2);
+//! - **no pre-processing**: batch-invariant work (LADIES' `A**2`,
+//!   FastGCN's degrees) re-runs every batch;
+//! - **greedy layouts**: each operator converts its input to that
+//!   operator's best format, paying conversion cost blindly every batch;
+//! - **no super-batching**: one mini-batch per execution, whatever the
+//!   occupancy.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+
+use gsampler_core::Graph;
+use gsampler_engine::workload::{self, MatShape};
+use gsampler_engine::{Device, DeviceProfile, Residency, RngPool};
+use gsampler_matrix::eltwise;
+use gsampler_matrix::{Axis, Dense, EltOp, Format, GraphMatrix, NodeId, ReduceOp};
+
+use crate::BaselineReport;
+
+/// Framework bookkeeping launches charged per high-level operator.
+const DISPATCH_LAUNCHES: u32 = 2;
+
+/// A DGL-like eager sampler bound to one graph and device profile.
+pub struct EagerSampler {
+    graph: Arc<Graph>,
+    device: Device,
+    pool: RngPool,
+}
+
+impl EagerSampler {
+    /// Create an eager sampler (GPU or CPU profile).
+    pub fn new(graph: Arc<Graph>, profile: DeviceProfile, seed: u64) -> EagerSampler {
+        EagerSampler {
+            graph,
+            device: Device::new(profile),
+            pool: RngPool::new(seed),
+        }
+    }
+
+    /// The device session (for stats snapshots).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Reset session statistics.
+    pub fn reset(&self) {
+        self.device.reset();
+    }
+
+    fn residency(&self) -> Residency {
+        self.graph.residency
+    }
+
+    fn shape(m: &GraphMatrix) -> MatShape {
+        let (r, c) = m.shape();
+        MatShape::new(r, c, m.nnz())
+    }
+
+    fn charge(&self, mut desc: gsampler_engine::KernelDesc) {
+        desc.launches += DISPATCH_LAUNCHES;
+        self.device.charge(desc);
+    }
+
+    /// Extract `A[:, frontiers]` (CSC gather), charging graph residency.
+    fn extract(&self, frontiers: &[NodeId]) -> GraphMatrix {
+        let sub = self
+            .graph
+            .matrix
+            .slice_cols_global(frontiers)
+            .expect("frontiers in range");
+        let g = &self.graph.matrix;
+        self.charge(workload::slice_cols(
+            Format::Csc,
+            MatShape::new(g.shape().0, g.shape().1, g.nnz()),
+            sub.nnz(),
+            frontiers.len(),
+            self.residency(),
+        ));
+        self.device.alloc(sub.data.size_bytes());
+        sub
+    }
+
+    /// Greedy conversion: move `m` to `fmt` unconditionally, charging the
+    /// conversion and the resident copy.
+    fn convert(&self, m: &GraphMatrix, fmt: Format) -> GraphMatrix {
+        if m.data.format() == fmt {
+            return m.clone();
+        }
+        self.charge(workload::convert(m.data.format(), fmt, Self::shape(m)));
+        let out = GraphMatrix {
+            data: m.data.to_format(fmt),
+            row_ids: m.row_ids.clone(),
+            col_ids: m.col_ids.clone(),
+        };
+        self.device.alloc(out.data.size_bytes());
+        out
+    }
+
+    /// Message-passing reduction: materialize per-edge messages
+    /// (`copy_e`), then aggregate — two kernels and one extra pass of
+    /// edge-value traffic relative to a fused reduce (paper Fig. 2).
+    fn mp_reduce(&self, m: &GraphMatrix, op: ReduceOp, axis: Axis) -> Vec<f32> {
+        let shape = Self::shape(m);
+        let msg_bytes = m.nnz() * 4;
+        self.charge(workload::eltwise(m.data.format(), shape)); // copy_e
+        self.device.alloc(msg_bytes); // materialized edge messages
+        self.charge(workload::reduce(m.data.format(), shape, axis));
+        self.device.free(msg_bytes);
+        gsampler_matrix::reduce::reduce(&m.data, op, axis)
+    }
+
+    fn edge_map_scalar(&self, m: &GraphMatrix, op: EltOp, s: f32) -> GraphMatrix {
+        self.charge(workload::eltwise(m.data.format(), Self::shape(m)));
+        GraphMatrix {
+            data: eltwise::scalar_op(&m.data, s, op),
+            row_ids: m.row_ids.clone(),
+            col_ids: m.col_ids.clone(),
+        }
+    }
+
+    fn edge_broadcast(&self, m: &GraphMatrix, v: &[f32], op: EltOp, axis: Axis) -> GraphMatrix {
+        self.charge(workload::broadcast(m.data.format(), Self::shape(m)));
+        let fitted: Vec<f32> = match axis {
+            Axis::Row => {
+                let nrows = m.shape().0;
+                if v.len() == nrows {
+                    v.to_vec()
+                } else {
+                    (0..nrows)
+                        .map(|r| v[m.global_row(r) as usize % v.len().max(1)])
+                        .collect()
+                }
+            }
+            Axis::Col => v.to_vec(),
+        };
+        GraphMatrix {
+            data: gsampler_matrix::broadcast::broadcast(&m.data, &fitted, op, axis)
+                .expect("broadcast dims"),
+            row_ids: m.row_ids.clone(),
+            col_ids: m.col_ids.clone(),
+        }
+    }
+
+    /// One uniform node-wise layer (GraphSAGE): extract then select, both
+    /// materialized.
+    pub fn graphsage_layer(&self, frontiers: &[NodeId], fanout: usize, rng: &mut StdRng) -> GraphMatrix {
+        let sub = self.extract(frontiers);
+        self.charge(workload::individual_sample(
+            sub.data.format(),
+            Self::shape(&sub),
+            fanout,
+            false,
+            Residency::Device,
+        ));
+        let out = sub.individual_sample(fanout, None, rng).expect("sample");
+        self.device.alloc(out.data.size_bytes());
+        self.device.free(sub.data.size_bytes());
+        out
+    }
+
+    /// Multi-layer GraphSAGE batch.
+    pub fn graphsage_batch(
+        &self,
+        frontiers: &[NodeId],
+        fanouts: &[usize],
+        stream: u64,
+    ) -> Vec<GraphMatrix> {
+        let mut rng = self.pool.stream(stream);
+        let mut cur: Vec<NodeId> = frontiers.to_vec();
+        let mut out = Vec::with_capacity(fanouts.len());
+        for &k in fanouts {
+            let m = self.graphsage_layer(&cur, k, &mut rng);
+            cur = m.row_nodes();
+            out.push(m);
+        }
+        out
+    }
+
+    /// One LADIES layer: squared-weight bias via message passing (no
+    /// pre-processed `A**2`), greedy conversions for the reduce and the
+    /// row gather, collective select, debias, renormalize.
+    pub fn ladies_layer(&self, frontiers: &[NodeId], width: usize, rng: &mut StdRng) -> GraphMatrix {
+        let sub = self.extract(frontiers);
+        // Bias: square every batch (DGL has no pre-processing pass).
+        let sq = self.edge_map_scalar(&sub, EltOp::Pow, 2.0);
+        // Greedy: reduce prefers CSR -> convert (COO pivot inside).
+        let sq_csr = self.convert(&sq, Format::Csr);
+        let row_probs = self.mp_reduce(&sq_csr, ReduceOp::Sum, Axis::Row);
+        // Collective select prefers CSR as well; sub must follow.
+        let sub_csr = self.convert(&sub, Format::Csr);
+        self.charge(workload::collective_sample(
+            Format::Csr,
+            Self::shape(&sub_csr),
+            width,
+            width * frontiers.len().max(1),
+            Residency::Device,
+        ));
+        let sampled = sub_csr
+            .collective_sample(width, Some(&row_probs), rng)
+            .expect("collective sample");
+        self.device.alloc(sampled.data.size_bytes());
+        // Debias by selection probability, renormalize per frontier.
+        let sel: Vec<f32> = sampled
+            .global_row_ids()
+            .iter()
+            .map(|&g| row_probs[g as usize % row_probs.len().max(1)])
+            .collect();
+        self.charge(workload::vector_op(sel.len()));
+        let debiased = self.edge_broadcast(&sampled, &sel, EltOp::Div, Axis::Row);
+        let colsum = self.mp_reduce(&debiased, ReduceOp::Sum, Axis::Col);
+        let out = self.edge_broadcast(&debiased, &colsum, EltOp::Div, Axis::Col);
+        self.device.free(sub.data.size_bytes());
+        self.device.free(sq_csr.data.size_bytes());
+        self.device.free(sub_csr.data.size_bytes());
+        out
+    }
+
+    /// Multi-layer LADIES batch.
+    pub fn ladies_batch(
+        &self,
+        frontiers: &[NodeId],
+        width: usize,
+        layers: usize,
+        stream: u64,
+    ) -> Vec<GraphMatrix> {
+        let mut rng = self.pool.stream(stream);
+        let mut cur: Vec<NodeId> = frontiers.to_vec();
+        let mut out = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            let m = self.ladies_layer(&cur, width, &mut rng);
+            cur = m.row_nodes();
+            out.push(m);
+        }
+        out
+    }
+
+    /// FastGCN: like LADIES but with degree bias — recomputed every batch
+    /// over the *full graph* (no pre-processing), the expensive part DGL
+    /// pays.
+    pub fn fastgcn_layer(&self, frontiers: &[NodeId], width: usize, rng: &mut StdRng) -> GraphMatrix {
+        let g = &self.graph.matrix;
+        // Degrees of the full graph, every batch.
+        self.charge(workload::reduce(
+            Format::Csc,
+            MatShape::new(g.shape().0, g.shape().1, g.nnz()),
+            Axis::Row,
+        ));
+        let deg: Vec<f32> = g.data.row_degrees().iter().map(|&d| d as f32).collect();
+        let sub = self.extract(frontiers);
+        let sub_csr = self.convert(&sub, Format::Csr);
+        self.charge(workload::collective_sample(
+            Format::Csr,
+            Self::shape(&sub_csr),
+            width,
+            width * frontiers.len().max(1),
+            Residency::Device,
+        ));
+        let sampled = sub_csr
+            .collective_sample(width, Some(&deg), rng)
+            .expect("collective sample");
+        let sel: Vec<f32> = sampled
+            .global_row_ids()
+            .iter()
+            .map(|&v| deg[v as usize])
+            .collect();
+        let out = self.edge_broadcast(&sampled, &sel, EltOp::Div, Axis::Row);
+        self.device.free(sub.data.size_bytes());
+        self.device.free(sub_csr.data.size_bytes());
+        out
+    }
+
+    /// AS-GCN: learned bias `relu(features @ Wg)` computed every batch
+    /// over the full feature table, plus LADIES-style selection.
+    pub fn asgcn_layer(
+        &self,
+        frontiers: &[NodeId],
+        width: usize,
+        wg: &Dense,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
+        let feats = self.graph.features.as_ref().expect("features required");
+        self.charge(workload::gemm(feats.nrows(), feats.ncols(), wg.ncols()));
+        let scores = feats.matmul(wg).expect("gemm dims").relu();
+        let learned: Vec<f32> = (0..scores.nrows()).map(|r| scores.get(r, 0) + 1e-6).collect();
+        let sub = self.extract(frontiers);
+        let sq = self.edge_map_scalar(&sub, EltOp::Pow, 2.0);
+        let sq_csr = self.convert(&sq, Format::Csr);
+        let structural = self.mp_reduce(&sq_csr, ReduceOp::Sum, Axis::Row);
+        self.charge(workload::vector_op(structural.len()));
+        let bias: Vec<f32> = structural
+            .iter()
+            .zip(&learned)
+            .map(|(&s, &l)| s + l)
+            .collect();
+        let sub_csr = self.convert(&sub, Format::Csr);
+        self.charge(workload::collective_sample(
+            Format::Csr,
+            Self::shape(&sub_csr),
+            width,
+            width * frontiers.len().max(1),
+            Residency::Device,
+        ));
+        let sampled = sub_csr
+            .collective_sample(width, Some(&bias), rng)
+            .expect("collective sample");
+        let sel: Vec<f32> = sampled
+            .global_row_ids()
+            .iter()
+            .map(|&v| bias[v as usize])
+            .collect();
+        let out = self.edge_broadcast(&sampled, &sel, EltOp::Div, Axis::Row);
+        self.device.free(sub.data.size_bytes());
+        self.device.free(sq_csr.data.size_bytes());
+        self.device.free(sub_csr.data.size_bytes());
+        out
+    }
+
+    /// PASS: two SDDMM attention channels plus degree normalization, all
+    /// materialized separately (no edge-map fusion), then biased select.
+    pub fn pass_layer(
+        &self,
+        frontiers: &[NodeId],
+        fanout: usize,
+        w1: &Dense,
+        w2: &Dense,
+        w3: &Dense,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
+        let feats = self.graph.features.as_ref().expect("features required");
+        let sub = self.extract(frontiers);
+        let shape = Self::shape(&sub);
+        let hidden = w1.ncols();
+        // Full-table projections every batch (DGL's manual implementation
+        // projects all candidate features).
+        let mut transient = 0usize;
+        self.charge(workload::gemm(feats.nrows(), feats.ncols(), hidden));
+        let b1 = feats.matmul(w1).expect("gemm dims");
+        transient += b1.size_bytes();
+        self.device.alloc(b1.size_bytes());
+        self.charge(workload::gather_features(
+            frontiers.len(),
+            feats.ncols(),
+            self.residency(),
+        ));
+        let frontier_feats = feats
+            .gather_rows(frontiers)
+            .expect("frontier features");
+        self.charge(workload::gemm(frontiers.len(), feats.ncols(), hidden));
+        let c1 = frontier_feats.matmul(w1).expect("gemm dims");
+        self.charge(workload::sddmm(sub.data.format(), shape, hidden));
+        let a1 = {
+            let dots: Vec<f32> = sub
+                .data
+                .iter_edges()
+                .map(|(r, c, _)| {
+                    let br = b1.row(sub.global_row(r as usize) as usize % b1.nrows());
+                    let cr = c1.row(c as usize);
+                    br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
+                })
+                .collect();
+            let mut d = sub.data.clone();
+            d.set_values(dots);
+            d
+        };
+        self.charge(workload::gemm(feats.nrows(), feats.ncols(), hidden));
+        let b2 = feats.matmul(w2).expect("gemm dims");
+        transient += b2.size_bytes();
+        self.device.alloc(b2.size_bytes());
+        self.charge(workload::gemm(frontiers.len(), feats.ncols(), hidden));
+        let c2 = frontier_feats.matmul(w2).expect("gemm dims");
+        self.charge(workload::sddmm(sub.data.format(), shape, hidden));
+        let a2 = {
+            let dots: Vec<f32> = sub
+                .data
+                .iter_edges()
+                .map(|(r, c, _)| {
+                    let br = b2.row(sub.global_row(r as usize) as usize % b2.nrows());
+                    let cr = c2.row(c as usize);
+                    br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
+                })
+                .collect();
+            let mut d = sub.data.clone();
+            d.set_values(dots);
+            d
+        };
+        let rowsum = self.mp_reduce(&sub, ReduceOp::Sum, Axis::Row);
+        let a3 = self.edge_broadcast(&sub, &rowsum, EltOp::Div, Axis::Row);
+        // Stack + project + relu, each its own kernel.
+        self.charge(workload::dense_map(sub.nnz() * 3));
+        let stacked =
+            eltwise::stack_edge_values(&[&a1, &a2, &a3.data]).expect("pattern-identical");
+        self.charge(workload::gemm(sub.nnz(), 3, 1));
+        let bias = stacked.matmul(&w3.softmax_flat()).expect("gemm dims").relu();
+        self.charge(workload::eltwise(sub.data.format(), shape));
+        let probs = {
+            let mut d = sub.data.clone();
+            d.set_values((0..sub.nnz()).map(|e| bias.get(e, 0)).collect());
+            GraphMatrix {
+                data: d,
+                row_ids: sub.row_ids.clone(),
+                col_ids: sub.col_ids.clone(),
+            }
+        };
+        self.charge(workload::individual_sample(
+            sub.data.format(),
+            shape,
+            fanout,
+            true,
+            Residency::Device,
+        ));
+        transient += (a1.size_bytes() + a2.size_bytes())
+            + stacked.size_bytes()
+            + probs.data.size_bytes();
+        self.device.alloc(
+            a1.size_bytes() + a2.size_bytes() + stacked.size_bytes() + probs.data.size_bytes(),
+        );
+        let out = sub
+            .individual_sample(fanout, Some(&probs), rng)
+            .expect("biased sample");
+        self.device.free(sub.data.size_bytes());
+        self.device.free(transient);
+        out
+    }
+
+    /// ShaDow: expansion layers then an induced subgraph, each op eager.
+    pub fn shadow_batch(
+        &self,
+        frontiers: &[NodeId],
+        fanouts: &[usize],
+        stream: u64,
+    ) -> GraphMatrix {
+        let layers = self.graphsage_batch(frontiers, fanouts, stream);
+        let mut nodes: Vec<NodeId> = frontiers.to_vec();
+        for m in &layers {
+            nodes.extend(m.row_nodes());
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let g = &self.graph.matrix;
+        self.charge(workload::induce_subgraph(
+            Format::Csc,
+            MatShape::new(g.shape().0, g.shape().1, g.nnz()),
+            nodes.len() * 16,
+            nodes.len(),
+            self.residency(),
+        ));
+        g.induce_subgraph(&nodes).expect("induce")
+    }
+
+    /// One random-walk step for every walker (DGL's `random_walk`):
+    /// extract + sample, materialized, with framework dispatch.
+    pub fn walk_batch(&self, seeds: &[NodeId], length: usize, stream: u64) -> Vec<Vec<NodeId>> {
+        let mut rng = self.pool.stream(stream);
+        let mut cur: Vec<NodeId> = seeds.to_vec();
+        let mut trace = Vec::with_capacity(length);
+        for _ in 0..length {
+            let sub = self.extract(&cur);
+            self.charge(workload::individual_sample(
+                sub.data.format(),
+                Self::shape(&sub),
+                1,
+                false,
+                Residency::Device,
+            ));
+            let step = sub.individual_sample(1, None, &mut rng).expect("walk step");
+            let csc = step.data.to_csc();
+            let next: Vec<NodeId> = (0..csc.ncols)
+                .map(|c| {
+                    let range = csc.col_range(c);
+                    if range.is_empty() {
+                        cur[c]
+                    } else {
+                        step.global_row(csc.indices[range.start] as usize)
+                    }
+                })
+                .collect();
+            self.device.free(sub.data.size_bytes());
+            cur = next;
+            trace.push(cur.clone());
+        }
+        trace
+    }
+
+    /// Snapshot the session into a report.
+    pub fn report(&self, batches: usize) -> BaselineReport {
+        let stats = self.device.stats();
+        BaselineReport {
+            modeled_time: stats.total_time,
+            batches,
+            launches: stats.kernel_launches,
+            sm_utilization: stats.sm_utilization(),
+            peak_memory: self.device.memory().peak(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn graph() -> Arc<Graph> {
+        let mut edges = Vec::new();
+        for v in 0..64u32 {
+            for d in 1..6u32 {
+                edges.push(((v + d * 7) % 64, v, 0.5 + (d as f32) * 0.1));
+            }
+        }
+        Arc::new(
+            Graph::from_edges("test", 64, &edges, true)
+                .unwrap()
+                .with_features(Dense::from_vec(64, 4, vec![0.1; 256]).unwrap()),
+        )
+    }
+
+    #[test]
+    fn graphsage_batch_valid_and_charged() {
+        let s = EagerSampler::new(graph(), DeviceProfile::v100(), 1);
+        let out = s.graphsage_batch(&[0, 1, 2, 3], &[3, 2], 0);
+        assert_eq!(out.len(), 2);
+        for d in out[0].data.col_degrees() {
+            assert!(d <= 3);
+        }
+        let report = s.report(1);
+        assert!(report.modeled_time > 0.0);
+        assert!(report.launches > 4);
+    }
+
+    #[test]
+    fn ladies_layer_normalizes() {
+        let s = EagerSampler::new(graph(), DeviceProfile::v100(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = s.ladies_layer(&[0, 1, 2], 8, &mut rng);
+        let sums = gsampler_matrix::reduce::reduce(&out.data, ReduceOp::Sum, Axis::Col);
+        for v in sums {
+            if v != 0.0 {
+                assert!((v - 1.0).abs() < 1e-4);
+            }
+        }
+        assert!(out.row_nodes().len() <= 8);
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = graph();
+        let s = EagerSampler::new(g.clone(), DeviceProfile::v100(), 3);
+        let trace = s.walk_batch(&[0, 5, 9], 4, 0);
+        assert_eq!(trace.len(), 4);
+        let csc = g.matrix.data.to_csc();
+        let mut cur = vec![0u32, 5, 9];
+        for step in &trace {
+            for (w, &n) in step.iter().enumerate() {
+                assert!(n == cur[w] || csc.contains_edge(n, cur[w] as usize));
+            }
+            cur = step.clone();
+        }
+    }
+
+    #[test]
+    fn pass_layer_respects_fanout() {
+        let g = graph();
+        let s = EagerSampler::new(g, DeviceProfile::v100(), 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let w1 = Dense::from_vec(4, 2, vec![0.2; 8]).unwrap();
+        let w2 = Dense::from_vec(4, 2, vec![-0.1; 8]).unwrap();
+        let w3 = Dense::from_vec(3, 1, vec![0.4, 0.3, 0.3]).unwrap();
+        let out = s.pass_layer(&[0, 1], 2, &w1, &w2, &w3, &mut rng);
+        for d in out.data.col_degrees() {
+            assert!(d <= 2);
+        }
+    }
+
+    #[test]
+    fn cpu_profile_is_slower() {
+        let g = graph();
+        let gpu = EagerSampler::new(g.clone(), DeviceProfile::v100(), 1);
+        gpu.graphsage_batch(&(0..32).collect::<Vec<_>>(), &[4, 4], 0);
+        let cpu = EagerSampler::new(g, DeviceProfile::cpu(), 1);
+        cpu.graphsage_batch(&(0..32).collect::<Vec<_>>(), &[4, 4], 0);
+        assert!(cpu.report(1).modeled_time > gpu.report(1).modeled_time);
+    }
+
+    #[test]
+    fn fastgcn_and_asgcn_run() {
+        let g = graph();
+        let s = EagerSampler::new(g, DeviceProfile::v100(), 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let f = s.fastgcn_layer(&[0, 1, 2], 6, &mut rng);
+        assert!(f.row_nodes().len() <= 6);
+        let wg = Dense::from_vec(4, 1, vec![0.3; 4]).unwrap();
+        let a = s.asgcn_layer(&[0, 1, 2], 6, &wg, &mut rng);
+        assert!(a.row_nodes().len() <= 6);
+    }
+
+    #[test]
+    fn shadow_induces_subgraph() {
+        let g = graph();
+        let s = EagerSampler::new(g.clone(), DeviceProfile::v100(), 8);
+        let m = s.shadow_batch(&[0, 1], &[3, 2], 0);
+        let base: std::collections::HashSet<(u32, u32)> = g
+            .matrix
+            .global_edges()
+            .into_iter()
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        for (r, c, _) in m.global_edges() {
+            assert!(base.contains(&(r, c)));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Baseline sampling architectures the paper compares against (§5.1).
+//!
+//! Re-implemented on the same matrix substrate and the same device cost
+//! model as gSampler-rs, so the measured gap is the *architecture* gap the
+//! paper attributes the speedups to — not an artifact of different
+//! kernels:
+//!
+//! - [`eager`]: a DGL-like engine. Sampling algorithms are hand-written
+//!   against fine-grained operators executed one at a time (eager mode, no
+//!   IR): no fusion, no pre-processing (batch-invariant work re-runs every
+//!   batch), greedy per-operator format choice with unconditional
+//!   conversions, message-passing decomposition for bias computation
+//!   (materialize edge messages, then aggregate), framework dispatch
+//!   overhead per operator, and no super-batching. Runs on the GPU or CPU
+//!   profile — the CPU profile doubles as the PyG-CPU/DGL-CPU columns.
+//! - [`vertex_centric`]: a SkyWalker-like engine. Per-node alias tables
+//!   built once; each walker/frontier samples independently with a local
+//!   view. Fast for random walks and uniform node-wise sampling, but it
+//!   supports only DeepWalk / Node2Vec / GraphSAGE (no tensor ops, no
+//!   cross-frontier operations) — the N/A cells of Figures 7–8.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod eager;
+pub mod vertex_centric;
+
+pub use eager::EagerSampler;
+pub use vertex_centric::VertexCentricSampler;
+
+/// Epoch-level result shared by the baseline engines.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Modeled device time in seconds.
+    pub modeled_time: f64,
+    /// Mini-batches processed.
+    pub batches: usize,
+    /// Kernel launches.
+    pub launches: u64,
+    /// Time-weighted SM utilization.
+    pub sm_utilization: f64,
+    /// Peak device memory in bytes.
+    pub peak_memory: u64,
+}

@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the per-format sparse kernels — the wall-clock
+//! counterpart of paper Table 5 (the harness binary `table5` reports the
+//! modeled device times; this measures the host kernels themselves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+
+use gsampler_graphs::{rmat_edges, RmatParams};
+use gsampler_matrix::{
+    reduce, sample, slice, Axis, Csc, Format, NodeId, ReduceOp, SparseMatrix,
+};
+
+fn test_matrix() -> SparseMatrix {
+    let n = 20_000;
+    let edges = rmat_edges(n, 200_000, RmatParams::social(), 42);
+    let mut cols: Vec<Vec<(NodeId, f32)>> = vec![Vec::new(); n];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        cols[v as usize].push((u, 0.1 + (i % 10) as f32 * 0.05));
+    }
+    SparseMatrix::Csc(Csc::from_adjacency(n, &cols, true).unwrap())
+}
+
+fn frontiers(n: usize, count: usize) -> Vec<NodeId> {
+    (0..count).map(|i| ((i * 37) % n) as NodeId).collect()
+}
+
+fn bench_slice_cols(c: &mut Criterion) {
+    let m = test_matrix();
+    let f = frontiers(m.ncols(), 512);
+    let mut group = c.benchmark_group("slice_cols");
+    for fmt in Format::ALL {
+        let converted = m.to_format(fmt);
+        group.bench_with_input(BenchmarkId::from_parameter(fmt), &converted, |b, mat| {
+            b.iter(|| slice::slice_cols(mat, &f).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let m = test_matrix();
+    let f = frontiers(m.ncols(), 512);
+    let sub = slice::slice_cols(&m, &f).unwrap();
+    let mut group = c.benchmark_group("reduce_row_sum");
+    for fmt in Format::ALL {
+        let converted = sub.to_format(fmt);
+        group.bench_with_input(BenchmarkId::from_parameter(fmt), &converted, |b, mat| {
+            b.iter(|| reduce::reduce(mat, ReduceOp::Sum, Axis::Row));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let m = test_matrix();
+    let f = frontiers(m.ncols(), 512);
+    let sub = slice::slice_cols(&m, &f).unwrap();
+    let mut group = c.benchmark_group("select");
+    group.bench_function("individual_k10", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| sample::individual_sample(&sub, 10, None, &mut rng).unwrap());
+    });
+    group.bench_function("collective_k512", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| sample::collective_sample(&sub, 512, None, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let m = test_matrix();
+    let mut group = c.benchmark_group("convert");
+    group.bench_function("csc_to_coo", |b| {
+        b.iter(|| m.to_coo());
+    });
+    let coo = m.to_format(Format::Coo);
+    group.bench_function("coo_to_csr", |b| {
+        b.iter(|| coo.to_csr());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_slice_cols, bench_reduce, bench_sampling, bench_conversions
+}
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benchmarks of end-to-end per-batch sampling for each
+//! algorithm (host wall-clock; the figures' modeled times come from the
+//! harness binaries).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gsampler_algos::Hyper;
+use gsampler_bench::{build_gsampler, dataset, Algo};
+use gsampler_core::{DeviceProfile, OptConfig};
+use gsampler_graphs::DatasetKind;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let d = dataset(DatasetKind::Tiny, 4.0); // ~1k nodes
+    let graph = Arc::new(d.graph);
+    let mut h = Hyper::small();
+    h.batch_size = 64;
+    let mut group = c.benchmark_group("sample_batch");
+    for algo in Algo::SIMPLE.iter().chain(Algo::COMPLEX.iter()) {
+        if algo.is_walk() {
+            continue; // covered by the walk bench below
+        }
+        let sampler = build_gsampler(
+            &graph,
+            *algo,
+            &h,
+            DeviceProfile::v100(),
+            OptConfig::all(),
+            false,
+        )
+        .unwrap();
+        let bindings = algo.bindings(&graph, &h);
+        let frontiers: Vec<u32> = (0..64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), algo, |b, _| {
+            let mut stream = 0u64;
+            b.iter(|| {
+                stream += 1;
+                sampler
+                    .sample_batch_seeded(&frontiers, &bindings, stream)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let d = dataset(DatasetKind::Tiny, 4.0);
+    let graph = Arc::new(d.graph);
+    let h = Hyper::small();
+    let mut group = c.benchmark_group("walk_step");
+    for algo in [Algo::DeepWalk, Algo::Node2Vec] {
+        let sampler = build_gsampler(
+            &graph,
+            algo,
+            &h,
+            DeviceProfile::v100(),
+            OptConfig::all(),
+            false,
+        )
+        .unwrap();
+        let frontiers: Vec<u32> = (0..64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, a| {
+            let mut stream = 0u64;
+            b.iter(|| {
+                stream += 1;
+                gsampler_algos::drivers::run_walk_batch(
+                    &sampler,
+                    &frontiers,
+                    4,
+                    *a == Algo::Node2Vec,
+                    0.0,
+                    stream,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_super_batch(c: &mut Criterion) {
+    let d = dataset(DatasetKind::Tiny, 4.0);
+    let graph = Arc::new(d.graph);
+    let mut h = Hyper::small();
+    h.batch_size = 32;
+    let mut group = c.benchmark_group("super_batch_graphsage");
+    for factor in [1usize, 4, 16] {
+        let sampler = build_gsampler(
+            &graph,
+            Algo::GraphSage,
+            &h,
+            DeviceProfile::v100(),
+            OptConfig::all().with_super_batch(factor),
+            false,
+        )
+        .unwrap();
+        let n = graph.num_nodes() as u32;
+        let seeds: Vec<u32> = (0..512).map(|i| i % n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            let mut epoch = 0u64;
+            b.iter(|| {
+                epoch += 1;
+                sampler
+                    .run_epoch(&seeds, &gsampler_core::Bindings::new(), epoch)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_algorithms, bench_walks, bench_super_batch
+}
+criterion_main!(benches);

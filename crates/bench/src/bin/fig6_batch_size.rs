@@ -1,0 +1,52 @@
+//! Reproduces paper Figure 6: per-epoch sampling time as a function of
+//! batch size for GraphSAGE and LADIES on the Ogbn-Products preset.
+//!
+//! The paper's observation: epoch time *falls* as batches grow (fewer,
+//! better-utilized kernels) and then flattens once the device saturates —
+//! the motivation for super-batch sampling. Super-batching is off here;
+//! batch size is the only variable.
+
+use std::sync::Arc;
+
+use gsampler_algos::Hyper;
+use gsampler_bench::{build_gsampler, dataset, env_scale, fmt_time, print_table, Algo};
+use gsampler_core::{DeviceProfile, OptConfig};
+use gsampler_graphs::DatasetKind;
+
+fn main() {
+    let d = dataset(DatasetKind::OgbnProducts, env_scale());
+    let graph = Arc::new(d.graph);
+    let seeds = &d.frontiers;
+    let batch_sizes = [256usize, 512, 1024, 2048, 4096, 8192, 16384, 32768];
+
+    let mut rows = Vec::new();
+    for &bs in &batch_sizes {
+        let mut row = vec![bs.to_string()];
+        for algo in [Algo::GraphSage, Algo::Ladies] {
+            let mut h = Hyper::paper();
+            h.batch_size = bs;
+            h.layers = 2;
+            let est = build_gsampler(
+                &graph,
+                algo,
+                &h,
+                DeviceProfile::v100(),
+                OptConfig::all(), // super_batch stays 1
+                false,
+            )
+            .and_then(|s| gsampler_bench::gsampler_epoch(&s, &graph, algo, seeds, &h));
+            row.push(match est {
+                Ok(e) => format!("{} (util {:4.1}%)", fmt_time(e.seconds), e.sm_utilization * 100.0),
+                Err(e) => format!("error: {e}"),
+            });
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 6: epoch sampling time vs batch size (PD, V100, no super-batch)",
+        &["batch size", "GraphSAGE", "LADIES"],
+        &rows,
+    );
+    println!("\nExpected shape: time falls with batch size, then flattens once");
+    println!("SM utilization saturates (paper Fig. 6).");
+}

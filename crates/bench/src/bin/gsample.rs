@@ -1,0 +1,179 @@
+//! `gsample` — a small CLI over the library: run any of the seven
+//! evaluated algorithms on a dataset preset or a user edge-list file and
+//! print the epoch report.
+//!
+//! ```text
+//! gsample <algorithm> [options]
+//!   algorithm: deepwalk | node2vec | graphsage | ladies | asgcn | pass | shadow
+//!   --dataset LJ|PD|PP|FS|tiny   preset graph (default: PD)
+//!   --edges FILE                 load a `src dst [w]` edge list instead
+//!   --scale F                    preset scale factor (default 1.0)
+//!   --batch N                    mini-batch size (default 512)
+//!   --device v100|t4|cpu         modeled device (default v100)
+//!   --plain                      disable all IR optimizations
+//!   --epochs N                   epochs to run (default 1)
+//!   --breakdown                  print the per-kernel time breakdown
+//!   --dot                        dump the optimized layer programs as DOT
+//! ```
+
+use std::sync::Arc;
+
+use gsampler_algos::Hyper;
+use gsampler_bench::{build_gsampler, dataset, fmt_time, gsampler_epoch, Algo};
+use gsampler_core::{DeviceProfile, Graph, OptConfig};
+use gsampler_graphs::DatasetKind;
+
+fn usage() -> ! {
+    eprintln!("usage: gsample <deepwalk|node2vec|graphsage|ladies|asgcn|pass|shadow> [options]");
+    eprintln!("  --dataset LJ|PD|PP|FS|tiny   --edges FILE   --scale F");
+    eprintln!("  --batch N   --device v100|t4|cpu   --plain   --epochs N");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let algo = match args[0].to_lowercase().as_str() {
+        "deepwalk" => Algo::DeepWalk,
+        "node2vec" => Algo::Node2Vec,
+        "graphsage" => Algo::GraphSage,
+        "ladies" => Algo::Ladies,
+        "asgcn" | "as-gcn" => Algo::AsGcn,
+        "pass" => Algo::Pass,
+        "shadow" => Algo::Shadow,
+        other => {
+            eprintln!("unknown algorithm: {other}");
+            usage();
+        }
+    };
+
+    let mut kind = DatasetKind::OgbnProducts;
+    let mut edges_file: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut batch = 512usize;
+    let mut device = DeviceProfile::v100();
+    let mut plain = false;
+    let mut epochs = 1usize;
+    let mut breakdown = false;
+    let mut dot = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--dataset" => {
+                kind = match value("--dataset").to_uppercase().as_str() {
+                    "LJ" => DatasetKind::LiveJournal,
+                    "PD" => DatasetKind::OgbnProducts,
+                    "PP" => DatasetKind::OgbnPapers,
+                    "FS" => DatasetKind::Friendster,
+                    "TINY" => DatasetKind::Tiny,
+                    other => {
+                        eprintln!("unknown dataset {other}");
+                        usage();
+                    }
+                }
+            }
+            "--edges" => edges_file = Some(value("--edges")),
+            "--scale" => scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = value("--batch").parse().unwrap_or_else(|_| usage()),
+            "--epochs" => epochs = value("--epochs").parse().unwrap_or_else(|_| usage()),
+            "--device" => {
+                device = match value("--device").to_lowercase().as_str() {
+                    "v100" => DeviceProfile::v100(),
+                    "t4" => DeviceProfile::t4(),
+                    "cpu" => DeviceProfile::cpu(),
+                    other => {
+                        eprintln!("unknown device {other}");
+                        usage();
+                    }
+                }
+            }
+            "--plain" => plain = true,
+            "--breakdown" => breakdown = true,
+            "--dot" => dot = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let (graph, seeds): (Arc<Graph>, Vec<u32>) = match edges_file {
+        Some(path) => {
+            let g = gsampler_graphs::io::load_graph(&path).unwrap_or_else(|e| {
+                eprintln!("failed to load {path}: {e}");
+                std::process::exit(1);
+            });
+            let n = g.num_nodes() as u32;
+            (Arc::new(g), (0..n).collect())
+        }
+        None => {
+            let d = dataset(kind, scale);
+            (Arc::new(d.graph), d.frontiers)
+        }
+    };
+    println!(
+        "graph: {} ({} nodes, {} edges, avg degree {:.1}, residency {:?})",
+        graph.name,
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.avg_degree(),
+        graph.residency
+    );
+
+    let mut h = Hyper::paper();
+    h.batch_size = batch;
+    h.layers = 2;
+    let opt = if plain { OptConfig::plain() } else { OptConfig::all() };
+    let sampler = build_gsampler(&graph, algo, &h, device, opt, !plain).unwrap_or_else(|e| {
+        eprintln!("compile failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "compiled {}: super-batch factor {}, passes: {:?}",
+        algo.name(),
+        sampler.super_batch_factor(),
+        sampler
+            .layers()
+            .first()
+            .map(|l| (
+                l.optimized.report.extract_select_fused,
+                l.optimized.report.edge_map_reduce_fused,
+                l.optimized.report.preprocessed
+            ))
+    );
+
+    if dot {
+        for (i, layer) in sampler.layers().iter().enumerate() {
+            println!("{}", layer.optimized.program.to_dot(&format!("{}-layer{}", algo.name(), i)));
+        }
+    }
+
+    for epoch in 0..epochs {
+        let est = gsampler_epoch(&sampler, &graph, algo, &seeds, &h).unwrap_or_else(|e| {
+            eprintln!("epoch failed: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "epoch {epoch}: modeled {} over {} batches ({} executed, SM util {:.1}%, peak mem {} KiB)",
+            fmt_time(est.seconds),
+            est.total_batches,
+            est.ran_batches,
+            est.sm_utilization * 100.0,
+            est.peak_memory / 1024,
+        );
+    }
+    if breakdown {
+        println!("\ntop kernels by modeled time:");
+        for (name, count, time) in sampler.device().stats().top_kernels(10) {
+            println!("  {:<42} x{count:<6} {}", name, fmt_time(time));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Extension experiment (paper §7, future work): multi-GPU sampling
+//! scaling. GraphSAGE and LADIES epochs sharded across 1/2/4/8 modeled
+//! V100s, on a device-resident graph (PD) and a UVA host-resident one
+//! (PP).
+//!
+//! Expected shape: near-linear scaling when the graph lives in device
+//! memory; clearly sub-linear under UVA, where every GPU contends for the
+//! single host interconnect.
+
+use std::sync::Arc;
+
+use gsampler_algos::Hyper;
+use gsampler_bench::{dataset, env_scale, fmt_time, print_table, Algo};
+use gsampler_core::multi_gpu::MultiGpuSampler;
+use gsampler_core::{Bindings, OptConfig, SamplerConfig};
+use gsampler_graphs::DatasetKind;
+
+fn main() {
+    let scale = env_scale();
+    let mut h = Hyper::paper();
+    h.layers = 2;
+
+    for kind in [DatasetKind::OgbnProducts, DatasetKind::OgbnPapers] {
+        let d = dataset(kind, scale);
+        let graph = Arc::new(d.graph);
+        // Bounded epoch for the harness: 16 batches worth of seeds.
+        let seeds: Vec<u32> = d
+            .frontiers
+            .iter()
+            .copied()
+            .take(16 * h.batch_size)
+            .collect();
+        let mut rows = Vec::new();
+        for algo in [Algo::GraphSage, Algo::Ladies] {
+            let mut row = vec![algo.name().to_string()];
+            let mut base = None;
+            for gpus in [1usize, 2, 4, 8] {
+                let fleet = MultiGpuSampler::compile(
+                    graph.clone(),
+                    algo.layers(&h),
+                    SamplerConfig {
+                        opt: OptConfig::all().with_super_batch(4),
+                        batch_size: h.batch_size,
+                        ..SamplerConfig::new()
+                    },
+                    gpus,
+                )
+                .expect("compile fleet");
+                let report = fleet
+                    .run_epoch(&seeds, &Bindings::new(), 0)
+                    .expect("epoch");
+                let t = report.modeled_time;
+                let speedup = base.get_or_insert(t);
+                row.push(format!("{} ({:.2}x)", fmt_time(t), *speedup / t));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Multi-GPU scaling on {} ({:?})",
+                kind.abbr(),
+                graph.residency
+            ),
+            &["algorithm", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs"],
+            &rows,
+        );
+    }
+    println!("\nExpected shape: near-linear on device-resident PD; sub-linear on");
+    println!("UVA-resident PP (PCIe contention) — the paper's future-work tradeoff.");
+}

@@ -1,0 +1,474 @@
+//! Shared experiment infrastructure: dataset caching, epoch runners for
+//! gSampler and the baselines, and table formatting.
+//!
+//! Every harness binary reports **modeled device time** (the cost-model
+//! seconds the engine accumulates), which is the substituted analogue of
+//! the paper's measured GPU seconds — see `DESIGN.md`. Heavy
+//! configurations run a bounded number of mini-batches and extrapolate
+//! linearly to the full epoch (sampling cost is per-batch stationary), so
+//! every harness finishes in CI-friendly wall time.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+use gsampler_algos::drivers::{self, asgcn_bindings, pass_bindings};
+use gsampler_algos::{layerwise, nodewise, walks, Hyper};
+use gsampler_baselines::{EagerSampler, VertexCentricSampler};
+use gsampler_core::builder::Layer;
+use gsampler_core::{compile, Bindings, DeviceProfile, Graph, OptConfig, Result, SamplerConfig};
+use gsampler_graphs::{Dataset, DatasetKind};
+
+/// Upper bound on mini-batches actually executed per epoch measurement;
+/// the rest of the epoch is extrapolated.
+pub const MAX_BATCHES: usize = 12;
+
+/// Upper bound on random-walk steps actually executed (extrapolated to
+/// the configured walk length).
+pub const MAX_WALK_STEPS: usize = 12;
+
+/// An epoch-time estimate: modeled seconds for the *full* epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochEstimate {
+    /// Modeled device seconds for one full epoch.
+    pub seconds: f64,
+    /// Mini-batches in the full epoch.
+    pub total_batches: usize,
+    /// Mini-batches actually executed.
+    pub ran_batches: usize,
+    /// Time-weighted SM utilization observed.
+    pub sm_utilization: f64,
+    /// Peak transient device memory (bytes) observed.
+    pub peak_memory: u64,
+}
+
+/// The seven evaluated algorithms (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Vanilla random walk.
+    DeepWalk,
+    /// Second-order biased walk.
+    Node2Vec,
+    /// Uniform node-wise sampling.
+    GraphSage,
+    /// Layer-wise with squared-weight bias.
+    Ladies,
+    /// Layer-wise with learned bias.
+    AsGcn,
+    /// Node-wise with learned attention bias.
+    Pass,
+    /// Node-wise expansion plus induced subgraph.
+    Shadow,
+}
+
+impl Algo {
+    /// The three simple algorithms of Fig. 7.
+    pub const SIMPLE: [Algo; 3] = [Algo::DeepWalk, Algo::Node2Vec, Algo::GraphSage];
+    /// The four complex algorithms of Fig. 8.
+    pub const COMPLEX: [Algo; 4] = [Algo::Ladies, Algo::AsGcn, Algo::Pass, Algo::Shadow];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::DeepWalk => "DeepWalk",
+            Algo::Node2Vec => "Node2Vec",
+            Algo::GraphSage => "GraphSAGE",
+            Algo::Ladies => "LADIES",
+            Algo::AsGcn => "AS-GCN",
+            Algo::Pass => "PASS",
+            Algo::Shadow => "ShaDow",
+        }
+    }
+
+    /// True for the walk-driven algorithms.
+    pub fn is_walk(&self) -> bool {
+        matches!(self, Algo::DeepWalk | Algo::Node2Vec)
+    }
+
+    /// Super-batching applies to every algorithm except those whose
+    /// sampling model is updated between batches (paper §4.4 names PASS;
+    /// AS-GCN's learned bias is in the same class).
+    pub fn super_batch_ok(&self) -> bool {
+        !matches!(self, Algo::Pass | Algo::AsGcn)
+    }
+
+    /// Layers for the gSampler implementation.
+    pub fn layers(&self, h: &Hyper) -> Vec<Layer> {
+        match self {
+            Algo::DeepWalk => vec![walks::deepwalk_step()],
+            Algo::Node2Vec => vec![walks::node2vec_step(h.p, h.q)],
+            Algo::GraphSage => nodewise::graphsage(&h.fanouts),
+            Algo::Ladies => layerwise::ladies(h.layer_width, h.layers),
+            Algo::AsGcn => layerwise::asgcn(h.layer_width, h.layers),
+            Algo::Pass => nodewise::pass(&h.fanouts),
+            Algo::Shadow => nodewise::shadow_expansion(&h.fanouts),
+        }
+    }
+
+    /// Model-weight bindings needed by the gSampler implementation.
+    pub fn bindings(&self, graph: &Graph, h: &Hyper) -> Bindings {
+        let dim = graph.features.as_ref().map_or(1, |f| f.ncols());
+        match self {
+            Algo::Pass => pass_bindings(dim, h.hidden, 99),
+            Algo::AsGcn => asgcn_bindings(dim, 99),
+            _ => Bindings::new(),
+        }
+    }
+}
+
+/// Generate (or re-generate) a dataset preset at the given scale.
+pub fn dataset(kind: DatasetKind, scale: f64) -> Dataset {
+    Dataset::generate(kind, scale, 2023)
+}
+
+/// Build the gSampler sampler for an algorithm.
+pub fn build_gsampler(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    h: &Hyper,
+    device: DeviceProfile,
+    opt: OptConfig,
+    auto_super_batch: bool,
+) -> Result<gsampler_core::Sampler> {
+    let config = SamplerConfig {
+        opt,
+        seed: 7,
+        device,
+        batch_size: h.batch_size,
+        auto_super_batch_budget: if auto_super_batch && algo.super_batch_ok() {
+            // 256 MiB sampling budget; the factor cap keeps the runner in
+            // the occupancy regime of the paper's Fig. 6 (saturation near
+            // an effective batch of ~8k frontiers).
+            Some(256.0 * (1 << 20) as f64)
+        } else {
+            None
+        },
+        max_super_batch: 16,
+    };
+    compile(graph.clone(), algo.layers(h), config)
+}
+
+/// Measure one gSampler epoch (bounded + extrapolated).
+pub fn gsampler_epoch(
+    sampler: &gsampler_core::Sampler,
+    graph: &Arc<Graph>,
+    algo: Algo,
+    seeds: &[u32],
+    h: &Hyper,
+) -> Result<EpochEstimate> {
+    let total_batches = seeds.len().div_ceil(h.batch_size.max(1));
+    if algo.is_walk() {
+        // Bounded steps on a bounded number of batches, stepped together
+        // as one super-batch (the walk analogue of paper §4.4).
+        let steps = h.walk_length.min(MAX_WALK_STEPS);
+        let factor = sampler.super_batch_factor().max(1);
+        let batches = total_batches.min(factor.max(4));
+        sampler.reset_stats();
+        let groups: Vec<Vec<u32>> = seeds
+            .chunks(h.batch_size.max(1))
+            .take(batches)
+            .map(|c| c.to_vec())
+            .collect();
+        let ran = groups.len();
+        drivers::run_walk_groups(sampler, groups, steps, algo == Algo::Node2Vec, 0.0, 1)?;
+        let stats = sampler.device().stats();
+        let per_step_batch = stats.total_time / (ran * steps) as f64;
+        Ok(EpochEstimate {
+            seconds: per_step_batch * (total_batches * h.walk_length) as f64,
+            total_batches,
+            ran_batches: ran,
+            sm_utilization: stats.sm_utilization(),
+            peak_memory: sampler.device().memory().peak(),
+        })
+    } else {
+        let factor = sampler.super_batch_factor().max(1);
+        let run_batches = total_batches.min(MAX_BATCHES.max(factor));
+        let subset = &seeds[..(run_batches * h.batch_size).min(seeds.len())];
+        let bindings = algo.bindings(graph, h);
+        let report = sampler.run_epoch(subset, &bindings, 0)?;
+        let mut per_batch = report.modeled_time / report.batches.max(1) as f64;
+        let mut sm = report.stats.sm_utilization();
+        let mut peak = report.memory.peak();
+        if algo == Algo::Shadow {
+            // ShaDow's finalize induces a subgraph on the union of every
+            // sampled node (host-unioned, so outside run_epoch): charge it
+            // per batch from a few real inductions.
+            let induce = drivers::induce_sampler(
+                graph.clone(),
+                SamplerConfig {
+                    opt: OptConfig::all(),
+                    batch_size: h.batch_size,
+                    device: sampler.device().profile().clone(),
+                    ..SamplerConfig::new()
+                },
+            )?;
+            let probe = report.batches.clamp(1, 3);
+            for (i, chunk) in seeds.chunks(h.batch_size.max(1)).take(probe).enumerate() {
+                drivers::shadow_sample(sampler, &induce, chunk, 1000 + i as u64)?;
+            }
+            let induce_stats = induce.device().stats();
+            per_batch += induce_stats.total_time / probe as f64;
+            sm = (sm + induce_stats.sm_utilization()) / 2.0;
+            peak = peak.max(induce.device().memory().peak());
+        }
+        Ok(EpochEstimate {
+            seconds: per_batch * total_batches as f64,
+            total_batches,
+            ran_batches: report.batches,
+            sm_utilization: sm,
+            peak_memory: peak,
+        })
+    }
+}
+
+/// Measure one DGL-like eager epoch (GPU or CPU profile).
+pub fn eager_epoch(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    seeds: &[u32],
+    h: &Hyper,
+    profile: DeviceProfile,
+) -> Option<EpochEstimate> {
+    let sampler = EagerSampler::new(graph.clone(), profile, 5);
+    let total_batches = seeds.len().div_ceil(h.batch_size.max(1));
+    let dim = graph.features.as_ref().map_or(1, |f| f.ncols());
+    let run = |max: usize| -> usize { total_batches.min(max) };
+    let mut rng_seed = 0u64;
+    let (ran, step_scale): (usize, f64) = match algo {
+        Algo::DeepWalk | Algo::Node2Vec => {
+            // Eager walks: DGL's random_walk is the DeepWalk path; eager
+            // Node2Vec has no GPU implementation in DGL (the paper marks
+            // it N/A), so refuse it here.
+            if algo == Algo::Node2Vec {
+                return None;
+            }
+
+            let batches = run(3);
+            let steps = h.walk_length.min(MAX_WALK_STEPS);
+            for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
+                sampler.walk_batch(chunk, steps, rng_seed);
+                rng_seed += 1;
+            }
+            (batches, h.walk_length as f64 / steps as f64)
+        }
+        Algo::GraphSage => {
+            let batches = run(MAX_BATCHES);
+            for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
+                sampler.graphsage_batch(chunk, &h.fanouts, rng_seed);
+                rng_seed += 1;
+            }
+            (batches, 1.0)
+        }
+        Algo::Ladies => {
+            let batches = run(MAX_BATCHES);
+            for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
+                sampler.ladies_batch(chunk, h.layer_width, h.layers, rng_seed);
+                rng_seed += 1;
+            }
+            (batches, 1.0)
+        }
+        Algo::AsGcn => {
+            let batches = run(6);
+            let wg = gsampler_matrix::Dense::from_vec(dim, 1, vec![0.05; dim]).ok()?;
+            let mut rng = rand::SeedableRng::seed_from_u64(3);
+            for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
+                for _ in 0..h.layers {
+                    sampler.asgcn_layer(chunk, h.layer_width, &wg, &mut rng);
+                }
+            }
+            (batches, 1.0)
+        }
+        Algo::Pass => {
+            let batches = run(4);
+            let mut rng = rand::SeedableRng::seed_from_u64(4);
+            let w1 = gsampler_matrix::Dense::from_vec(dim, h.hidden, vec![0.02; dim * h.hidden])
+                .ok()?;
+            let w2 = w1.clone();
+            let w3 = gsampler_matrix::Dense::from_vec(3, 1, vec![0.3, 0.3, 0.4]).ok()?;
+            for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
+                let mut cur: Vec<u32> = chunk.to_vec();
+                for &k in &h.fanouts {
+                    let m = sampler.pass_layer(&cur, k, &w1, &w2, &w3, &mut rng);
+                    cur = m.row_nodes();
+                }
+            }
+            (batches, 1.0)
+        }
+        Algo::Shadow => {
+            let batches = run(6);
+            for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
+                sampler.shadow_batch(chunk, &h.fanouts, rng_seed);
+                rng_seed += 1;
+            }
+            (batches, 1.0)
+        }
+    };
+    let report = sampler.report(ran);
+    let per_batch = report.modeled_time / ran.max(1) as f64;
+    Some(EpochEstimate {
+        seconds: per_batch * step_scale * total_batches as f64,
+        total_batches,
+        ran_batches: ran,
+        sm_utilization: report.sm_utilization,
+        peak_memory: report.peak_memory,
+    })
+}
+
+/// Measure one SkyWalker-like vertex-centric epoch (simple algos only).
+pub fn vertex_centric_epoch(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    seeds: &[u32],
+    h: &Hyper,
+    profile: DeviceProfile,
+) -> Option<EpochEstimate> {
+    let sampler = VertexCentricSampler::new(graph.clone(), profile, 6);
+    let total_batches = seeds.len().div_ceil(h.batch_size.max(1));
+    let steps = h.walk_length.min(MAX_WALK_STEPS);
+    let (ran, step_scale): (usize, f64) = match algo {
+        Algo::DeepWalk => {
+            let batches = total_batches.min(4);
+            for (i, chunk) in seeds.chunks(h.batch_size.max(1)).take(batches).enumerate() {
+                sampler.deepwalk_batch(chunk, steps, i as u64);
+            }
+            (batches, h.walk_length as f64 / steps as f64)
+        }
+        Algo::Node2Vec => {
+            let batches = total_batches.min(4);
+            for (i, chunk) in seeds.chunks(h.batch_size.max(1)).take(batches).enumerate() {
+                sampler.node2vec_batch(chunk, steps, h.p, h.q, i as u64);
+            }
+            (batches, h.walk_length as f64 / steps as f64)
+        }
+        Algo::GraphSage => {
+            let batches = total_batches.min(MAX_BATCHES);
+            for (i, chunk) in seeds.chunks(h.batch_size.max(1)).take(batches).enumerate() {
+                sampler.graphsage_batch(chunk, &h.fanouts, i as u64);
+            }
+            (batches, 1.0)
+        }
+        _ => return None, // no tensor ops, no global view
+    };
+    let report = sampler.report(ran);
+    let per_batch = report.modeled_time / ran.max(1) as f64;
+    Some(EpochEstimate {
+        seconds: per_batch * step_scale * total_batches as f64,
+        total_batches,
+        ran_batches: ran,
+        sm_utilization: report.sm_utilization,
+        peak_memory: report.peak_memory,
+    })
+}
+
+/// Format seconds with sensible units.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:8.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:8.3} ms", seconds * 1e3)
+    } else {
+        format!("{:8.1} µs", seconds * 1e6)
+    }
+}
+
+/// Print a row-major table with a header.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Scale factor from `GS_SCALE` env (default 1.0) — shrink for smoke runs.
+pub fn env_scale() -> f64 {
+    std::env::var("GS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_and_complex_partition() {
+        let names: Vec<&str> = Algo::SIMPLE
+            .iter()
+            .chain(Algo::COMPLEX.iter())
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(names.len(), 7);
+        assert!(names.contains(&"LADIES"));
+    }
+
+    #[test]
+    fn gsampler_epoch_estimates() {
+        let d = dataset(DatasetKind::Tiny, 1.0);
+        let graph = Arc::new(d.graph);
+        let h = Hyper::small();
+        let sampler = build_gsampler(
+            &graph,
+            Algo::GraphSage,
+            &h,
+            DeviceProfile::v100(),
+            OptConfig::all(),
+            false,
+        )
+        .unwrap();
+        let est = gsampler_epoch(&sampler, &graph, Algo::GraphSage, &d.frontiers, &h).unwrap();
+        assert!(est.seconds > 0.0);
+        assert_eq!(est.total_batches, 16);
+    }
+
+    #[test]
+    fn vertex_centric_rejects_complex() {
+        let d = dataset(DatasetKind::Tiny, 1.0);
+        let graph = Arc::new(d.graph);
+        let h = Hyper::small();
+        assert!(vertex_centric_epoch(
+            &graph,
+            Algo::Ladies,
+            &d.frontiers,
+            &h,
+            DeviceProfile::v100()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn eager_rejects_gpu_node2vec() {
+        let d = dataset(DatasetKind::Tiny, 1.0);
+        let graph = Arc::new(d.graph);
+        let h = Hyper::small();
+        assert!(
+            eager_epoch(&graph, Algo::Node2Vec, &d.frontiers, &h, DeviceProfile::v100()).is_none()
+        );
+    }
+}

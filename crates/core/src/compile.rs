@@ -1,0 +1,345 @@
+//! Compiling layers into executable samplers and driving epochs.
+//!
+//! [`compile`] runs the optimization pipeline over each layer's program
+//! (paper Fig. 4: parse → IR passes → execution), evaluates the
+//! batch-invariant precompute programs once, plans the super-batch factor,
+//! and returns a [`Sampler`] that can sample single batches or whole
+//! epochs while the device session records modeled time, memory, and SM
+//! utilization.
+
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsampler_engine::{Device, DeviceProfile, ExecStats, MemoryTracker, RngPool};
+use gsampler_ir::passes::{run_passes, OptConfig, OptimizedProgram};
+use gsampler_ir::superbatch;
+use gsampler_matrix::NodeId;
+
+use crate::builder::Layer;
+use crate::error::{Error, Result};
+use crate::exec::{self, Bindings};
+use crate::graph::Graph;
+use crate::value::Value;
+
+/// Sampler configuration: optimization knobs plus runtime parameters.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Optimization passes (paper Fig. 10's P/C/D/B knobs).
+    pub opt: OptConfig,
+    /// Root RNG seed (all sampling is deterministic given this).
+    pub seed: u64,
+    /// Device to model.
+    pub device: DeviceProfile,
+    /// Mini-batch size the programs are planned for.
+    pub batch_size: usize,
+    /// When set, plan the super-batch factor automatically with this
+    /// memory budget in bytes (paper §4.4's grid search); overrides
+    /// `opt.super_batch`.
+    pub auto_super_batch_budget: Option<f64>,
+    /// Upper bound on the planned super-batch factor (the grid search
+    /// stops early once the device saturates anyway; this caps the
+    /// latency and staleness cost of batching too many mini-batches).
+    pub max_super_batch: usize,
+}
+
+impl SamplerConfig {
+    /// Default configuration: all optimizations, V100, batch 512.
+    pub fn new() -> SamplerConfig {
+        SamplerConfig {
+            opt: OptConfig::all(),
+            seed: 42,
+            device: DeviceProfile::v100(),
+            batch_size: 512,
+            auto_super_batch_budget: None,
+            max_super_batch: 128,
+        }
+    }
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig::new()
+    }
+}
+
+/// One compiled layer: the optimized program plus its precomputed values.
+pub struct CompiledLayer {
+    /// Source layer (original program + output conventions).
+    pub layer: Layer,
+    /// Optimized program and pass report.
+    pub optimized: OptimizedProgram,
+    /// Values filling the program's `Precomputed` slots.
+    pub precomputed: Vec<Rc<Value>>,
+}
+
+/// A compiled, executable multi-layer sampler bound to one graph and one
+/// device session.
+pub struct Sampler {
+    graph: Arc<Graph>,
+    graph_value: Rc<Value>,
+    layers: Vec<CompiledLayer>,
+    device: Device,
+    pool: RngPool,
+    config: SamplerConfig,
+    super_batch: usize,
+}
+
+/// Everything one epoch produced: modeled device time plus session stats.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Modeled device time for the epoch, in seconds — the headline
+    /// "sampling time" quantity of the paper's figures.
+    pub modeled_time: f64,
+    /// Host wall-clock time actually spent emulating, in seconds.
+    pub wall_time: f64,
+    /// Number of mini-batches processed.
+    pub batches: usize,
+    /// Execution statistics (kernel launches, bytes, SM utilization).
+    pub stats: ExecStats,
+    /// Device memory accounting (peak = paper Table 9's "Memory").
+    pub memory: MemoryTracker,
+    /// Super-batch factor used.
+    pub super_batch: usize,
+}
+
+/// Compile `layers` for `graph` under `config`.
+pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> Result<Sampler> {
+    let device = Device::new(config.device.clone());
+    let stats = graph.stats();
+    let graph_value = Rc::new(Value::Matrix(graph.matrix.clone()));
+    let pool = RngPool::new(config.seed);
+
+    let mut compiled = Vec::with_capacity(layers.len());
+    for (li, layer) in layers.into_iter().enumerate() {
+        layer
+            .program
+            .validate()
+            .map_err(Error::InvalidProgram)?;
+        let optimized = run_passes(
+            &layer.program,
+            &config.opt,
+            &stats,
+            config.batch_size,
+            device.cost_model(),
+            graph.residency,
+        );
+        // Evaluate the batch-invariant program once, at compile time.
+        let precomputed: Vec<Rc<Value>> = if optimized.precompute.is_empty() {
+            Vec::new()
+        } else {
+            let mut rng = pool.stream(0xF0 + li as u64);
+            let groups = vec![Vec::new()];
+            let out = exec::execute(
+                &optimized.precompute,
+                &graph,
+                &graph_value,
+                &groups,
+                &Bindings::new(),
+                &[],
+                &device,
+                &mut rng,
+            )?;
+            out.into_iter()
+                .next()
+                .unwrap_or_default()
+                .into_iter()
+                .map(Rc::new)
+                .collect()
+        };
+        compiled.push(CompiledLayer {
+            layer,
+            optimized,
+            precomputed,
+        });
+    }
+    // Precompute cost is one-time; do not let it pollute epoch stats.
+    device.reset();
+
+    // Super-batch factor: explicit config, or planned under a budget.
+    let mut super_batch = config.opt.super_batch.max(1);
+    if let Some(budget) = config.auto_super_batch_budget {
+        let mut planned = usize::MAX;
+        for layer in &compiled {
+            let plan =
+                superbatch::plan(&layer.optimized.program, &stats, config.batch_size, budget);
+            planned = planned.min(plan.factor);
+        }
+        super_batch = planned.clamp(1, config.max_super_batch.max(1));
+    }
+    if super_batch > 1
+        && !compiled
+            .iter()
+            .all(|l| exec::superbatch_compatible(&l.optimized.program))
+    {
+        super_batch = 1;
+    }
+
+    Ok(Sampler {
+        graph,
+        graph_value,
+        layers: compiled,
+        device,
+        pool,
+        config,
+        super_batch,
+    })
+}
+
+/// One layer's outputs for one mini-batch.
+pub type LayerValues = Vec<Value>;
+
+/// A complete multi-layer graph sample for one mini-batch.
+#[derive(Debug, Clone)]
+pub struct GraphSample {
+    /// Per layer, the program's output values.
+    pub layers: Vec<LayerValues>,
+}
+
+impl Sampler {
+    /// The compiled layers (for inspecting pass reports).
+    pub fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    /// The graph this sampler is bound to.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The chosen super-batch factor.
+    pub fn super_batch_factor(&self) -> usize {
+        self.super_batch
+    }
+
+    /// The mini-batch size this sampler was compiled for.
+    pub fn config_batch_size(&self) -> usize {
+        self.config.batch_size.max(1)
+    }
+
+    /// The device session (stats/memory snapshots).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Reset the device session's statistics.
+    pub fn reset_stats(&self) {
+        self.device.reset();
+    }
+
+    /// Sample one mini-batch starting from `frontiers`.
+    pub fn sample_batch(&self, frontiers: &[NodeId], bindings: &Bindings) -> Result<GraphSample> {
+        self.sample_batch_seeded(frontiers, bindings, 0)
+    }
+
+    /// Sample one mini-batch on an explicit RNG stream; drivers that call
+    /// the sampler repeatedly (random walks, bandit updates) vary the
+    /// stream per step to get independent draws while staying
+    /// reproducible.
+    pub fn sample_batch_seeded(
+        &self,
+        frontiers: &[NodeId],
+        bindings: &Bindings,
+        stream: u64,
+    ) -> Result<GraphSample> {
+        let mut rng = self.pool.stream(stream);
+        let mut samples = self.sample_groups(vec![frontiers.to_vec()], bindings, &mut rng)?;
+        Ok(samples.pop().expect("one group in, one sample out"))
+    }
+
+    /// Sample several mini-batches together (one super-batch execution);
+    /// returns one [`GraphSample`] per input group.
+    pub fn sample_groups(
+        &self,
+        mut groups: Vec<Vec<NodeId>>,
+        bindings: &Bindings,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Result<Vec<GraphSample>> {
+        let s = groups.len();
+        let mut per_group: Vec<GraphSample> = (0..s)
+            .map(|_| GraphSample { layers: Vec::new() })
+            .collect();
+        for layer in &self.layers {
+            let outputs = exec::execute(
+                &layer.optimized.program,
+                &self.graph,
+                &self.graph_value,
+                &groups,
+                bindings,
+                &layer.precomputed,
+                &self.device,
+                rng,
+            )?;
+            // Chain next-layer frontiers per group.
+            if let Some(pos) = layer.layer.next_frontier_output {
+                let mut next_groups = Vec::with_capacity(s);
+                for out in &outputs {
+                    let nodes = out
+                        .get(pos)
+                        .and_then(|v| v.as_nodes())
+                        .ok_or_else(|| {
+                            Error::Execution(
+                                "next-frontier output is not a node list".to_string(),
+                            )
+                        })?;
+                    next_groups.push(nodes.to_vec());
+                }
+                groups = next_groups;
+            }
+            for (g, out) in outputs.into_iter().enumerate() {
+                per_group[g].layers.push(out);
+            }
+        }
+        Ok(per_group)
+    }
+
+    /// Run one epoch: go through `seeds` once in mini-batches of the
+    /// configured size, sampling `super_batch` batches per execution.
+    /// `consume` is called once per mini-batch with its sample.
+    pub fn run_epoch_with(
+        &self,
+        seeds: &[NodeId],
+        bindings: &Bindings,
+        epoch: u64,
+        mut consume: impl FnMut(usize, GraphSample),
+    ) -> Result<EpochReport> {
+        self.device.reset();
+        let wall_start = Instant::now();
+        let batch = self.config.batch_size.max(1);
+        let pool = self.pool.subpool(epoch);
+        let mut batch_idx = 0usize;
+        let mut start = 0usize;
+        let mut exec_idx = 0u64;
+        while start < seeds.len() {
+            // Collect up to `super_batch` equal-sized groups.
+            let mut groups: Vec<Vec<NodeId>> = Vec::new();
+            while groups.len() < self.super_batch && start < seeds.len() {
+                let end = (start + batch).min(seeds.len());
+                groups.push(seeds[start..end].to_vec());
+                start = end;
+            }
+            let mut rng = pool.stream(exec_idx);
+            exec_idx += 1;
+            let samples = self.sample_groups(groups, bindings, &mut rng)?;
+            for sample in samples {
+                consume(batch_idx, sample);
+                batch_idx += 1;
+            }
+        }
+        let mut stats = self.device.stats();
+        stats.compact_records();
+        Ok(EpochReport {
+            modeled_time: stats.total_time,
+            wall_time: wall_start.elapsed().as_secs_f64(),
+            batches: batch_idx,
+            stats,
+            memory: self.device.memory(),
+            super_batch: self.super_batch,
+        })
+    }
+
+    /// Run one epoch, discarding the samples (pure timing runs).
+    pub fn run_epoch(&self, seeds: &[NodeId], bindings: &Bindings, epoch: u64) -> Result<EpochReport> {
+        self.run_epoch_with(seeds, bindings, epoch, |_, _| {})
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type of the public API.
+
+/// Errors surfaced by compiling or executing sampling programs.
+#[derive(Debug)]
+pub enum Error {
+    /// A matrix kernel failed (shape/bounds/probability violations).
+    Matrix(gsampler_matrix::Error),
+    /// The program is structurally invalid.
+    InvalidProgram(String),
+    /// An execution-time inconsistency (missing binding, wrong value kind).
+    Execution(String),
+    /// A named input required by the program was not bound.
+    MissingBinding(String),
+}
+
+impl From<gsampler_matrix::Error> for Error {
+    fn from(e: gsampler_matrix::Error) -> Error {
+        Error::Matrix(e)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Matrix(e) => write!(f, "matrix kernel error: {e}"),
+            Error::InvalidProgram(s) => write!(f, "invalid program: {s}"),
+            Error::Execution(s) => write!(f, "execution error: {s}"),
+            Error::MissingBinding(s) => write!(f, "missing input binding: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience alias for `std::result::Result<T, Error>`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: Error = gsampler_matrix::Error::MissingValues { op: "x" }.into();
+        assert!(e.to_string().contains("matrix kernel"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e2 = Error::MissingBinding("W1".into());
+        assert!(e2.to_string().contains("W1"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Exporting graph samples to training-framework formats.
+//!
+//! The paper's gSampler hands its sampled matrices to DGL or PyG through
+//! `to_dgl_graph` / `to_pyg_graph` (§4.5). The equivalents here convert a
+//! [`GraphSample`] into:
+//!
+//! - [`MessageFlowGraph`]: DGL-style *blocks* — per layer, a bipartite
+//!   COO in **local** indices plus the local→global ID maps, destination
+//!   nodes first, ready for message-passing training loops;
+//! - [`EdgeIndexGraph`]: PyG-style — one merged `edge_index` pair of
+//!   arrays over a unified local node space, with per-edge weights and
+//!   the node mapping.
+
+use std::collections::HashMap;
+
+use gsampler_matrix::{GraphMatrix, NodeId};
+
+use crate::compile::GraphSample;
+
+/// One DGL-style block: a bipartite layer in local coordinates.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Source-node global IDs (`srcdata[NID]` in DGL terms).
+    pub src_nodes: Vec<NodeId>,
+    /// Destination-node global IDs.
+    pub dst_nodes: Vec<NodeId>,
+    /// Edge sources as local indices into `src_nodes`.
+    pub edge_src: Vec<u32>,
+    /// Edge destinations as local indices into `dst_nodes`.
+    pub edge_dst: Vec<u32>,
+    /// Edge weights (1.0 when the sample is unweighted).
+    pub weights: Vec<f32>,
+}
+
+impl Block {
+    /// Build from a sampled layer matrix: rows become sources (compacted
+    /// to the nodes that actually carry edges), columns destinations.
+    pub fn from_matrix(m: &GraphMatrix) -> Block {
+        let compacted = m.compact_rows();
+        let src_nodes = compacted.global_row_ids();
+        let dst_nodes = compacted.global_col_ids();
+        let nnz = compacted.nnz();
+        let mut edge_src = Vec::with_capacity(nnz);
+        let mut edge_dst = Vec::with_capacity(nnz);
+        let mut weights = Vec::with_capacity(nnz);
+        for (r, c, v) in compacted.data.iter_edges() {
+            edge_src.push(r);
+            edge_dst.push(c);
+            weights.push(v);
+        }
+        Block {
+            src_nodes,
+            dst_nodes,
+            edge_src,
+            edge_dst,
+            weights,
+        }
+    }
+
+    /// Number of edges in the block.
+    pub fn num_edges(&self) -> usize {
+        self.edge_src.len()
+    }
+}
+
+/// A DGL-style message-flow graph: blocks ordered deepest-first (the
+/// order a forward pass consumes them).
+#[derive(Debug, Clone)]
+pub struct MessageFlowGraph {
+    /// The blocks, deepest sampling layer first.
+    pub blocks: Vec<Block>,
+    /// The seed (output) nodes of the mini-batch.
+    pub seeds: Vec<NodeId>,
+}
+
+/// Convert a sample into a DGL-style message-flow graph (the equivalent
+/// of the paper's `to_dgl_graph`). Layer output 0 must be the sampled
+/// matrix, per the `gsampler-algos` conventions.
+pub fn to_message_flow_graph(sample: &GraphSample) -> MessageFlowGraph {
+    let blocks: Vec<Block> = sample
+        .layers
+        .iter()
+        .rev()
+        .filter_map(|outputs| outputs[0].as_matrix().map(Block::from_matrix))
+        .collect();
+    let seeds = sample
+        .layers
+        .first()
+        .and_then(|outputs| outputs[0].as_matrix())
+        .map(|m| m.global_col_ids())
+        .unwrap_or_default();
+    MessageFlowGraph { blocks, seeds }
+}
+
+/// A PyG-style sample: a single `edge_index` over a unified local node
+/// space (the equivalent of the paper's `to_pyg_graph`).
+#[derive(Debug, Clone)]
+pub struct EdgeIndexGraph {
+    /// Global ID of each local node; `node_ids[local] = global`.
+    pub node_ids: Vec<NodeId>,
+    /// Edge sources, local indices.
+    pub edge_index_src: Vec<u32>,
+    /// Edge destinations, local indices.
+    pub edge_index_dst: Vec<u32>,
+    /// Edge weights aligned with the edge index.
+    pub edge_weight: Vec<f32>,
+    /// Local indices of the seed nodes (first `seeds.len()` positions).
+    pub seed_count: usize,
+}
+
+/// Merge all layers of a sample into one PyG-style edge-index graph.
+/// Seed nodes occupy the first local indices (PyG's mini-batch layout);
+/// duplicate edges across layers are kept once (first occurrence wins).
+pub fn to_edge_index_graph(sample: &GraphSample) -> EdgeIndexGraph {
+    let mut local: HashMap<NodeId, u32> = HashMap::new();
+    let mut node_ids: Vec<NodeId> = Vec::new();
+    let intern = |id: NodeId, local: &mut HashMap<NodeId, u32>, node_ids: &mut Vec<NodeId>| {
+        *local.entry(id).or_insert_with(|| {
+            node_ids.push(id);
+            (node_ids.len() - 1) as u32
+        })
+    };
+
+    // Seeds first.
+    let seeds = sample
+        .layers
+        .first()
+        .and_then(|outputs| outputs[0].as_matrix())
+        .map(|m| m.global_col_ids())
+        .unwrap_or_default();
+    for &s in &seeds {
+        intern(s, &mut local, &mut node_ids);
+    }
+    let seed_count = node_ids.len();
+
+    let mut seen = std::collections::HashSet::new();
+    let mut edge_index_src = Vec::new();
+    let mut edge_index_dst = Vec::new();
+    let mut edge_weight = Vec::new();
+    for outputs in &sample.layers {
+        let Some(m) = outputs[0].as_matrix() else { continue };
+        for (r, c, v) in m.global_edges() {
+            if !seen.insert((r, c)) {
+                continue;
+            }
+            let ls = intern(r, &mut local, &mut node_ids);
+            let ld = intern(c, &mut local, &mut node_ids);
+            edge_index_src.push(ls);
+            edge_index_dst.push(ld);
+            edge_weight.push(v);
+        }
+    }
+    EdgeIndexGraph {
+        node_ids,
+        edge_index_src,
+        edge_index_dst,
+        edge_weight,
+        seed_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LayerBuilder;
+    use crate::{compile, Bindings, Graph, SamplerConfig};
+    use std::sync::Arc;
+
+    fn sample_two_layers() -> (Arc<Graph>, GraphSample) {
+        let mut edges = Vec::new();
+        for v in 0..32u32 {
+            for d in 1..4u32 {
+                edges.push(((v + d * 5) % 32, v, 0.5 + d as f32 * 0.1));
+            }
+        }
+        let graph = Arc::new(Graph::from_edges("export", 32, &edges, true).unwrap());
+        let mk = || {
+            let b = LayerBuilder::new();
+            let a = b.graph();
+            let f = b.frontiers();
+            let s = a.slice_cols(&f).individual_sample(2, None);
+            let n = s.row_nodes();
+            b.output(&s);
+            b.output_next_frontiers(&n);
+            b.build()
+        };
+        let sampler = compile(graph.clone(), vec![mk(), mk()], SamplerConfig::new()).unwrap();
+        let out = sampler.sample_batch(&[0, 1, 2], &Bindings::new()).unwrap();
+        (graph, out)
+    }
+
+    #[test]
+    fn message_flow_graph_layout() {
+        let (graph, sample) = sample_two_layers();
+        let mfg = to_message_flow_graph(&sample);
+        assert_eq!(mfg.blocks.len(), 2);
+        assert_eq!(mfg.seeds, vec![0, 1, 2]);
+        // Shallowest block's destinations are the seeds.
+        let last = mfg.blocks.last().unwrap();
+        assert_eq!(last.dst_nodes, vec![0, 1, 2]);
+        // Local indices are in range and edges map back to real edges.
+        let base: std::collections::HashSet<(u32, u32)> = graph
+            .matrix
+            .global_edges()
+            .into_iter()
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        for block in &mfg.blocks {
+            for (i, (&s, &d)) in block.edge_src.iter().zip(&block.edge_dst).enumerate() {
+                let gs = block.src_nodes[s as usize];
+                let gd = block.dst_nodes[d as usize];
+                assert!(base.contains(&(gs, gd)), "edge {i} not in graph");
+            }
+            assert_eq!(block.weights.len(), block.num_edges());
+        }
+    }
+
+    #[test]
+    fn edge_index_graph_layout() {
+        let (graph, sample) = sample_two_layers();
+        let eig = to_edge_index_graph(&sample);
+        assert_eq!(eig.seed_count, 3);
+        assert_eq!(&eig.node_ids[..3], &[0, 1, 2]);
+        // Node IDs are unique.
+        let set: std::collections::HashSet<_> = eig.node_ids.iter().collect();
+        assert_eq!(set.len(), eig.node_ids.len());
+        // Every edge resolves to a real graph edge, deduplicated.
+        let base: std::collections::HashSet<(u32, u32)> = graph
+            .matrix
+            .global_edges()
+            .into_iter()
+            .map(|(r, c, _)| (r, c))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for (&s, &d) in eig.edge_index_src.iter().zip(&eig.edge_index_dst) {
+            let pair = (eig.node_ids[s as usize], eig.node_ids[d as usize]);
+            assert!(base.contains(&pair));
+            assert!(seen.insert(pair), "duplicate edge {pair:?}");
+        }
+        assert_eq!(eig.edge_weight.len(), eig.edge_index_src.len());
+    }
+}

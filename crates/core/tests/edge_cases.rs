@@ -1,0 +1,213 @@
+//! Edge-case and statistical tests of the executor: degenerate inputs
+//! (empty frontiers, isolated nodes, zero-degree seeds), and distribution
+//! checks that biased sampling actually follows its bias.
+
+use std::sync::Arc;
+
+use gsampler_core::builder::{Layer, LayerBuilder};
+use gsampler_core::{compile, Axis, Bindings, Graph, OptConfig, SamplerConfig};
+use gsampler_matrix::NodeId;
+
+fn graphsage_layer(k: usize) -> Layer {
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s = a.slice_cols(&f).individual_sample(k, None);
+    let next = s.row_nodes();
+    b.output(&s);
+    b.output_next_frontiers(&next);
+    b.build()
+}
+
+fn config(batch: usize) -> SamplerConfig {
+    SamplerConfig {
+        opt: OptConfig::all(),
+        batch_size: batch,
+        ..SamplerConfig::new()
+    }
+}
+
+/// 20 nodes; node 0 has no in-edges, node 1 has exactly one.
+fn sparse_graph() -> Arc<Graph> {
+    let mut edges: Vec<(NodeId, NodeId, f32)> = Vec::new();
+    edges.push((5, 1, 1.0));
+    for v in 2..20u32 {
+        for d in 1..4u32 {
+            edges.push(((v + d * 3) % 18 + 2, v, 1.0 + d as f32));
+        }
+    }
+    Arc::new(Graph::from_edges("sparse", 20, &edges, true).unwrap())
+}
+
+#[test]
+fn empty_frontier_batch() {
+    let sampler = compile(sparse_graph(), vec![graphsage_layer(3)], config(8)).unwrap();
+    let out = sampler.sample_batch(&[], &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    assert_eq!(m.shape().1, 0);
+    assert_eq!(m.nnz(), 0);
+    let next = out.layers[0][1].as_nodes().unwrap();
+    assert!(next.is_empty());
+}
+
+#[test]
+fn zero_degree_frontier_produces_empty_column() {
+    let sampler = compile(sparse_graph(), vec![graphsage_layer(3)], config(8)).unwrap();
+    // Node 0 has no in-edges; node 1 has exactly one.
+    let out = sampler.sample_batch(&[0, 1], &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    assert_eq!(m.data.col_degrees(), vec![0, 1]);
+    let next = out.layers[0][1].as_nodes().unwrap();
+    assert_eq!(next, &[5]);
+}
+
+#[test]
+fn chained_layer_with_empty_next_frontier() {
+    // Start from only the zero-degree node: layer 2 gets an empty
+    // frontier and must not crash.
+    let sampler = compile(
+        sparse_graph(),
+        vec![graphsage_layer(3), graphsage_layer(3)],
+        config(8),
+    )
+    .unwrap();
+    let out = sampler.sample_batch(&[0], &Bindings::new()).unwrap();
+    assert_eq!(out.layers.len(), 2);
+    let l2 = out.layers[1][0].as_matrix().unwrap();
+    assert_eq!(l2.shape().1, 0);
+}
+
+#[test]
+fn duplicate_frontiers_get_independent_columns() {
+    let sampler = compile(sparse_graph(), vec![graphsage_layer(2)], config(8)).unwrap();
+    let out = sampler.sample_batch(&[7, 7, 7], &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    assert_eq!(m.shape().1, 3);
+    assert_eq!(m.global_col_ids(), vec![7, 7, 7]);
+    for d in m.data.col_degrees() {
+        assert!(d <= 2 && d > 0);
+    }
+}
+
+#[test]
+fn fanout_larger_than_any_degree_keeps_everything() {
+    let graph = sparse_graph();
+    let sampler = compile(graph.clone(), vec![graphsage_layer(1000)], config(8)).unwrap();
+    let frontiers: Vec<NodeId> = (0..20).collect();
+    let out = sampler.sample_batch(&frontiers, &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    // Everything kept: the sample equals the full extract.
+    assert_eq!(m.nnz(), graph.num_edges());
+}
+
+#[test]
+fn weighted_individual_sampling_follows_bias() {
+    // A star: node 0 has 4 in-neighbours with weights 1, 1, 1, 17.
+    let edges = vec![
+        (1u32, 0u32, 1.0f32),
+        (2, 0, 1.0),
+        (3, 0, 1.0),
+        (4, 0, 17.0),
+    ];
+    let graph = Arc::new(Graph::from_edges("star", 5, &edges, true).unwrap());
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    // Bias = the edge weights themselves.
+    let s = sub.individual_sample(1, Some(&sub));
+    b.output(&s);
+    let sampler = compile(graph, vec![b.build()], config(1)).unwrap();
+    let mut hits = 0usize;
+    let trials = 400;
+    for t in 0..trials {
+        let out = sampler
+            .sample_batch_seeded(&[0], &Bindings::new(), t)
+            .unwrap();
+        let m = out.layers[0][0].as_matrix().unwrap();
+        if m.row_nodes() == vec![4] {
+            hits += 1;
+        }
+    }
+    // P(pick node 4) = 17/20 = 0.85; allow generous slack.
+    let frac = hits as f64 / trials as f64;
+    assert!(
+        (0.75..0.95).contains(&frac),
+        "heavy edge picked {frac:.2} of the time"
+    );
+}
+
+#[test]
+fn collective_sampling_follows_node_bias() {
+    // 40 candidate rows all feeding one frontier; row 39 has bias 50x.
+    let mut edges: Vec<(NodeId, NodeId, f32)> = Vec::new();
+    for r in 1..40u32 {
+        edges.push((r, 0, 1.0));
+    }
+    edges.push((40, 0, 50.0));
+    let graph = Arc::new(Graph::from_edges("biased", 41, &edges, true).unwrap());
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    let probs = sub.sum(Axis::Row);
+    let s = sub.collective_sample(4, Some(&probs));
+    b.output(&s);
+    let sampler = compile(graph, vec![b.build()], config(1)).unwrap();
+    let mut hits = 0usize;
+    let trials = 200;
+    for t in 0..trials {
+        let out = sampler
+            .sample_batch_seeded(&[0], &Bindings::new(), t)
+            .unwrap();
+        if out.layers[0][0]
+            .as_matrix()
+            .unwrap()
+            .row_nodes()
+            .contains(&40)
+        {
+            hits += 1;
+        }
+    }
+    // With weight 50 vs total 89 and 4 picks, node 40 is near-certain.
+    assert!(
+        hits as f64 / trials as f64 > 0.9,
+        "heavy node selected {hits}/{trials}"
+    );
+}
+
+#[test]
+fn uniform_sampling_is_roughly_uniform() {
+    // Node 0 has 8 in-neighbours; uniform fanout-1 should pick each about
+    // 1/8 of the time.
+    let edges: Vec<(NodeId, NodeId, f32)> = (1..9u32).map(|r| (r, 0, 1.0)).collect();
+    let graph = Arc::new(Graph::from_edges("uniform", 9, &edges, true).unwrap());
+    let sampler = compile(graph, vec![graphsage_layer(1)], config(1)).unwrap();
+    let mut counts = [0usize; 9];
+    let trials = 1600;
+    for t in 0..trials {
+        let out = sampler
+            .sample_batch_seeded(&[0], &Bindings::new(), t)
+            .unwrap();
+        let picked = out.layers[0][1].as_nodes().unwrap()[0];
+        counts[picked as usize] += 1;
+    }
+    for (r, &count) in counts.iter().enumerate().skip(1) {
+        let frac = count as f64 / trials as f64;
+        assert!(
+            (0.07..0.19).contains(&frac),
+            "neighbour {r} picked {frac:.3} of the time"
+        );
+    }
+}
+
+#[test]
+fn bindings_accept_all_kinds() {
+    let bindings = Bindings::new()
+        .vector("v", vec![1.0, 2.0])
+        .dense("d", gsampler_matrix::Dense::zeros(2, 2))
+        .node_list("n", vec![1, 2, 3]);
+    assert!(bindings.get_vector("v").is_some());
+    assert!(bindings.get_dense("d").is_some());
+    assert!(bindings.get_vector("missing").is_none());
+}

@@ -1,0 +1,499 @@
+//! Integration tests: executor semantics and semantic preservation of the
+//! optimization passes.
+
+use std::sync::Arc;
+
+use gsampler_core::builder::{Layer, LayerBuilder, Mat};
+use gsampler_core::{
+    compile, Axis, Bindings, Graph, LayoutMode, OptConfig, SamplerConfig, Value,
+};
+use gsampler_matrix::{Dense, NodeId};
+
+/// A deterministic 64-node ring-of-cliques graph: 8 cliques of 8 nodes,
+/// ring edges between consecutive cliques. Every node has in-degree >= 7.
+fn test_graph() -> Arc<Graph> {
+    let mut edges: Vec<(NodeId, NodeId, f32)> = Vec::new();
+    let cliques = 8u32;
+    let size = 8u32;
+    for c in 0..cliques {
+        let base = c * size;
+        for i in 0..size {
+            for j in 0..size {
+                if i != j {
+                    let w = 1.0 + ((i * 31 + j) % 5) as f32 * 0.25;
+                    edges.push((base + i, base + j, w));
+                }
+            }
+        }
+        let next = ((c + 1) % cliques) * size;
+        edges.push((base, next, 2.0));
+        edges.push((next, base, 2.0));
+    }
+    let features = {
+        let n = (cliques * size) as usize;
+        let data: Vec<f32> = (0..n * 8).map(|i| ((i % 13) as f32) * 0.1 - 0.6).collect();
+        Dense::from_vec(n, 8, data).unwrap()
+    };
+    Arc::new(
+        Graph::from_edges("cliques", (cliques * size) as usize, &edges, true)
+            .unwrap()
+            .with_features(features),
+    )
+}
+
+fn graphsage_layer(k: usize) -> Layer {
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sample = a.slice_cols(&f).individual_sample(k, None);
+    let next = sample.row_nodes();
+    b.output(&sample);
+    b.output_next_frontiers(&next);
+    b.build()
+}
+
+fn ladies_layer(k: usize) -> Layer {
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    let row_probs = sub.pow(2.0).sum(Axis::Row);
+    let samp = sub.collective_sample(k, Some(&row_probs));
+    let sel = row_probs.gather_row_bias(&samp, &sub);
+    let norm = samp.div(&sel, Axis::Row);
+    let colsum = norm.sum(Axis::Col);
+    let out = norm.div(&colsum, Axis::Col);
+    let next = out.row_nodes();
+    b.output(&out);
+    b.output_next_frontiers(&next);
+    b.build()
+}
+
+fn config(opt: OptConfig) -> SamplerConfig {
+    SamplerConfig {
+        opt,
+        batch_size: 8,
+        ..SamplerConfig::new()
+    }
+}
+
+#[test]
+fn graphsage_sample_is_valid_subgraph() {
+    let graph = test_graph();
+    let sampler = compile(graph.clone(), vec![graphsage_layer(3)], config(OptConfig::all()))
+        .unwrap();
+    let frontiers = vec![0, 9, 17, 33];
+    let out = sampler.sample_batch(&frontiers, &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    // Columns are the frontiers; every frontier kept <= 3 in-neighbours.
+    assert_eq!(m.global_col_ids(), frontiers);
+    for (c, d) in m.data.col_degrees().into_iter().enumerate() {
+        assert!(d <= 3, "column {c} kept {d} > 3");
+    }
+    // Every sampled edge exists in the original graph.
+    let base: std::collections::HashSet<(u32, u32)> = graph
+        .matrix
+        .global_edges()
+        .into_iter()
+        .map(|(r, c, _)| (r, c))
+        .collect();
+    for (r, c, _) in m.global_edges() {
+        assert!(base.contains(&(r, c)), "edge ({r},{c}) not in graph");
+    }
+    // Next frontiers are the distinct sampled rows.
+    let next = out.layers[0][1].as_nodes().unwrap();
+    assert!(!next.is_empty());
+    let rows: std::collections::HashSet<u32> = m.row_nodes().into_iter().collect();
+    assert_eq!(rows.len(), next.len());
+}
+
+#[test]
+fn multi_layer_chaining_expands_frontier() {
+    let graph = test_graph();
+    let sampler = compile(
+        graph,
+        vec![graphsage_layer(4), graphsage_layer(4)],
+        config(OptConfig::all()),
+    )
+    .unwrap();
+    let out = sampler.sample_batch(&[0, 32], &Bindings::new()).unwrap();
+    assert_eq!(out.layers.len(), 2);
+    // Layer 2's columns must be layer 1's sampled rows.
+    let l1 = out.layers[0][0].as_matrix().unwrap();
+    let l2 = out.layers[1][0].as_matrix().unwrap();
+    assert_eq!(l2.global_col_ids(), l1.row_nodes());
+}
+
+#[test]
+fn ladies_weights_normalize_per_frontier() {
+    let graph = test_graph();
+    let sampler = compile(graph, vec![ladies_layer(6)], config(OptConfig::all())).unwrap();
+    let out = sampler.sample_batch(&[1, 10, 20], &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    // At most 6 distinct rows selected across the layer.
+    assert!(m.row_nodes().len() <= 6);
+    // Finalize normalized edge weights per column (LADIES line 7).
+    let sums = gsampler_matrix::reduce::reduce(
+        &m.data,
+        gsampler_matrix::ReduceOp::Sum,
+        Axis::Col,
+    );
+    for (c, s) in sums.into_iter().enumerate() {
+        if s != 0.0 {
+            assert!((s - 1.0).abs() < 1e-4, "column {c} sums to {s}");
+        }
+    }
+}
+
+#[test]
+fn passes_preserve_deterministic_results() {
+    // A deterministic program (no sampling): LADIES' bias computation.
+    let build = || {
+        let b = LayerBuilder::new();
+        let a = b.graph();
+        let f = b.frontiers();
+        let sub = a.slice_cols(&f);
+        let probs = sub.pow(2.0).scalar(gsampler_core::EltOp::Mul, 0.5).sum(Axis::Row);
+        let norm = probs.normalize();
+        b.output(&norm);
+        b.build()
+    };
+    let graph = test_graph();
+    let frontiers = vec![3, 12, 45, 60];
+    let mut results: Vec<Vec<f32>> = Vec::new();
+    for opt in [
+        OptConfig::plain(),
+        OptConfig::compute_only(),
+        OptConfig::all(),
+        OptConfig {
+            layout: LayoutMode::CostAware,
+            fusion: false,
+            ..OptConfig::all()
+        },
+    ] {
+        let sampler = compile(graph.clone(), vec![build()], config(opt)).unwrap();
+        let out = sampler.sample_batch(&frontiers, &Bindings::new()).unwrap();
+        results.push(out.layers[0][0].as_vector().unwrap().to_vec());
+    }
+    for r in &results[1..] {
+        assert_eq!(r.len(), results[0].len());
+        for (a, b) in r.iter().zip(&results[0]) {
+            assert!((a - b).abs() < 1e-5, "pass changed result: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn preprocessing_hoists_and_preserves_degree_bias() {
+    // FastGCN-style: node bias = in-degree of the full graph.
+    let build = || {
+        let b = LayerBuilder::new();
+        let a = b.graph();
+        let f = b.frontiers();
+        let deg = a.degrees(Axis::Row);
+        let sub = a.slice_cols(&f);
+        let samp = sub.collective_sample(5, Some(&deg));
+        let next = samp.row_nodes();
+        b.output(&samp);
+        b.output_next_frontiers(&next);
+        b.build()
+    };
+    let graph = test_graph();
+    let sampler = compile(graph.clone(), vec![build()], config(OptConfig::all())).unwrap();
+    // The degree reduce was hoisted.
+    assert_eq!(sampler.layers()[0].optimized.report.preprocessed, 1);
+    assert_eq!(sampler.layers()[0].precomputed.len(), 1);
+    let out = sampler.sample_batch(&[0, 8, 16], &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    assert!(m.row_nodes().len() <= 5);
+}
+
+#[test]
+fn fusion_report_matches_program_shape() {
+    let graph = test_graph();
+    let sampler = compile(graph, vec![graphsage_layer(3)], config(OptConfig::all())).unwrap();
+    let report = &sampler.layers()[0].optimized.report;
+    assert_eq!(report.extract_select_fused, 1);
+    // Fused program contains no separate slice+sample pair.
+    let prog = &sampler.layers()[0].optimized.program;
+    assert_eq!(
+        prog.count_ops(|op| matches!(op, gsampler_ir::Op::FusedExtractSelect { .. })),
+        1
+    );
+}
+
+#[test]
+fn super_batch_groups_are_independent_and_valid() {
+    let graph = test_graph();
+    let cfg = SamplerConfig {
+        opt: OptConfig::all().with_super_batch(4),
+        batch_size: 4,
+        ..SamplerConfig::new()
+    };
+    let sampler = compile(graph.clone(), vec![graphsage_layer(3)], cfg).unwrap();
+    assert_eq!(sampler.super_batch_factor(), 4);
+    let seeds: Vec<NodeId> = (0..16).collect();
+    let mut samples = Vec::new();
+    sampler
+        .run_epoch_with(&seeds, &Bindings::new(), 0, |_, s| samples.push(s))
+        .unwrap();
+    assert_eq!(samples.len(), 4);
+    let base: std::collections::HashSet<(u32, u32)> = graph
+        .matrix
+        .global_edges()
+        .into_iter()
+        .map(|(r, c, _)| (r, c))
+        .collect();
+    for (b, s) in samples.iter().enumerate() {
+        let m = s.layers[0][0].as_matrix().unwrap();
+        // Each group's columns are exactly its 4 seeds.
+        assert_eq!(m.global_col_ids(), (b as u32 * 4..b as u32 * 4 + 4).collect::<Vec<_>>());
+        for (r, c, _) in m.global_edges() {
+            assert!(base.contains(&(r, c)), "group {b}: edge ({r},{c}) invalid");
+        }
+        for d in m.data.col_degrees() {
+            assert!(d <= 3);
+        }
+    }
+}
+
+#[test]
+fn super_batch_ladies_selects_k_rows_per_group() {
+    let graph = test_graph();
+    let cfg = SamplerConfig {
+        opt: OptConfig::all().with_super_batch(2),
+        batch_size: 4,
+        ..SamplerConfig::new()
+    };
+    let sampler = compile(graph, vec![ladies_layer(5)], cfg).unwrap();
+    assert_eq!(sampler.super_batch_factor(), 2);
+    let seeds: Vec<NodeId> = vec![0, 1, 2, 3, 32, 33, 34, 35];
+    let mut samples = Vec::new();
+    sampler
+        .run_epoch_with(&seeds, &Bindings::new(), 0, |_, s| samples.push(s))
+        .unwrap();
+    assert_eq!(samples.len(), 2);
+    for s in &samples {
+        let m = s.layers[0][0].as_matrix().unwrap();
+        assert!(m.row_nodes().len() <= 5, "more than k rows in a group");
+        // Normalization held per group as well.
+        let sums = gsampler_matrix::reduce::reduce(
+            &m.data,
+            gsampler_matrix::ReduceOp::Sum,
+            Axis::Col,
+        );
+        for v in sums {
+            if v != 0.0 {
+                assert!((v - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+#[test]
+fn super_batch_two_layer_chaining_with_uneven_groups() {
+    // Layer 1's per-group next frontiers have different sizes; layer 2
+    // must still run them as one block-diagonal execution and split
+    // correctly.
+    let graph = test_graph();
+    let cfg = SamplerConfig {
+        opt: OptConfig::all().with_super_batch(3),
+        batch_size: 4,
+        ..SamplerConfig::new()
+    };
+    let sampler = compile(
+        graph.clone(),
+        vec![graphsage_layer(3), graphsage_layer(2)],
+        cfg,
+    )
+    .unwrap();
+    let seeds: Vec<NodeId> = (0..12).collect();
+    let mut samples = Vec::new();
+    sampler
+        .run_epoch_with(&seeds, &Bindings::new(), 0, |_, s| samples.push(s))
+        .unwrap();
+    assert_eq!(samples.len(), 3);
+    let base: std::collections::HashSet<(u32, u32)> = graph
+        .matrix
+        .global_edges()
+        .into_iter()
+        .map(|(r, c, _)| (r, c))
+        .collect();
+    for (b, s) in samples.iter().enumerate() {
+        let l1 = s.layers[0][0].as_matrix().unwrap();
+        let l2 = s.layers[1][0].as_matrix().unwrap();
+        // Layer 2's columns are exactly this group's layer-1 row nodes.
+        assert_eq!(
+            l2.global_col_ids(),
+            l1.row_nodes(),
+            "group {b}: layer chaining broke under super-batching"
+        );
+        for (r, c, _) in l2.global_edges() {
+            assert!(base.contains(&(r, c)), "group {b}: invalid edge");
+        }
+        for d in l2.data.col_degrees() {
+            assert!(d <= 2);
+        }
+    }
+}
+
+#[test]
+fn superbatch_compatibility_detection() {
+    use gsampler_core::exec::superbatch_compatible;
+    // GraphSAGE-style: compatible.
+    let sage = graphsage_layer(3);
+    assert!(superbatch_compatible(&sage.program));
+    // ShaDow's induce step: not compatible.
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.induce(&f);
+    b.output(&sub);
+    let induce = b.build();
+    assert!(!superbatch_compatible(&induce.program));
+    // A slice whose node list is derived (not the frontier input): not
+    // compatible (the executor cannot segment it).
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s1 = a.slice_cols(&f).individual_sample(2, None);
+    let derived = s1.row_nodes();
+    let s2 = a.slice_cols(&derived);
+    b.output(&s2);
+    let two_hop = b.build();
+    assert!(!superbatch_compatible(&two_hop.program));
+}
+
+#[test]
+fn epoch_driver_covers_all_seeds() {
+    let graph = test_graph();
+    let sampler = compile(graph, vec![graphsage_layer(2)], config(OptConfig::all())).unwrap();
+    let seeds: Vec<NodeId> = (0..30).collect();
+    let mut seen_cols: Vec<u32> = Vec::new();
+    let report = sampler
+        .run_epoch_with(&seeds, &Bindings::new(), 0, |_, s| {
+            let m = s.layers[0][0].as_matrix().unwrap().clone();
+            seen_cols.extend(m.global_col_ids());
+        })
+        .unwrap();
+    // batch_size 8 over 30 seeds = 4 batches (last short).
+    assert_eq!(report.batches, 4);
+    seen_cols.sort_unstable();
+    assert_eq!(seen_cols, (0..30).collect::<Vec<_>>());
+    assert!(report.modeled_time > 0.0);
+    assert!(report.stats.kernel_launches > 0);
+}
+
+#[test]
+fn determinism_same_seed_same_sample() {
+    let graph = test_graph();
+    let mk = || {
+        compile(
+            graph.clone(),
+            vec![graphsage_layer(3)],
+            config(OptConfig::all()),
+        )
+        .unwrap()
+    };
+    let a = mk().sample_batch(&[0, 9], &Bindings::new()).unwrap();
+    let b = mk().sample_batch(&[0, 9], &Bindings::new()).unwrap();
+    let ma = a.layers[0][0].as_matrix().unwrap().global_edges();
+    let mb = b.layers[0][0].as_matrix().unwrap().global_edges();
+    assert_eq!(ma, mb);
+}
+
+#[test]
+fn pass_style_compute_with_dense_inputs() {
+    // Reduced PASS: attention from feature projections drives sampling.
+    let graph = test_graph();
+    let build = || {
+        let b = LayerBuilder::new();
+        let a = b.graph();
+        let f = b.frontiers();
+        let sub = a.slice_cols(&f);
+        let feats = b.dense_input("features");
+        let w1 = b.dense_input("W1");
+        let bb = feats.matmul(&w1);
+        let cc = feats.gather_rows(&f).matmul(&w1);
+        let att = sub.sddmm(&bb, &cc);
+        let a3 = sub.div(&sub.sum(Axis::Col), Axis::Col);
+        let stacked = Mat::stack(&[&att, &a3]);
+        let w3 = b.dense_input("W3");
+        let bias = stacked.matmul(&w3.softmax()).relu();
+        let biased = sub.with_edge_values(&bias, 0);
+        let samp = sub.individual_sample(3, Some(&biased));
+        let next = samp.row_nodes();
+        b.output(&samp);
+        b.output_next_frontiers(&next);
+        b.build()
+    };
+    let sampler = compile(graph, vec![build()], config(OptConfig::all())).unwrap();
+    let bindings = Bindings::new()
+        .dense("W1", Dense::from_vec(8, 4, vec![0.1; 32]).unwrap())
+        .dense("W3", Dense::from_vec(2, 1, vec![0.5, 0.5]).unwrap());
+    let out = sampler.sample_batch(&[0, 17], &bindings).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    for d in m.data.col_degrees() {
+        assert!(d <= 3);
+    }
+}
+
+#[test]
+fn missing_binding_is_reported() {
+    let graph = test_graph();
+    let build = || {
+        let b = LayerBuilder::new();
+        let a = b.graph();
+        let f = b.frontiers();
+        let sub = a.slice_cols(&f);
+        let w = b.dense_input("W_missing");
+        let out = sub.spmm(&w);
+        let _ = &out;
+        b.output(&out);
+        b.build()
+    };
+    let sampler = compile(graph, vec![build()], config(OptConfig::plain())).unwrap();
+    let err = sampler.sample_batch(&[0], &Bindings::new()).unwrap_err();
+    assert!(err.to_string().contains("W_missing"), "{err}");
+}
+
+#[test]
+fn stats_accumulate_and_reset() {
+    let graph = test_graph();
+    let sampler = compile(graph, vec![graphsage_layer(2)], config(OptConfig::all())).unwrap();
+    sampler.sample_batch(&[0, 1], &Bindings::new()).unwrap();
+    assert!(sampler.device().stats().total_time > 0.0);
+    sampler.reset_stats();
+    assert_eq!(sampler.device().stats().kernel_launches, 0);
+}
+
+#[test]
+fn vector_outputs_survive_pipeline() {
+    // Output both a vector and a scalarized value to exercise value kinds.
+    let graph = test_graph();
+    let build = || {
+        let b = LayerBuilder::new();
+        let a = b.graph();
+        let f = b.frontiers();
+        let sub = a.slice_cols(&f);
+        let colsum = sub.sum(Axis::Col);
+        let total = colsum.sum();
+        let _ = &total;
+        b.output(&colsum);
+        b.output(&total);
+        b.build()
+    };
+    let sampler = compile(graph.clone(), vec![build()], config(OptConfig::all())).unwrap();
+    let out = sampler.sample_batch(&[0, 1, 2], &Bindings::new()).unwrap();
+    let v = out.layers[0][0].as_vector().unwrap();
+    assert_eq!(v.len(), 3);
+    let s = out.layers[0][1].as_scalar().unwrap();
+    let expect: f32 = v.iter().sum();
+    assert!((s - expect).abs() < 1e-4);
+    // Weighted graph: in-degree 7 within a clique, weights >= 1.
+    assert!(v.iter().all(|&x| x > 0.0));
+    match &out.layers[0][0] {
+        Value::Vector(_) => {}
+        other => panic!("expected vector, got {}", other.kind_name()),
+    }
+}

@@ -1,0 +1,167 @@
+//! Failure-injection tests: malformed programs, poisonous inputs, and
+//! boundary conditions must surface as typed errors, never as panics or
+//! silent corruption.
+
+use std::sync::Arc;
+
+use gsampler_core::builder::LayerBuilder;
+use gsampler_core::{compile, Axis, Bindings, EltOp, Error, Graph, OptConfig, SamplerConfig};
+use gsampler_ir::{Op, Program};
+
+fn graph() -> Arc<Graph> {
+    let edges: Vec<(u32, u32, f32)> = (0..64u32)
+        .flat_map(|v| (1..4u32).map(move |d| ((v + d * 7) % 64, v, 0.5)))
+        .collect();
+    Arc::new(Graph::from_edges("fi", 64, &edges, true).unwrap())
+}
+
+fn config() -> SamplerConfig {
+    SamplerConfig {
+        opt: OptConfig::all(),
+        batch_size: 8,
+        ..SamplerConfig::new()
+    }
+}
+
+#[test]
+fn kind_mismatched_program_fails_at_compile() {
+    // A hand-built program that feeds a node list where a matrix is
+    // expected must be rejected by compile-time validation.
+    let mut p = Program::new();
+    let f = p.add(Op::InputFrontiers, vec![]);
+    let bogus = p.add(Op::RowNodes, vec![f]);
+    p.mark_output(bogus);
+    let layer = gsampler_core::builder::Layer {
+        program: p,
+        next_frontier_output: None,
+    };
+    let err = match compile(graph(), vec![layer], config()) {
+        Err(e) => e,
+        Ok(_) => panic!("mismatched program compiled"),
+    };
+    assert!(matches!(err, Error::InvalidProgram(_)), "got {err}");
+}
+
+#[test]
+fn negative_sampling_bias_is_rejected_at_runtime() {
+    // Subtracting a large scalar drives edge bias negative; the select
+    // kernel must refuse rather than sample garbage.
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    let probs = sub.scalar(EltOp::Sub, 10.0);
+    let s = sub.individual_sample(2, Some(&probs));
+    b.output(&s);
+    let sampler = compile(graph(), vec![b.build()], config()).unwrap();
+    let err = sampler.sample_batch(&[0, 1], &Bindings::new()).unwrap_err();
+    assert!(
+        err.to_string().contains("invalid probability"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn nan_bias_is_rejected_at_runtime() {
+    // 0/0 division produces NaN bias.
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    let zeroed = sub.scalar(EltOp::Mul, 0.0);
+    let nan = zeroed.scalar(EltOp::Div, 0.0);
+    let probs = nan.sum(Axis::Row);
+    let s = sub.collective_sample(4, Some(&probs));
+    b.output(&s);
+    let sampler = compile(graph(), vec![b.build()], config()).unwrap();
+    let err = sampler.sample_batch(&[0, 1], &Bindings::new()).unwrap_err();
+    assert!(
+        err.to_string().contains("invalid probability"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn out_of_range_frontier_is_an_error() {
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s = a.slice_cols(&f).individual_sample(2, None);
+    b.output(&s);
+    let sampler = compile(graph(), vec![b.build()], config()).unwrap();
+    let err = sampler
+        .sample_batch(&[0, 9999], &Bindings::new())
+        .unwrap_err();
+    assert!(err.to_string().contains("out of bounds"), "got: {err}");
+}
+
+#[test]
+fn wrong_binding_shape_is_an_error() {
+    // PASS-style SDDMM with a weight matrix of the wrong inner dimension.
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    let feats = b.dense_input("X");
+    let att = sub.sddmm(&feats, &feats.gather_rows(&f));
+    b.output(&att);
+    let sampler = compile(graph(), vec![b.build()], config()).unwrap();
+    // 10 rows != 64 graph rows and != frontier count: shape error.
+    let bindings = Bindings::new().dense("X", gsampler_matrix::Dense::zeros(10, 4));
+    let err = sampler.sample_batch(&[0, 1], &bindings).unwrap_err();
+    assert!(err.to_string().contains("shape mismatch"), "got: {err}");
+}
+
+#[test]
+fn errors_do_not_poison_the_sampler() {
+    // After a failed batch, the same sampler must keep working.
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s = a.slice_cols(&f).individual_sample(2, None);
+    let next = s.row_nodes();
+    b.output(&s);
+    b.output_next_frontiers(&next);
+    let sampler = compile(graph(), vec![b.build()], config()).unwrap();
+    assert!(sampler.sample_batch(&[0, 9999], &Bindings::new()).is_err());
+    let ok = sampler.sample_batch(&[0, 1], &Bindings::new()).unwrap();
+    assert!(ok.layers[0][0].as_matrix().unwrap().nnz() > 0);
+}
+
+#[test]
+fn empty_graph_compiles_and_samples_nothing() {
+    let empty = Arc::new(Graph::from_edges("empty", 4, &[], false).unwrap());
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s = a.slice_cols(&f).individual_sample(2, None);
+    b.output(&s);
+    let sampler = compile(empty, vec![b.build()], config()).unwrap();
+    let out = sampler.sample_batch(&[0, 1, 2], &Bindings::new()).unwrap();
+    assert_eq!(out.layers[0][0].as_matrix().unwrap().nnz(), 0);
+}
+
+#[test]
+fn division_by_zero_column_sum_yields_infinite_weights_not_crash() {
+    // A frontier with no edges has column sum 0; dividing by it is the
+    // user's bug, but it must flow through as non-finite values rather
+    // than a panic (LADIES guards it by sampling only positive-bias rows).
+    let mut edges: Vec<(u32, u32, f32)> = vec![(1, 0, 1.0)];
+    edges.push((2, 0, 1.0));
+    let g = Arc::new(Graph::from_edges("lonely", 4, &edges, true).unwrap());
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sub = a.slice_cols(&f);
+    let colsum = sub.sum(Axis::Col);
+    let out = sub.div(&colsum, Axis::Col);
+    b.output(&out);
+    let sampler = compile(g, vec![b.build()], config()).unwrap();
+    // Frontier 3 has no in-edges; its (empty) column simply has no values.
+    let out = sampler.sample_batch(&[0, 3], &Bindings::new()).unwrap();
+    let m = out.layers[0][0].as_matrix().unwrap();
+    assert_eq!(m.data.col_degrees(), vec![2, 0]);
+    for (_, _, v) in m.global_edges() {
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,132 @@
+//! Degree-aware structure caching for UVA-resident graphs.
+//!
+//! The paper's first future-work direction (§7): *"exploit the skewed
+//! access of graph data to design smart caching strategies that improve
+//! efficiency for large graphs."* This module implements the planning
+//! side: given a graph's degree distribution and a device-memory budget,
+//! choose which adjacency lists to pin on the device and predict the
+//! resulting cache hit rate.
+//!
+//! Model: under neighbour sampling, node `v` is visited as a frontier
+//! with probability proportional to its in-degree (it is reached through
+//! its in-edges), and serving a visit reads its whole adjacency list
+//! (`deg(v)` entries). The byte-weighted hit rate of caching a set `C` is
+//! therefore `Σ_{v∈C} deg(v)² / Σ_v deg(v)²` — and since the benefit per
+//! cached byte is `deg(v)² / deg(v) = deg(v)`, filling the budget in
+//! descending degree order is optimal. Power-law graphs concentrate
+//! `Σ deg²` in their hubs, which is why a cache much smaller than the
+//! graph serves most accesses (the effect behind the paper's UVA numbers).
+
+/// Bytes needed to pin one adjacency list of degree `d`.
+fn list_bytes(d: usize) -> u64 {
+    // Edge entries (id + value) plus a pointer-table slot.
+    (d as u64) * 8 + 16
+}
+
+/// A planned device-side structure cache.
+#[derive(Debug, Clone)]
+pub struct CachePlan {
+    /// Number of (hottest) nodes whose adjacency lists are pinned.
+    pub cached_nodes: usize,
+    /// Bytes of device memory the pinned lists occupy.
+    pub bytes_used: u64,
+    /// Predicted fraction of structure-byte accesses served from device.
+    pub hit_rate: f64,
+}
+
+/// Plan a cache: pin adjacency lists in descending degree order until the
+/// budget is exhausted; predict the byte-weighted hit rate under
+/// degree-proportional access.
+pub fn plan_cache(degrees: &[usize], budget_bytes: u64) -> CachePlan {
+    let mut sorted: Vec<usize> = degrees.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total_weight: f64 = sorted.iter().map(|&d| (d as f64) * (d as f64)).sum();
+    let mut bytes_used = 0u64;
+    let mut cached_weight = 0f64;
+    let mut cached_nodes = 0usize;
+    for &d in &sorted {
+        let cost = list_bytes(d);
+        if bytes_used + cost > budget_bytes {
+            break;
+        }
+        bytes_used += cost;
+        cached_weight += (d as f64) * (d as f64);
+        cached_nodes += 1;
+    }
+    let hit_rate = if total_weight > 0.0 {
+        cached_weight / total_weight
+    } else {
+        0.0
+    };
+    CachePlan {
+        cached_nodes,
+        bytes_used,
+        hit_rate,
+    }
+}
+
+/// Convenience: the hit rate alone.
+pub fn degree_cache_hit_rate(degrees: &[usize], budget_bytes: u64) -> f64 {
+    plan_cache(degrees, budget_bytes).hit_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_zero_budget() {
+        assert_eq!(plan_cache(&[], 1 << 20).hit_rate, 0.0);
+        let p = plan_cache(&[5, 5, 5], 0);
+        assert_eq!(p.cached_nodes, 0);
+        assert_eq!(p.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn full_budget_caches_everything() {
+        let degrees = vec![3, 7, 1, 9];
+        let p = plan_cache(&degrees, 1 << 30);
+        assert_eq!(p.cached_nodes, 4);
+        assert!((p.hit_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_distribution_gets_high_hit_rate_cheaply() {
+        // One hub with degree 1000, 999 leaves with degree 1: caching just
+        // the hub (8016 bytes) serves ~99.9% of byte-weighted accesses.
+        let mut degrees = vec![1usize; 999];
+        degrees.push(1000);
+        let p = plan_cache(&degrees, 9_000);
+        // The hub is pinned first; the leftover budget fits a few leaves.
+        assert!(p.cached_nodes >= 1 && p.cached_nodes < 60);
+        assert!(p.hit_rate > 0.99, "hit rate {}", p.hit_rate);
+        // A uniform graph with the same edge count gains only its
+        // proportional share.
+        let uniform = vec![2usize; 1000];
+        let q = plan_cache(&uniform, 9_000);
+        assert!(q.hit_rate < 0.5, "uniform hit rate {}", q.hit_rate);
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_budget() {
+        let degrees: Vec<usize> = (1..200).map(|i| 200 / i).collect();
+        let mut last = 0.0;
+        for budget in [1_000u64, 10_000, 100_000, 1_000_000] {
+            let h = degree_cache_hit_rate(&degrees, budget);
+            assert!(h >= last - 1e-12, "hit rate not monotone");
+            last = h;
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn descending_order_beats_random_subset() {
+        // Sanity: the planned hit rate is at least the byte-proportional
+        // baseline of a random subset.
+        let degrees: Vec<usize> = (0..500).map(|i| if i % 50 == 0 { 100 } else { 2 }).collect();
+        let total_bytes: u64 = degrees.iter().map(|&d| list_bytes(d)).sum();
+        let budget = total_bytes / 4;
+        let planned = degree_cache_hit_rate(&degrees, budget);
+        assert!(planned > 0.25, "planned {planned} not above proportional");
+    }
+}

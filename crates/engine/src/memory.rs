@@ -1,0 +1,78 @@
+//! Device-memory accounting: live bytes and high-water mark.
+
+/// Tracks modeled device memory: current live bytes and the peak reached.
+///
+/// Table 9 of the paper reports "extra GPU memory usage" per algorithm —
+/// this tracker's peak (minus the resident graph) is the reproduced
+/// quantity. It is also the input to the super-batch grid search, which
+/// must stay within a user-specified memory budget (paper §4.4).
+#[derive(Debug, Clone, Default)]
+pub struct MemoryTracker {
+    current: u64,
+    peak: u64,
+    alloc_count: u64,
+    free_count: u64,
+}
+
+impl MemoryTracker {
+    /// Register an allocation.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.current += bytes as u64;
+        self.peak = self.peak.max(self.current);
+        self.alloc_count += 1;
+    }
+
+    /// Register a free. Saturates at zero: freeing more than was allocated
+    /// indicates a caller bug but must not poison the whole run.
+    pub fn free(&mut self, bytes: usize) {
+        self.current = self.current.saturating_sub(bytes as u64);
+        self.free_count += 1;
+    }
+
+    /// Currently live bytes.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark in bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of allocations registered.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Number of frees registered.
+    pub fn free_count(&self) -> u64 {
+        self.free_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut m = MemoryTracker::default();
+        m.alloc(100);
+        m.alloc(200);
+        m.free(150);
+        m.alloc(50);
+        assert_eq!(m.current(), 200);
+        assert_eq!(m.peak(), 300);
+        assert_eq!(m.alloc_count(), 3);
+        assert_eq!(m.free_count(), 1);
+    }
+
+    #[test]
+    fn over_free_saturates() {
+        let mut m = MemoryTracker::default();
+        m.alloc(10);
+        m.free(100);
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 10);
+    }
+}

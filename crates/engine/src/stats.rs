@@ -1,0 +1,179 @@
+//! Execution statistics: modeled time, launches, bytes, SM utilization.
+
+use std::collections::BTreeMap;
+
+use crate::workload::KernelDesc;
+
+/// One recorded kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Kernel name (operator + format tag).
+    pub name: String,
+    /// Modeled execution time in seconds.
+    pub time: f64,
+    /// Modeled SM utilization in `(0, 1]` during this kernel.
+    pub utilization: f64,
+    /// Device bytes moved.
+    pub bytes: u64,
+    /// PCIe bytes moved.
+    pub bytes_pcie: u64,
+    /// FLOPs executed.
+    pub flops: u64,
+}
+
+/// Aggregated statistics of an execution session.
+///
+/// `sm_utilization()` is the *time-weighted* average utilization — the
+/// quantity paper Table 9 reports per algorithm ("SM %").
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Total modeled device time in seconds.
+    pub total_time: f64,
+    /// Total kernel launches.
+    pub kernel_launches: u64,
+    /// Total device bytes moved.
+    pub total_bytes: u64,
+    /// Total PCIe bytes moved.
+    pub total_bytes_pcie: u64,
+    /// Total FLOPs.
+    pub total_flops: u64,
+    /// Sum of `time × utilization` (for the weighted average).
+    pub util_time_product: f64,
+    /// Per-kernel-name aggregation: `(count, total_time)`.
+    pub per_kernel: BTreeMap<String, (u64, f64)>,
+    /// Individual records (kept for breakdown reporting; cleared by
+    /// `compact_records` when only aggregates are needed).
+    pub records: Vec<KernelRecord>,
+}
+
+impl ExecStats {
+    /// Record one kernel execution with its modeled time and utilization.
+    pub fn record(&mut self, desc: KernelDesc, time: f64, utilization: f64) {
+        self.total_time += time;
+        self.kernel_launches += desc.launches as u64;
+        self.total_bytes += desc.bytes;
+        self.total_bytes_pcie += desc.bytes_pcie;
+        self.total_flops += desc.flops;
+        self.util_time_product += time * utilization;
+        let entry = self.per_kernel.entry(desc.name.clone()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += time;
+        self.records.push(KernelRecord {
+            name: desc.name,
+            time,
+            utilization,
+            bytes: desc.bytes,
+            bytes_pcie: desc.bytes_pcie,
+            flops: desc.flops,
+        });
+    }
+
+    /// Time-weighted average SM utilization in `[0, 1]` (0 when idle).
+    pub fn sm_utilization(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.util_time_product / self.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Merge another session's stats into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.total_time += other.total_time;
+        self.kernel_launches += other.kernel_launches;
+        self.total_bytes += other.total_bytes;
+        self.total_bytes_pcie += other.total_bytes_pcie;
+        self.total_flops += other.total_flops;
+        self.util_time_product += other.util_time_product;
+        for (name, (count, time)) in &other.per_kernel {
+            let entry = self.per_kernel.entry(name.clone()).or_insert((0, 0.0));
+            entry.0 += count;
+            entry.1 += time;
+        }
+        self.records.extend(other.records.iter().cloned());
+    }
+
+    /// Drop individual records, keeping aggregates (bounds memory in long
+    /// epoch loops).
+    pub fn compact_records(&mut self) {
+        self.records.clear();
+        self.records.shrink_to_fit();
+    }
+
+    /// Kernel names sorted by descending total time — the breakdown view.
+    pub fn top_kernels(&self, n: usize) -> Vec<(String, u64, f64)> {
+        let mut v: Vec<(String, u64, f64)> = self
+            .per_kernel
+            .iter()
+            .map(|(k, &(c, t))| (k.clone(), c, t))
+            .collect();
+        v.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(name: &str) -> KernelDesc {
+        KernelDesc::new(name).with_bytes(100, 0).with_flops(10)
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = ExecStats::default();
+        s.record(desc("a"), 1.0, 0.5);
+        s.record(desc("a"), 1.0, 1.0);
+        s.record(desc("b"), 2.0, 0.25);
+        assert_eq!(s.kernel_launches, 3);
+        assert_eq!(s.total_bytes, 300);
+        assert_eq!(s.total_flops, 30);
+        assert!((s.total_time - 4.0).abs() < 1e-12);
+        // Weighted util: (1*0.5 + 1*1.0 + 2*0.25) / 4 = 0.5
+        assert!((s.sm_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(s.per_kernel["a"], (2, 2.0));
+    }
+
+    #[test]
+    fn merge_combines_sessions() {
+        let mut a = ExecStats::default();
+        a.record(desc("x"), 1.0, 1.0);
+        let mut b = ExecStats::default();
+        b.record(desc("x"), 3.0, 0.5);
+        b.record(desc("y"), 1.0, 1.0);
+        a.merge(&b);
+        assert_eq!(a.kernel_launches, 3);
+        assert_eq!(a.per_kernel["x"], (2, 4.0));
+        assert_eq!(a.records.len(), 3);
+    }
+
+    #[test]
+    fn top_kernels_sorted() {
+        let mut s = ExecStats::default();
+        s.record(desc("small"), 0.1, 1.0);
+        s.record(desc("big"), 5.0, 1.0);
+        s.record(desc("mid"), 1.0, 1.0);
+        let top = s.top_kernels(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "big");
+        assert_eq!(top[1].0, "mid");
+    }
+
+    #[test]
+    fn idle_utilization_is_zero() {
+        let s = ExecStats::default();
+        assert_eq!(s.sm_utilization(), 0.0);
+    }
+
+    #[test]
+    fn compact_records_keeps_aggregates() {
+        let mut s = ExecStats::default();
+        s.record(desc("a"), 1.0, 1.0);
+        s.compact_records();
+        assert!(s.records.is_empty());
+        assert_eq!(s.kernel_launches, 1);
+        assert!((s.total_time - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,609 @@
+//! Kernel work descriptors and per-operator cost builders.
+//!
+//! A [`KernelDesc`] captures *how much work* a kernel does — FLOPs, device
+//! bytes, PCIe bytes, launch count, exposed parallelism — independent of
+//! how long the host CPU took to emulate it. The builders below construct
+//! descriptors for every logical operator of the sampling IR, with
+//! format-dependent work factors whose *orderings* are calibrated against
+//! the paper's Table 5 measurements on Ogbn-Products:
+//!
+//! | operator            | CSC    | COO    | CSR    |
+//! |---------------------|--------|--------|--------|
+//! | `A[:, frontiers]`   | 1.32ms | 18.4ms | 14.1ms |
+//! | `sub_A.sum()`       | poor   | 0.86ms | 0.55ms |
+//! | `collective_sample` | 2.54ms | 1.52ms | 0.50ms |
+//! | CSC→COO convert     | 0.30ms | —      |        |
+//! | COO→CSR convert     | —      | 2.40ms |        |
+//!
+//! Column slicing is a direct gather on CSC but a full-input scan on the
+//! other formats; row-indexed reductions and row gathers are sequential on
+//! CSR but need scattered atomics elsewhere; compressing conversions pay a
+//! scatter penalty that expanding ones do not.
+
+use gsampler_matrix::{Axis, Format};
+
+use crate::device::Residency;
+
+/// Bytes per stored edge index (u32 id) plus value (f32).
+const EDGE_BYTES: u64 = 8;
+/// Bytes per node-indexed scalar.
+const NODE_BYTES: u64 = 4;
+
+/// Work descriptor of one kernel launch (or one fused kernel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Operator name, e.g. `"slice_cols[csc]"`.
+    pub name: String,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes moved through device memory (read + write).
+    pub bytes: u64,
+    /// Bytes that cross PCIe (UVA reads of a host-resident graph).
+    pub bytes_pcie: u64,
+    /// Number of kernel launches this descriptor accounts for.
+    pub launches: u32,
+    /// Independent work items available to fill the device.
+    pub parallelism: u64,
+}
+
+impl KernelDesc {
+    /// Start a descriptor with the given name, one launch, no work.
+    pub fn new(name: impl Into<String>) -> KernelDesc {
+        KernelDesc {
+            name: name.into(),
+            flops: 0,
+            bytes: 0,
+            bytes_pcie: 0,
+            launches: 1,
+            parallelism: 1,
+        }
+    }
+
+    /// Set the FLOP count.
+    pub fn with_flops(mut self, flops: u64) -> KernelDesc {
+        self.flops = flops;
+        self
+    }
+
+    /// Set device bytes as `read + written`.
+    pub fn with_bytes(mut self, read: u64, written: u64) -> KernelDesc {
+        self.bytes = read + written;
+        self
+    }
+
+    /// Set PCIe (UVA) bytes.
+    pub fn with_pcie(mut self, bytes: u64) -> KernelDesc {
+        self.bytes_pcie = bytes;
+        self
+    }
+
+    /// Set the launch count.
+    pub fn with_launches(mut self, launches: u32) -> KernelDesc {
+        self.launches = launches;
+        self
+    }
+
+    /// Set the exposed parallelism (independent work items).
+    pub fn with_parallelism(mut self, p: u64) -> KernelDesc {
+        self.parallelism = p.max(1);
+        self
+    }
+
+    /// Merge another descriptor into this one as a *fused* kernel: work
+    /// adds up, launches do NOT (one launch covers both), parallelism is
+    /// the maximum of the two.
+    pub fn fuse(mut self, other: &KernelDesc) -> KernelDesc {
+        self.name = format!("{}+{}", self.name, other.name);
+        self.flops += other.flops;
+        self.bytes += other.bytes;
+        self.bytes_pcie += other.bytes_pcie;
+        self.parallelism = self.parallelism.max(other.parallelism);
+        self
+    }
+}
+
+/// Shape summary the builders need about an operator's sparse input.
+#[derive(Debug, Clone, Copy)]
+pub struct MatShape {
+    /// Rows of the matrix.
+    pub nrows: usize,
+    /// Columns of the matrix.
+    pub ncols: usize,
+    /// Stored edges.
+    pub nnz: usize,
+}
+
+impl MatShape {
+    /// Convenience constructor.
+    pub fn new(nrows: usize, ncols: usize, nnz: usize) -> MatShape {
+        MatShape { nrows, ncols, nnz }
+    }
+}
+
+/// Random UVA accesses move whole PCIe transactions, not the useful
+/// bytes: adjacency-list reads of sampled neighbours are scattered, so
+/// each useful byte drags its transaction's padding across the bus.
+const UVA_TRANSACTION_FACTOR: f64 = 4.0;
+
+/// Apply graph residency: structure reads of a host-resident graph cross
+/// PCIe (minus the cached fraction), amplified by transaction padding.
+fn residency_split(read_bytes: u64, residency: Residency) -> (u64, u64) {
+    let frac = residency.pcie_fraction();
+    let pcie = (read_bytes as f64 * frac * UVA_TRANSACTION_FACTOR) as u64;
+    (read_bytes, pcie)
+}
+
+/// `A[:, frontiers]` — extract step.
+///
+/// `input` describes the matrix being sliced, `out_nnz` the edges that
+/// survive, `t` the number of frontiers. `residency` is where `A`'s
+/// structure lives (only the original graph is ever host-resident).
+pub fn slice_cols(
+    fmt: Format,
+    input: MatShape,
+    out_nnz: usize,
+    t: usize,
+    residency: Residency,
+) -> KernelDesc {
+    let (read, write, par) = match fmt {
+        // Direct gather: touch only the requested columns.
+        Format::Csc => (
+            out_nnz as u64 * EDGE_BYTES + t as u64 * 2 * NODE_BYTES,
+            out_nnz as u64 * EDGE_BYTES,
+            out_nnz.max(t) as u64,
+        ),
+        // Full-input scan with a scattered per-edge membership probe
+        // (costlier than CSR's sequential row scan — Table 5 row 1).
+        Format::Coo => (
+            (input.nnz as u64 * EDGE_BYTES) * 14 / 10 + t as u64 * NODE_BYTES,
+            out_nnz as u64 * EDGE_BYTES,
+            input.nnz as u64,
+        ),
+        // Full scan plus per-row output repacking.
+        Format::Csr => (
+            input.nnz as u64 * EDGE_BYTES + input.nrows as u64 * NODE_BYTES,
+            out_nnz as u64 * EDGE_BYTES + input.nrows as u64 * NODE_BYTES,
+            input.nnz as u64,
+        ),
+    };
+    let (read, pcie) = residency_split(read, residency);
+    KernelDesc::new(format!("slice_cols[{fmt}]"))
+        .with_bytes(read, write)
+        .with_pcie(pcie)
+        .with_parallelism(par)
+}
+
+/// `A[rows, :]` — row extraction (mirror of [`slice_cols`]).
+pub fn slice_rows(
+    fmt: Format,
+    input: MatShape,
+    out_nnz: usize,
+    t: usize,
+    residency: Residency,
+) -> KernelDesc {
+    let mirrored = match fmt {
+        Format::Csc => Format::Csr,
+        Format::Csr => Format::Csc,
+        Format::Coo => Format::Coo,
+    };
+    let mut desc = slice_cols(
+        mirrored,
+        MatShape::new(input.ncols, input.nrows, input.nnz),
+        out_nnz,
+        t,
+        residency,
+    );
+    desc.name = format!("slice_rows[{fmt}]");
+    desc
+}
+
+/// Work factor of a reduction onto `axis` for each format: sequential
+/// per-slice reduction when the format compresses that axis, scattered
+/// atomic accumulation otherwise.
+fn reduce_factor(fmt: Format, axis: Axis) -> f64 {
+    match (fmt, axis) {
+        (Format::Csr, Axis::Row) | (Format::Csc, Axis::Col) => 1.0,
+        (Format::Coo, _) => 1.6,
+        (Format::Csr, Axis::Col) | (Format::Csc, Axis::Row) => 2.8,
+    }
+}
+
+/// `A.sum(axis)` and friends — edge-reduce.
+pub fn reduce(fmt: Format, input: MatShape, axis: Axis) -> KernelDesc {
+    let out_len = match axis {
+        Axis::Row => input.nrows,
+        Axis::Col => input.ncols,
+    } as u64;
+    let factor = reduce_factor(fmt, axis);
+    let read = (input.nnz as u64 * EDGE_BYTES) as f64 * factor;
+    KernelDesc::new(format!("reduce[{fmt}]"))
+        .with_flops(input.nnz as u64)
+        .with_bytes(read as u64, out_len * NODE_BYTES)
+        .with_parallelism(input.nnz as u64)
+}
+
+/// `A.<op>(V, axis)` — edge-map broadcast.
+pub fn broadcast(fmt: Format, input: MatShape) -> KernelDesc {
+    KernelDesc::new(format!("broadcast[{fmt}]"))
+        .with_flops(input.nnz as u64)
+        .with_bytes(
+            input.nnz as u64 * EDGE_BYTES,
+            input.nnz as u64 * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// `A <op> scalar` or unary map — edge-map.
+pub fn eltwise(fmt: Format, input: MatShape) -> KernelDesc {
+    KernelDesc::new(format!("eltwise[{fmt}]"))
+        .with_flops(input.nnz as u64)
+        .with_bytes(
+            input.nnz as u64 * NODE_BYTES,
+            input.nnz as u64 * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// `A @ D` — SpMM with dense feature dimension `k`.
+pub fn spmm(fmt: Format, input: MatShape, k: usize) -> KernelDesc {
+    let k = k as u64;
+    KernelDesc::new(format!("spmm[{fmt}]"))
+        .with_flops(2 * input.nnz as u64 * k)
+        .with_bytes(
+            input.nnz as u64 * EDGE_BYTES + input.nnz as u64 * k * NODE_BYTES,
+            input.nrows as u64 * k * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64 * k)
+}
+
+/// Per-edge dot products — SDDMM with feature dimension `k`.
+pub fn sddmm(fmt: Format, input: MatShape, k: usize) -> KernelDesc {
+    let k = k as u64;
+    KernelDesc::new(format!("sddmm[{fmt}]"))
+        .with_flops(2 * input.nnz as u64 * k)
+        .with_bytes(
+            input.nnz as u64 * (EDGE_BYTES + 2 * k * NODE_BYTES),
+            input.nnz as u64 * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// Dense GEMM `(m × n) @ (n × p)`.
+pub fn gemm(m: usize, n: usize, p: usize) -> KernelDesc {
+    let (m, n, p) = (m as u64, n as u64, p as u64);
+    KernelDesc::new("gemm")
+        .with_flops(2 * m * n * p)
+        .with_bytes((m * n + n * p) * NODE_BYTES, m * p * NODE_BYTES)
+        .with_parallelism(m * p)
+}
+
+/// Dense element-wise map over `len` elements.
+pub fn dense_map(len: usize) -> KernelDesc {
+    KernelDesc::new("dense_map")
+        .with_flops(len as u64)
+        .with_bytes(len as u64 * NODE_BYTES, len as u64 * NODE_BYTES)
+        .with_parallelism(len as u64)
+}
+
+/// `A.individual_sample(K, probs)` — node-wise select.
+///
+/// Column-parallel: one work unit per frontier. On CSC each column's edges
+/// are contiguous; on the other formats the kernel first has to group
+/// edges by column (a full scan).
+pub fn individual_sample(
+    fmt: Format,
+    input: MatShape,
+    k: usize,
+    weighted: bool,
+    residency: Residency,
+) -> KernelDesc {
+    let scan_factor = match fmt {
+        Format::Csc => 1.0,
+        Format::Coo => 2.2,
+        Format::Csr => 2.8,
+    };
+    let weight_factor = if weighted { 2.0 } else { 1.0 };
+    let out_nnz = (input.ncols * k).min(input.nnz) as u64;
+    let read = (input.nnz as u64 * EDGE_BYTES) as f64 * scan_factor * weight_factor;
+    let (read, pcie) = residency_split(read as u64, residency);
+    KernelDesc::new(format!("individual_sample[{fmt}]"))
+        .with_flops((input.nnz as u64) * weight_factor as u64)
+        .with_bytes(read, out_nnz * EDGE_BYTES)
+        .with_pcie(pcie)
+        .with_parallelism(input.ncols as u64)
+}
+
+/// `A.collective_sample(K, node_probs)` — layer-wise select.
+///
+/// Dominated by gathering the `k` selected rows: sequential on CSR,
+/// full-scan on COO, full-scan plus repacking on CSC (paper Table 5 row 3).
+pub fn collective_sample(
+    fmt: Format,
+    input: MatShape,
+    k: usize,
+    out_nnz: usize,
+    residency: Residency,
+) -> KernelDesc {
+    let read = match fmt {
+        Format::Csr => out_nnz as u64 * EDGE_BYTES + k as u64 * NODE_BYTES * 4,
+        Format::Coo => input.nnz as u64 * EDGE_BYTES,
+        Format::Csc => input.nnz as u64 * EDGE_BYTES + input.ncols as u64 * NODE_BYTES * 2,
+    };
+    // Weighted reservoir over the candidate rows.
+    let select_work = input.nrows as u64 * NODE_BYTES * 2;
+    let (read, pcie) = residency_split(read + select_work, residency);
+    KernelDesc::new(format!("collective_sample[{fmt}]"))
+        .with_flops(input.nrows as u64)
+        .with_bytes(read, out_nnz as u64 * EDGE_BYTES)
+        .with_pcie(pcie)
+        .with_parallelism(input.nnz.max(k) as u64)
+}
+
+/// Format conversion. Expanding conversions (CSC/CSR → COO) are a linear
+/// copy; compressing ones (COO → CSC/CSR, and CSC ↔ CSR which pivot
+/// through COO) pay a scatter penalty (paper Table 5: COO2CSR costs 8× a
+/// CSC2COO on the same matrix).
+pub fn convert(from: Format, to: Format, input: MatShape) -> KernelDesc {
+    const SCATTER_PENALTY: f64 = 6.0;
+    let nnz = input.nnz as u64;
+    let base = nnz * EDGE_BYTES;
+    let cost = |compressing: bool| -> u64 {
+        if compressing {
+            (base as f64 * SCATTER_PENALTY) as u64 + base
+        } else {
+            base
+        }
+    };
+    let read = match (from, to) {
+        (a, b) if a == b => 0,
+        (Format::Csc, Format::Coo) | (Format::Csr, Format::Coo) => cost(false),
+        (Format::Coo, Format::Csc) | (Format::Coo, Format::Csr) => cost(true),
+        // CSC <-> CSR pivot through COO: expand + compress.
+        _ => cost(false) + cost(true),
+    };
+    KernelDesc::new(format!("convert[{from}->{to}]"))
+        .with_bytes(read, base)
+        .with_parallelism(nnz)
+}
+
+/// Row/column compaction: drop isolated nodes and relabel.
+pub fn compact(fmt: Format, input: MatShape, axis: Axis) -> KernelDesc {
+    let n = match axis {
+        Axis::Row => input.nrows,
+        Axis::Col => input.ncols,
+    } as u64;
+    KernelDesc::new(format!("compact[{fmt}]"))
+        .with_flops(input.nnz as u64)
+        .with_bytes(
+            input.nnz as u64 * EDGE_BYTES + n * NODE_BYTES,
+            input.nnz as u64 * EDGE_BYTES + n * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// `A <op> B` for two pattern-identical sparse matrices.
+pub fn sparse_elt(fmt: Format, input: MatShape) -> KernelDesc {
+    KernelDesc::new(format!("sparse_elt[{fmt}]"))
+        .with_flops(input.nnz as u64)
+        .with_bytes(
+            2 * input.nnz as u64 * NODE_BYTES,
+            input.nnz as u64 * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// Induce the subgraph on a node set: one row pass plus one column pass.
+pub fn induce_subgraph(
+    fmt: Format,
+    input: MatShape,
+    out_nnz: usize,
+    t: usize,
+    residency: Residency,
+) -> KernelDesc {
+    let rows = slice_rows(fmt, input, out_nnz, t, residency);
+    let mid = MatShape::new(t, input.ncols, out_nnz);
+    let cols = slice_cols(fmt, mid, out_nnz, t, Residency::Device);
+    let mut desc = rows.fuse(&cols);
+    desc.name = format!("induce_subgraph[{fmt}]");
+    desc.launches = 2;
+    desc
+}
+
+/// Fused extract + uniform node-wise select (Extract-Select fusion):
+/// samples straight from the graph adjacency, touching only the frontier
+/// columns and writing only the selected edges — the sliced sub-matrix is
+/// never materialized (paper Fig. 5a).
+pub fn fused_extract_select(
+    graph_fmt: Format,
+    graph: MatShape,
+    t: usize,
+    visited_nnz: usize,
+    out_nnz: usize,
+    residency: Residency,
+) -> KernelDesc {
+    let scan_factor = match graph_fmt {
+        Format::Csc => 1.0,
+        Format::Coo => 2.2,
+        Format::Csr => 2.8,
+    };
+    // Uniform sampling on CSC reads only the column pointers plus the
+    // selected entries; other formats must scan for column membership.
+    let read = match graph_fmt {
+        Format::Csc => out_nnz as u64 * EDGE_BYTES + t as u64 * 2 * NODE_BYTES,
+        _ => (graph.nnz as f64 * EDGE_BYTES as f64 * scan_factor) as u64,
+    };
+    let _ = visited_nnz; // degrees are read through the pointer array on CSC
+    let (read, pcie) = residency_split(read, residency);
+    KernelDesc::new(format!("fused_extract_select[{graph_fmt}]"))
+        .with_flops(out_nnz as u64)
+        .with_bytes(read, out_nnz as u64 * EDGE_BYTES)
+        .with_pcie(pcie)
+        .with_parallelism(t as u64)
+}
+
+/// Fused edge-map chain: one pass over the edges regardless of chain
+/// length (paper Fig. 5b).
+pub fn fused_edge_map(fmt: Format, input: MatShape, steps: usize) -> KernelDesc {
+    KernelDesc::new(format!("fused_edge_map[{fmt}]"))
+        .with_flops(input.nnz as u64 * steps as u64)
+        .with_bytes(
+            input.nnz as u64 * EDGE_BYTES,
+            input.nnz as u64 * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// Fused edge-map + reduction: mapped values are consumed in registers and
+/// never written back (paper Fig. 5c).
+pub fn fused_edge_map_reduce(
+    fmt: Format,
+    input: MatShape,
+    axis: Axis,
+    steps: usize,
+) -> KernelDesc {
+    let out_len = match axis {
+        Axis::Row => input.nrows,
+        Axis::Col => input.ncols,
+    } as u64;
+    let factor = reduce_factor(fmt, axis);
+    let read = (input.nnz as u64 * EDGE_BYTES) as f64 * factor;
+    KernelDesc::new(format!("fused_edge_map_reduce[{fmt}]"))
+        .with_flops(input.nnz as u64 * (steps as u64 + 1))
+        .with_bytes(read as u64, out_len * NODE_BYTES)
+        .with_parallelism(input.nnz as u64)
+}
+
+/// Node2Vec second-order bias: per-edge adjacency probe against the
+/// previous frontier (binary search in the graph's adjacency lists).
+pub fn node2vec_bias(fmt: Format, input: MatShape, avg_degree: f64) -> KernelDesc {
+    let probe = avg_degree.max(2.0).log2().ceil() as u64;
+    KernelDesc::new(format!("node2vec_bias[{fmt}]"))
+        .with_flops(input.nnz as u64 * probe)
+        .with_bytes(
+            input.nnz as u64 * EDGE_BYTES * probe,
+            input.nnz as u64 * NODE_BYTES,
+        )
+        .with_parallelism(input.nnz as u64)
+}
+
+/// Vector/element-wise host of length `len` (reductions, gathers, maps).
+pub fn vector_op(len: usize) -> KernelDesc {
+    KernelDesc::new("vector_op")
+        .with_flops(len as u64)
+        .with_bytes(len as u64 * NODE_BYTES, len as u64 * NODE_BYTES)
+        .with_parallelism(len as u64)
+}
+
+/// Gather feature rows (`features[ids]`), `dim` floats per node.
+pub fn gather_features(n: usize, dim: usize, residency: Residency) -> KernelDesc {
+    let bytes = (n * dim) as u64 * NODE_BYTES;
+    let (read, pcie) = residency_split(bytes, residency);
+    KernelDesc::new("gather_features")
+        .with_bytes(read, bytes)
+        .with_pcie(pcie)
+        .with_parallelism(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::device::DeviceProfile;
+
+    /// A PD-like sub-slice: full graph 2.5M x 2.5M, 126M edges, batch of
+    /// 512 frontiers with average degree ~50.
+    fn pd_graph() -> MatShape {
+        MatShape::new(2_450_000, 2_450_000, 126_000_000)
+    }
+
+    fn modeled_ms(desc: &KernelDesc) -> f64 {
+        let model = CostModel::new(DeviceProfile::v100());
+        model.time_and_utilization(desc).0 * 1e3
+    }
+
+    #[test]
+    fn slice_cols_format_ordering_matches_table5() {
+        let g = pd_graph();
+        let out_nnz = 512 * 50;
+        let csc = modeled_ms(&slice_cols(Format::Csc, g, out_nnz, 512, Residency::Device));
+        let coo = modeled_ms(&slice_cols(Format::Coo, g, out_nnz, 512, Residency::Device));
+        let csr = modeled_ms(&slice_cols(Format::Csr, g, out_nnz, 512, Residency::Device));
+        assert!(csc < csr && csr < coo, "csc={csc} csr={csr} coo={coo}");
+        // Table 5 has COO/CSC ≈ 14× — we only require a large gap.
+        assert!(coo / csc > 5.0, "coo/csc = {}", coo / csc);
+    }
+
+    #[test]
+    fn reduce_prefers_compressed_axis() {
+        let sub = MatShape::new(400_000, 512, 25_600);
+        let csr = modeled_ms(&reduce(Format::Csr, sub, Axis::Row));
+        let coo = modeled_ms(&reduce(Format::Coo, sub, Axis::Row));
+        let csc = modeled_ms(&reduce(Format::Csc, sub, Axis::Row));
+        assert!(csr < coo && coo < csc, "csr={csr} coo={coo} csc={csc}");
+    }
+
+    #[test]
+    fn collective_sample_prefers_csr() {
+        let sub = MatShape::new(400_000, 512, 25_600);
+        let csr = modeled_ms(&collective_sample(Format::Csr, sub, 512, 5000, Residency::Device));
+        let coo = modeled_ms(&collective_sample(Format::Coo, sub, 512, 5000, Residency::Device));
+        let csc = modeled_ms(&collective_sample(Format::Csc, sub, 512, 5000, Residency::Device));
+        assert!(csr < coo && coo < csc, "csr={csr} coo={coo} csc={csc}");
+    }
+
+    #[test]
+    fn compressing_conversion_costs_more() {
+        let sub = MatShape::new(400_000, 512, 1_000_000);
+        let expand = modeled_ms(&convert(Format::Csc, Format::Coo, sub));
+        let compress = modeled_ms(&convert(Format::Coo, Format::Csr, sub));
+        assert!(
+            compress / expand > 3.0,
+            "compress/expand = {}",
+            compress / expand
+        );
+    }
+
+    #[test]
+    fn uva_residency_adds_pcie_traffic() {
+        let g = pd_graph();
+        let dev = slice_cols(Format::Csc, g, 25_600, 512, Residency::Device);
+        let uva = slice_cols(
+            Format::Csc,
+            g,
+            25_600,
+            512,
+            Residency::HostUva {
+                cache_hit_rate: 0.5,
+            },
+        );
+        assert_eq!(dev.bytes_pcie, 0);
+        assert!(uva.bytes_pcie > 0);
+        assert!(modeled_ms(&uva) > modeled_ms(&dev));
+    }
+
+    #[test]
+    fn fuse_merges_work_single_launch() {
+        let a = KernelDesc::new("a")
+            .with_flops(100)
+            .with_bytes(1000, 0)
+            .with_parallelism(64);
+        let b = KernelDesc::new("b")
+            .with_flops(50)
+            .with_bytes(0, 500)
+            .with_parallelism(128);
+        let f = a.fuse(&b);
+        assert_eq!(f.name, "a+b");
+        assert_eq!(f.flops, 150);
+        assert_eq!(f.bytes, 1500);
+        assert_eq!(f.launches, 1);
+        assert_eq!(f.parallelism, 128);
+    }
+
+    #[test]
+    fn spmm_flops_scale_with_dim() {
+        let sub = MatShape::new(1000, 100, 5000);
+        let d1 = spmm(Format::Csc, sub, 1);
+        let d128 = spmm(Format::Csc, sub, 128);
+        assert_eq!(d128.flops, d1.flops * 128);
+    }
+}

@@ -1,0 +1,137 @@
+//! Edge-list file I/O.
+//!
+//! A plain-text interchange format so users can bring their own graphs:
+//! one edge per line, `src dst [weight]`, `#`-prefixed comment lines and
+//! blank lines ignored — the format SNAP distributes its datasets in.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use gsampler_core::Graph;
+use gsampler_matrix::NodeId;
+
+/// Result of parsing an edge list: `(num_nodes, edges, any_weighted)`.
+pub type ParsedEdgeList = (usize, Vec<(NodeId, NodeId, f32)>, bool);
+
+/// Parse an edge list from a reader. Node count is
+/// `max(node id) + 1` unless `num_nodes` forces a larger space.
+pub fn read_edge_list(
+    reader: impl BufRead,
+    num_nodes: Option<usize>,
+) -> std::io::Result<ParsedEdgeList> {
+    let mut edges = Vec::new();
+    let mut max_node = 0usize;
+    let mut any_weight = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>, what: &str| -> std::io::Result<u32> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: missing/invalid {what}", lineno + 1),
+                )
+            })
+        };
+        let u = parse(parts.next(), "source id")?;
+        let v = parse(parts.next(), "destination id")?;
+        let w = match parts.next() {
+            Some(s) => {
+                any_weight = true;
+                s.parse::<f32>().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("line {}: invalid weight", lineno + 1),
+                    )
+                })?
+            }
+            None => 1.0,
+        };
+        max_node = max_node.max(u as usize).max(v as usize);
+        edges.push((u, v, w));
+    }
+    let n = num_nodes
+        .unwrap_or(0)
+        .max(if edges.is_empty() { 0 } else { max_node + 1 });
+    Ok((n, edges, any_weight))
+}
+
+/// Load a graph from an edge-list file.
+pub fn load_graph(path: impl AsRef<Path>) -> std::io::Result<Graph> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path)?;
+    let (n, edges, weighted) = read_edge_list(std::io::BufReader::new(file), None)?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "graph".to_string());
+    Graph::from_edges(name, n, &edges, weighted)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Write a graph as an edge list (weights included when present).
+pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    let weighted = graph.matrix.data.is_weighted();
+    for (r, c, v) in graph.matrix.global_edges() {
+        if weighted {
+            writeln!(out, "{r} {c} {v}")?;
+        } else {
+            writeln!(out, "{r} {c}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_with_comments_and_weights() {
+        let text = "# a comment\n0 1 0.5\n\n2 0\n1 2 2.5\n";
+        let (n, edges, weighted) = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(edges.len(), 3);
+        assert!(weighted);
+        assert_eq!(edges[0], (0, 1, 0.5));
+        assert_eq!(edges[1], (2, 0, 1.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes(), None).is_err());
+        assert!(read_edge_list("0\n".as_bytes(), None).is_err());
+        assert!(read_edge_list("0 1 nope\n".as_bytes(), None).is_err());
+    }
+
+    #[test]
+    fn num_nodes_override() {
+        let (n, _, _) = read_edge_list("0 1\n".as_bytes(), Some(100)).unwrap();
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("gsampler_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.txt");
+        let g = Graph::from_edges(
+            "toy",
+            4,
+            &[(0, 1, 0.5), (2, 3, 1.5), (3, 0, 2.0)],
+            true,
+        )
+        .unwrap();
+        save_graph(&g, &path).unwrap();
+        let loaded = load_graph(&path).unwrap();
+        assert_eq!(loaded.num_nodes(), 4);
+        assert_eq!(loaded.matrix.global_edges(), g.matrix.global_edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! Common-subexpression elimination.
+//!
+//! Two nodes with the same operator and the same (already-deduplicated)
+//! inputs compute the same value, so the later one is redirected to the
+//! earlier. Random operators are never merged: two independent sampling
+//! draws are distinct values even with identical inputs.
+
+use std::collections::HashMap;
+
+use crate::program::{cse_key, OpId, Program};
+
+/// Deduplicate equal subexpressions; returns the rewritten program and the
+/// number of nodes merged away.
+pub fn run(program: &Program) -> (Program, usize) {
+    let mut table: HashMap<(String, Vec<OpId>), OpId> = HashMap::new();
+    // For each old node: the node it is replaced by (identity if kept).
+    let mut redirect: Vec<OpId> = (0..program.len()).collect();
+    let mut rewritten = Program::new();
+    let mut merged = 0;
+
+    for (id, node) in program.nodes().iter().enumerate() {
+        let new_inputs: Vec<OpId> = node.inputs.iter().map(|&i| redirect[i]).collect();
+        let candidate = crate::program::Node {
+            op: node.op.clone(),
+            inputs: new_inputs.clone(),
+        };
+        if let Some(key) = cse_key(&candidate) {
+            if let Some(&existing) = table.get(&key) {
+                redirect[id] = existing;
+                merged += 1;
+                // Still append a placeholder? No: later inputs use redirect,
+                // so the duplicate node is simply never added. But IDs must
+                // stay aligned — we rebuild, so use a parallel mapping.
+                continue;
+            }
+            let new_id = rewritten.add(node.op.clone(), new_inputs);
+            table.insert(key, new_id);
+            redirect[id] = new_id;
+        } else {
+            let new_id = rewritten.add(node.op.clone(), new_inputs);
+            redirect[id] = new_id;
+        }
+    }
+    for &o in program.outputs() {
+        rewritten.mark_output(redirect[o]);
+    }
+    (rewritten, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use gsampler_matrix::{Axis, EltOp, ReduceOp};
+
+    #[test]
+    fn merges_duplicate_compute() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let sq1 = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
+        let sq2 = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
+        let r1 = p.add(Op::Reduce(ReduceOp::Sum, Axis::Row), vec![sq1]);
+        let r2 = p.add(Op::Reduce(ReduceOp::Sum, Axis::Row), vec![sq2]);
+        let v = p.add(Op::VectorOp(EltOp::Add), vec![r1, r2]);
+        p.mark_output(v);
+
+        let (out, merged) = run(&p);
+        assert_eq!(merged, 2); // sq2 and r2 both fold away
+        assert_eq!(out.len(), 6);
+        out.validate().unwrap();
+        // The add now consumes the same reduce twice.
+        let add = out.node(out.len() - 1);
+        assert_eq!(add.inputs[0], add.inputs[1]);
+    }
+
+    #[test]
+    fn does_not_merge_samples() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let s1 = p.add(Op::IndividualSample { k: 2, replace: false }, vec![sub]);
+        let s2 = p.add(Op::IndividualSample { k: 2, replace: false }, vec![sub]);
+        p.mark_output(s1);
+        p.mark_output(s2);
+        let (out, merged) = run(&p);
+        assert_eq!(merged, 0);
+        assert_eq!(out.len(), p.len());
+    }
+
+    #[test]
+    fn transitively_dedups_through_rewritten_inputs() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let a1 = p.add(Op::ScalarOp(EltOp::Mul, 2.0), vec![g]);
+        let a2 = p.add(Op::ScalarOp(EltOp::Mul, 2.0), vec![g]);
+        // b1 and b2 reference different (duplicate) parents.
+        let b1 = p.add(Op::ScalarOp(EltOp::Add, 1.0), vec![a1]);
+        let b2 = p.add(Op::ScalarOp(EltOp::Add, 1.0), vec![a2]);
+        p.mark_output(b1);
+        p.mark_output(b2);
+        let (out, merged) = run(&p);
+        assert_eq!(merged, 2);
+        // Both outputs folded to the same node (mark_output dedups).
+        assert_eq!(out.outputs().len(), 1);
+    }
+
+    #[test]
+    fn distinct_scalars_not_merged() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let a = p.add(Op::ScalarOp(EltOp::Mul, 2.0), vec![g]);
+        let b = p.add(Op::ScalarOp(EltOp::Mul, 3.0), vec![g]);
+        p.mark_output(a);
+        p.mark_output(b);
+        let (_, merged) = run(&p);
+        assert_eq!(merged, 0);
+    }
+}

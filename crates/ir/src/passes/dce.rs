@@ -1,0 +1,65 @@
+//! Dead-code elimination: drop nodes not reachable from the outputs.
+
+use crate::program::Program;
+
+/// Remove unreachable nodes; returns the pruned program and the number of
+/// nodes removed.
+pub fn run(program: &Program) -> (Program, usize) {
+    let live = program.live_set();
+    let removed = live.iter().filter(|&&l| !l).count();
+    if removed == 0 {
+        return (program.clone(), 0);
+    }
+    let (pruned, _) = program.compact(&live);
+    (pruned, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use gsampler_matrix::EltOp;
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let dead1 = p.add(Op::ScalarOp(EltOp::Mul, 2.0), vec![sub]);
+        let _dead2 = p.add(Op::ScalarOp(EltOp::Add, 1.0), vec![dead1]);
+        let live = p.add(Op::RowNodes, vec![sub]);
+        p.mark_output(live);
+
+        let (out, removed) = run(&p);
+        assert_eq!(removed, 2);
+        assert_eq!(out.len(), 4);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn no_dead_code_is_identity() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        p.mark_output(sub);
+        let (out, removed) = run(&p);
+        assert_eq!(removed, 0);
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn keeps_all_outputs() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let a = p.add(Op::SliceCols, vec![g, f]);
+        let b = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![a]);
+        p.mark_output(a);
+        p.mark_output(b);
+        let (out, removed) = run(&p);
+        assert_eq!(removed, 0);
+        assert_eq!(out.outputs().len(), 2);
+    }
+}

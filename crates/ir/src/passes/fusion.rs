@@ -1,0 +1,333 @@
+//! Operator fusion (paper §4.2, Fig. 5).
+//!
+//! Three rules tailored to the ECSF model:
+//!
+//! - **Extract-Select fusion**: a uniform `individual_sample` applied
+//!   directly to an extracted sub-matrix (and nothing else reading that
+//!   sub-matrix) samples straight from the graph adjacency — the sliced
+//!   matrix is never materialized (Fig. 5a, GraphSAGE).
+//! - **Edge-Map fusion**: consecutive edge-map operators over the same
+//!   matrix collapse into one kernel that updates each edge value once
+//!   (Fig. 5b, PASS).
+//! - **Edge-MapReduce fusion**: an edge-map feeding an axis reduction is
+//!   recomputed inside the reduction kernel, so the mapped edge values are
+//!   never written to memory (Fig. 5c, LADIES). Applied even when the
+//!   mapped matrix has other consumers (the map node then stays alive for
+//!   them; the reduction still skips one materialization).
+
+use crate::op::{EdgeMapStep, Op};
+use crate::program::{Node, OpId, Program};
+
+/// What the fusion pass did.
+#[derive(Debug, Clone, Default)]
+pub struct FusionResult {
+    /// The rewritten program (dead nodes left for DCE).
+    pub program: Program,
+    /// Extract-Select fusions applied.
+    pub extract_select: usize,
+    /// Edge-map pair merges applied.
+    pub edge_map: usize,
+    /// Edge-map-reduce fusions applied.
+    pub edge_map_reduce: usize,
+}
+
+/// View an edge-map-like node as `(matrix_input, vector_inputs, steps)`.
+fn map_steps(node: &Node) -> Option<(OpId, Vec<OpId>, Vec<EdgeMapStep>)> {
+    match &node.op {
+        Op::ScalarOp(op, s) => Some((
+            node.inputs[0],
+            vec![],
+            vec![EdgeMapStep::Scalar(*op, *s)],
+        )),
+        Op::UnaryOp(op) => Some((node.inputs[0], vec![], vec![EdgeMapStep::Unary(*op)])),
+        Op::Broadcast(op, axis) => Some((
+            node.inputs[0],
+            vec![node.inputs[1]],
+            vec![EdgeMapStep::Broadcast(*op, *axis, 1)],
+        )),
+        Op::FusedEdgeMap { steps } => Some((
+            node.inputs[0],
+            node.inputs[1..].to_vec(),
+            steps.clone(),
+        )),
+        _ => None,
+    }
+}
+
+/// Concatenate two step chains, re-basing the broadcast input positions of
+/// the second chain after the first chain's vectors.
+fn concat_steps(
+    a_vecs: &[OpId],
+    a_steps: &[EdgeMapStep],
+    b_vecs: &[OpId],
+    b_steps: &[EdgeMapStep],
+) -> (Vec<OpId>, Vec<EdgeMapStep>) {
+    let mut vecs = a_vecs.to_vec();
+    vecs.extend_from_slice(b_vecs);
+    let mut steps = a_steps.to_vec();
+    for step in b_steps {
+        match step {
+            EdgeMapStep::Broadcast(op, axis, pos) => {
+                steps.push(EdgeMapStep::Broadcast(*op, *axis, pos + a_vecs.len()));
+            }
+            other => steps.push(other.clone()),
+        }
+    }
+    (vecs, steps)
+}
+
+/// Run all three fusion rules to fixpoint.
+pub fn run(program: &Program) -> FusionResult {
+    let mut prog = program.clone();
+    let mut result = FusionResult::default();
+
+    // 1. Extract-Select fusion.
+    loop {
+        let consumers = prog.consumers();
+        let candidate = (0..prog.len()).find(|&id| {
+            let node = prog.node(id);
+            if let Op::IndividualSample { .. } = node.op {
+                if node.inputs.len() != 1 {
+                    return false; // biased sampling needs the sub-matrix
+                }
+                let sub = node.inputs[0];
+                matches!(prog.node(sub).op, Op::SliceCols) && consumers[sub] == vec![id]
+            } else {
+                false
+            }
+        });
+        match candidate {
+            Some(id) => {
+                let (k, replace) = match prog.node(id).op {
+                    Op::IndividualSample { k, replace } => (k, replace),
+                    _ => unreachable!(),
+                };
+                let sub = prog.node(id).inputs[0];
+                let slice_inputs = prog.node(sub).inputs.clone();
+                prog.replace(id, Op::FusedExtractSelect { k, replace }, slice_inputs);
+                result.extract_select += 1;
+            }
+            None => break,
+        }
+    }
+
+    // 2. Edge-map chain fusion.
+    loop {
+        let consumers = prog.consumers();
+        let candidate = (0..prog.len()).find_map(|id| {
+            let node = prog.node(id);
+            let (matrix, _, _) = map_steps(node)?;
+            let upstream = prog.node(matrix);
+            map_steps(upstream)?;
+            if consumers[matrix] == vec![id] {
+                Some(id)
+            } else {
+                None
+            }
+        });
+        match candidate {
+            Some(id) => {
+                let (a_id, b_vecs, b_steps) = map_steps(prog.node(id)).expect("checked");
+                let (src, a_vecs, a_steps) = map_steps(prog.node(a_id)).expect("checked");
+                let (vecs, steps) = concat_steps(&a_vecs, &a_steps, &b_vecs, &b_steps);
+                let mut inputs = vec![src];
+                inputs.extend(vecs);
+                prog.replace(id, Op::FusedEdgeMap { steps }, inputs);
+                result.edge_map += 1;
+            }
+            None => break,
+        }
+    }
+
+    // 3. Edge-MapReduce fusion (with recompute when the map has other
+    //    consumers).
+    loop {
+        let candidate = (0..prog.len()).find(|&id| {
+            let node = prog.node(id);
+            matches!(node.op, Op::Reduce(..)) && map_steps(prog.node(node.inputs[0])).is_some()
+        });
+        match candidate {
+            Some(id) => {
+                let (reduce, axis) = match prog.node(id).op {
+                    Op::Reduce(r, a) => (r, a),
+                    _ => unreachable!(),
+                };
+                let map_id = prog.node(id).inputs[0];
+                let (src, vecs, steps) = map_steps(prog.node(map_id)).expect("checked");
+                let mut inputs = vec![src];
+                inputs.extend(vecs);
+                prog.replace(id, Op::FusedEdgeMapReduce { steps, reduce, axis }, inputs);
+                result.edge_map_reduce += 1;
+            }
+            None => break,
+        }
+    }
+
+    debug_assert!(prog.validate().is_ok(), "fusion broke program");
+    result.program = prog;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::dce;
+    use gsampler_matrix::eltwise::UnaryOp;
+    use gsampler_matrix::{Axis, EltOp, ReduceOp};
+
+    fn graphsage() -> Program {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let samp = p.add(Op::IndividualSample { k: 10, replace: false }, vec![sub]);
+        let next = p.add(Op::RowNodes, vec![samp]);
+        p.mark_output(samp);
+        p.mark_output(next);
+        p
+    }
+
+    #[test]
+    fn extract_select_fuses_graphsage() {
+        let r = run(&graphsage());
+        assert_eq!(r.extract_select, 1);
+        let (prog, removed) = dce::run(&r.program);
+        assert_eq!(removed, 1); // the slice died
+        assert_eq!(
+            prog.count_ops(|op| matches!(op, Op::FusedExtractSelect { .. })),
+            1
+        );
+        assert_eq!(prog.count_ops(|op| matches!(op, Op::SliceCols)), 0);
+        prog.validate().unwrap();
+    }
+
+    #[test]
+    fn extract_select_skips_biased_sampling() {
+        // PASS-style: sampling probabilities derived from the sub-matrix,
+        // so the sub-matrix must materialize.
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let probs = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
+        let samp = p.add(
+            Op::IndividualSample { k: 10, replace: false },
+            vec![sub, probs],
+        );
+        p.mark_output(samp);
+        let r = run(&p);
+        assert_eq!(r.extract_select, 0);
+    }
+
+    #[test]
+    fn extract_select_skips_shared_submatrix() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let samp = p.add(Op::IndividualSample { k: 10, replace: false }, vec![sub]);
+        let deg = p.add(Op::Reduce(ReduceOp::Count, Axis::Col), vec![sub]);
+        p.mark_output(samp);
+        p.mark_output(deg);
+        let r = run(&p);
+        assert_eq!(r.extract_select, 0);
+    }
+
+    #[test]
+    fn edge_map_chain_fuses() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let a = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
+        let b = p.add(Op::ScalarOp(EltOp::Mul, 0.5), vec![a]);
+        let c = p.add(Op::UnaryOp(UnaryOp::Relu), vec![b]);
+        p.mark_output(c);
+        let r = run(&p);
+        assert_eq!(r.edge_map, 2);
+        let (prog, _) = dce::run(&r.program);
+        let fused = prog
+            .find_op(|op| matches!(op, Op::FusedEdgeMap { .. }))
+            .unwrap();
+        match &prog.node(fused).op {
+            Op::FusedEdgeMap { steps } => assert_eq!(steps.len(), 3),
+            _ => unreachable!(),
+        }
+        // Only the slice feeds the fused node.
+        assert_eq!(prog.node(fused).inputs.len(), 1);
+        prog.validate().unwrap();
+    }
+
+    #[test]
+    fn broadcast_positions_rebased() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let v1 = p.add(Op::InputVector("a".into()), vec![]);
+        let v2 = p.add(Op::InputVector("b".into()), vec![]);
+        let b1 = p.add(Op::Broadcast(EltOp::Div, Axis::Row), vec![sub, v1]);
+        let b2 = p.add(Op::Broadcast(EltOp::Mul, Axis::Col), vec![b1, v2]);
+        p.mark_output(b2);
+        let r = run(&p);
+        assert_eq!(r.edge_map, 1);
+        let fused = r
+            .program
+            .find_op(|op| matches!(op, Op::FusedEdgeMap { .. }))
+            .unwrap();
+        let node = r.program.node(fused);
+        assert_eq!(node.inputs, vec![sub, v1, v2]);
+        match &node.op {
+            Op::FusedEdgeMap { steps } => {
+                assert_eq!(steps[0], EdgeMapStep::Broadcast(EltOp::Div, Axis::Row, 1));
+                assert_eq!(steps[1], EdgeMapStep::Broadcast(EltOp::Mul, Axis::Col, 2));
+            }
+            _ => unreachable!(),
+        }
+        r.program.validate().unwrap();
+    }
+
+    #[test]
+    fn ladies_div_sum_fuses_with_recompute() {
+        // norm1 has two consumers (the reduce and the final div), like
+        // LADIES lines 6-7; the reduce still fuses.
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let v = p.add(Op::InputVector("probs".into()), vec![]);
+        let norm1 = p.add(Op::Broadcast(EltOp::Div, Axis::Row), vec![sub, v]);
+        let colsum = p.add(Op::Reduce(ReduceOp::Sum, Axis::Col), vec![norm1]);
+        let norm2 = p.add(Op::Broadcast(EltOp::Div, Axis::Col), vec![norm1, colsum]);
+        p.mark_output(norm2);
+        let r = run(&p);
+        assert_eq!(r.edge_map_reduce, 1);
+        let fused = r
+            .program
+            .find_op(|op| matches!(op, Op::FusedEdgeMapReduce { .. }))
+            .unwrap();
+        // The fused reduce reads the *sub-matrix* and the probs vector.
+        assert_eq!(r.program.node(fused).inputs, vec![sub, v]);
+        // norm1 survives (norm2 still needs it).
+        let (prog, removed) = dce::run(&r.program);
+        assert_eq!(removed, 0);
+        assert_eq!(
+            prog.count_ops(|op| matches!(op, Op::Broadcast(..))),
+            2
+        );
+    }
+
+    #[test]
+    fn plain_reduce_not_fused() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let red = p.add(Op::Reduce(ReduceOp::Sum, Axis::Row), vec![sub]);
+        p.mark_output(red);
+        let r = run(&p);
+        assert_eq!(r.edge_map_reduce, 0);
+        assert_eq!(r.edge_map, 0);
+        assert_eq!(r.extract_select, 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! Data-layout selection (paper §4.3).
+//!
+//! Chooses, for every structure-producing operator, which sparse format its
+//! output should be stored in and whether isolated rows should be compacted
+//! away — by brute-force search over the (small) space of assignments,
+//! priced end-to-end with the engine cost model on estimated shapes. A
+//! chosen format that differs from the operator's natural output format
+//! materializes as an explicit [`Op::Convert`] node, a chosen compaction as
+//! an [`Op::CompactRows`] node, so the executor needs no side tables.
+//!
+//! The [`LayoutMode::Greedy`] variant reproduces the DGL-like strategy the
+//! paper compares against: each operator independently picks the format its
+//! *consumers* like best, ignoring conversion overheads.
+
+use std::collections::HashMap;
+
+use gsampler_engine::{CostModel, Residency};
+use gsampler_matrix::Format;
+
+use crate::costing::{self, output_format};
+use crate::estimate::{estimate_shapes, GraphStats};
+use crate::op::Op;
+use crate::program::{OpId, Program};
+
+/// Layout-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutMode {
+    /// Leave every operator in its natural format (no pass).
+    None,
+    /// Per-operator local best, conversions inserted blindly (DGL-like).
+    Greedy,
+    /// Global brute-force search including conversion and compaction costs.
+    CostAware,
+}
+
+/// One layout decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutChoice {
+    /// Name of the operator the decision applies to.
+    pub op_name: String,
+    /// Chosen storage format for its output.
+    pub format: Format,
+    /// Whether isolated rows are compacted after it.
+    pub compact: bool,
+}
+
+/// Outcome of the layout pass.
+#[derive(Debug, Clone, Default)]
+pub struct LayoutReport {
+    /// The decisions, in program order.
+    pub choices: Vec<LayoutChoice>,
+    /// Conversion nodes inserted.
+    pub conversions: usize,
+    /// Compaction nodes inserted.
+    pub compactions: usize,
+    /// Modeled per-batch time of the chosen program (seconds).
+    pub est_time: f64,
+    /// Modeled per-batch time with all-natural layouts, for comparison.
+    pub natural_time: f64,
+}
+
+/// Base-graph storage format (the paper fixes CSC: extraction of in-edges
+/// is the first step of every sampling program).
+const GRAPH_FMT: Format = Format::Csc;
+
+/// Nodes eligible for a format decision; `bool` = compaction allowed.
+fn choice_points(program: &Program) -> Vec<(OpId, bool)> {
+    program
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(id, node)| match node.op {
+            Op::SliceCols | Op::FusedExtractSelect { .. } | Op::IndividualSample { .. } => {
+                Some((id, true))
+            }
+            Op::SliceRows | Op::InduceSubgraph | Op::CollectiveSample { .. } => Some((id, false)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Run the pass; returns the rewritten program and a report.
+pub fn run(
+    program: &Program,
+    mode: LayoutMode,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> (Program, LayoutReport) {
+    let points = choice_points(program);
+    let natural_time = price(program, stats, batch_size, cost_model, residency);
+    if points.is_empty() || mode == LayoutMode::None {
+        let report = LayoutReport {
+            est_time: natural_time,
+            natural_time,
+            ..LayoutReport::default()
+        };
+        return (program.clone(), report);
+    }
+
+    let assignment = match mode {
+        LayoutMode::None => unreachable!(),
+        LayoutMode::Greedy => greedy_assignment(program, &points, stats, batch_size, cost_model),
+        LayoutMode::CostAware => {
+            search_assignment(program, &points, stats, batch_size, cost_model, residency)
+        }
+    };
+
+    let rewritten = apply_assignment(program, &assignment);
+    let est_time = price(&rewritten, stats, batch_size, cost_model, residency);
+
+    // Cost-aware must never be worse than natural; fall back if the search
+    // (on estimated shapes) picked something the final pricing dislikes.
+    if mode == LayoutMode::CostAware && est_time > natural_time {
+        let report = LayoutReport {
+            est_time: natural_time,
+            natural_time,
+            ..LayoutReport::default()
+        };
+        return (program.clone(), report);
+    }
+
+    let report = LayoutReport {
+        choices: points
+            .iter()
+            .map(|&(id, _)| {
+                let (fmt, compact) = assignment[&id];
+                LayoutChoice {
+                    op_name: program.node(id).op.name(),
+                    format: fmt,
+                    compact,
+                }
+            })
+            .collect(),
+        conversions: rewritten.count_ops(|op| matches!(op, Op::Convert(..))),
+        compactions: rewritten.count_ops(|op| matches!(op, Op::CompactRows)),
+        est_time,
+        natural_time,
+    };
+    (rewritten, report)
+}
+
+fn price(
+    program: &Program,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> f64 {
+    let shapes = estimate_shapes(program, stats, batch_size);
+    let fmts = costing::derive_formats(program, GRAPH_FMT);
+    costing::price_program(program, &fmts, &shapes, cost_model, residency)
+}
+
+/// Insert `CompactRows` / `Convert` nodes realizing an assignment.
+fn apply_assignment(
+    program: &Program,
+    assignment: &HashMap<OpId, (Format, bool)>,
+) -> Program {
+    let mut out = Program::new();
+    let mut map: Vec<OpId> = Vec::with_capacity(program.len());
+    let mut fmts: Vec<Option<Format>> = Vec::new();
+
+    let push = |out: &mut Program, fmts: &mut Vec<Option<Format>>, op: Op, inputs: Vec<OpId>| {
+        let first = inputs.first().and_then(|&i| fmts[i]);
+        let f = output_format(&op, first, GRAPH_FMT);
+        let id = out.add(op, inputs);
+        fmts.push(f);
+        id
+    };
+
+    for (old_id, node) in program.nodes().iter().enumerate() {
+        let inputs: Vec<OpId> = node.inputs.iter().map(|&i| map[i]).collect();
+        let mut last = push(&mut out, &mut fmts, node.op.clone(), inputs);
+        if let Some(&(fmt, compact)) = assignment.get(&old_id) {
+            if compact {
+                last = push(&mut out, &mut fmts, Op::CompactRows, vec![last]);
+            }
+            let current = fmts[last].unwrap_or(GRAPH_FMT);
+            if current != fmt {
+                last = push(&mut out, &mut fmts, Op::Convert(fmt), vec![last]);
+            }
+        }
+        map.push(last);
+    }
+    for &o in program.outputs() {
+        out.mark_output(map[o]);
+    }
+    out
+}
+
+/// Global search: enumerate the cartesian product of per-point options
+/// when small, otherwise coordinate descent from the natural assignment.
+fn search_assignment(
+    program: &Program,
+    points: &[(OpId, bool)],
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> HashMap<OpId, (Format, bool)> {
+    let options: Vec<Vec<(Format, bool)>> = points
+        .iter()
+        .map(|&(_, can_compact)| {
+            let mut opts = Vec::new();
+            for fmt in Format::ALL {
+                opts.push((fmt, false));
+                if can_compact {
+                    opts.push((fmt, true));
+                }
+            }
+            opts
+        })
+        .collect();
+
+    let space: usize = options.iter().map(|o| o.len()).product();
+    let evaluate = |choice: &[usize]| -> f64 {
+        let assignment: HashMap<OpId, (Format, bool)> = points
+            .iter()
+            .zip(choice)
+            .map(|(&(id, _), &oi)| (id, options_at(&options, points, id)[oi]))
+            .collect();
+        let candidate = apply_assignment(program, &assignment);
+        price(&candidate, stats, batch_size, cost_model, residency)
+    };
+
+    let n = points.len();
+    let mut best_choice = vec![0usize; n];
+    if space <= 1500 {
+        // Full enumeration.
+        let mut best_cost = f64::INFINITY;
+        let mut idx = vec![0usize; n];
+        loop {
+            let cost = evaluate(&idx);
+            if cost < best_cost {
+                best_cost = cost;
+                best_choice = idx.clone();
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return to_assignment(points, &options, &best_choice);
+                }
+                idx[i] += 1;
+                if idx[i] < options[i].len() {
+                    break;
+                }
+                idx[i] = 0;
+                i += 1;
+            }
+        }
+    } else {
+        // Coordinate descent, two sweeps.
+        let mut best_cost = evaluate(&best_choice);
+        for _ in 0..2 {
+            for i in 0..n {
+                for oi in 0..options[i].len() {
+                    let mut cand = best_choice.clone();
+                    cand[i] = oi;
+                    let cost = evaluate(&cand);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_choice = cand;
+                    }
+                }
+            }
+        }
+        to_assignment(points, &options, &best_choice)
+    }
+}
+
+fn options_at<'a>(
+    options: &'a [Vec<(Format, bool)>],
+    points: &[(OpId, bool)],
+    id: OpId,
+) -> &'a [(Format, bool)] {
+    let pos = points.iter().position(|&(p, _)| p == id).expect("point");
+    &options[pos]
+}
+
+fn to_assignment(
+    points: &[(OpId, bool)],
+    options: &[Vec<(Format, bool)>],
+    choice: &[usize],
+) -> HashMap<OpId, (Format, bool)> {
+    points
+        .iter()
+        .zip(choice)
+        .enumerate()
+        .map(|(i, (&(id, _), &oi))| (id, options[i][oi]))
+        .collect()
+}
+
+/// DGL-like greedy: each structure node takes the format its consumers
+/// prefer most (summed consumer kernel cost, conversions not priced in),
+/// never compacts.
+fn greedy_assignment(
+    program: &Program,
+    points: &[(OpId, bool)],
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+) -> HashMap<OpId, (Format, bool)> {
+    let shapes = estimate_shapes(program, stats, batch_size);
+    let consumers = program.consumers();
+    let mut assignment = HashMap::new();
+    for &(id, _) in points {
+        let mut best = (Format::Csc, f64::INFINITY);
+        for fmt in Format::ALL {
+            let mut cost = 0.0;
+            for &c in &consumers[id] {
+                let node = program.node(c);
+                let in_fmts: Vec<Option<Format>> = node
+                    .inputs
+                    .iter()
+                    .map(|&i| if i == id { Some(fmt) } else { Some(GRAPH_FMT) })
+                    .collect();
+                let in_shapes: Vec<_> = node.inputs.iter().map(|&i| shapes[i]).collect();
+                if let Some(desc) = costing::kernel_desc(
+                    &node.op,
+                    &in_fmts,
+                    &in_shapes,
+                    &shapes[c],
+                    Residency::Device,
+                    false,
+                ) {
+                    cost += cost_model.time(&desc);
+                }
+            }
+            if cost < best.1 {
+                best = (fmt, cost);
+            }
+        }
+        assignment.insert(id, (best.0, false));
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsampler_engine::DeviceProfile;
+    use gsampler_matrix::{Axis, EltOp, ReduceOp};
+
+    fn stats() -> GraphStats {
+        GraphStats {
+            num_nodes: 2_400_000,
+            num_edges: 123_000_000,
+            feature_dim: 100,
+        }
+    }
+
+    fn big_stats() -> GraphStats {
+        GraphStats {
+            num_nodes: 111_000_000,
+            num_edges: 1_600_000_000,
+            feature_dim: 128,
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceProfile::v100())
+    }
+
+    /// LADIES-like: extract, square+reduce, collective sample.
+    fn ladies() -> Program {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let sq = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
+        let probs = p.add(Op::Reduce(ReduceOp::Sum, Axis::Row), vec![sq]);
+        let samp = p.add(Op::CollectiveSample { k: 512 }, vec![sub, probs]);
+        let next = p.add(Op::RowNodes, vec![samp]);
+        p.mark_output(samp);
+        p.mark_output(next);
+        p
+    }
+
+    #[test]
+    fn cost_aware_never_worse_than_natural() {
+        let p = ladies();
+        let (out, report) = run(
+            &p,
+            LayoutMode::CostAware,
+            &stats(),
+            512,
+            &model(),
+            Residency::Device,
+        );
+        out.validate().unwrap();
+        assert!(report.est_time <= report.natural_time * 1.0001);
+    }
+
+    #[test]
+    fn cost_aware_compacts_on_huge_graphs() {
+        // With 111M rows, the per-row reduction and selection dominate
+        // unless isolated rows are dropped first (paper: LADIES on PP).
+        let p = ladies();
+        let (out, report) = run(
+            &p,
+            LayoutMode::CostAware,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::HostUva { cache_hit_rate: 0.7 },
+        );
+        out.validate().unwrap();
+        assert!(
+            report.compactions >= 1,
+            "expected compaction, report: {report:?}"
+        );
+        assert!(report.est_time < report.natural_time);
+    }
+
+    #[test]
+    fn greedy_inserts_conversions_blindly() {
+        let p = ladies();
+        let (out, _report) = run(
+            &p,
+            LayoutMode::Greedy,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::Device,
+        );
+        out.validate().unwrap();
+        // Greedy never compacts.
+        assert_eq!(out.count_ops(|op| matches!(op, Op::CompactRows)), 0);
+    }
+
+    #[test]
+    fn cost_aware_beats_greedy_on_large_graph() {
+        let p = ladies();
+        let (_, aware) = run(
+            &p,
+            LayoutMode::CostAware,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::HostUva { cache_hit_rate: 0.7 },
+        );
+        let (greedy_prog, _) = run(
+            &p,
+            LayoutMode::Greedy,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::HostUva { cache_hit_rate: 0.7 },
+        );
+        let greedy_time = price(
+            &greedy_prog,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::HostUva { cache_hit_rate: 0.7 },
+        );
+        assert!(
+            aware.est_time <= greedy_time,
+            "aware {} vs greedy {}",
+            aware.est_time,
+            greedy_time
+        );
+    }
+
+    #[test]
+    fn no_choice_points_is_identity() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let deg = p.add(Op::Reduce(ReduceOp::Count, Axis::Col), vec![g]);
+        p.mark_output(deg);
+        let (out, report) = run(
+            &p,
+            LayoutMode::CostAware,
+            &stats(),
+            512,
+            &model(),
+            Residency::Device,
+        );
+        assert_eq!(out, p);
+        assert!(report.choices.is_empty());
+    }
+
+    #[test]
+    fn outputs_follow_inserted_nodes() {
+        let p = ladies();
+        let (out, _) = run(
+            &p,
+            LayoutMode::CostAware,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::Device,
+        );
+        // Outputs must reference the *final* (possibly converted/compacted)
+        // versions: validate catches dangling; also check count unchanged.
+        assert_eq!(out.outputs().len(), 2);
+        out.validate().unwrap();
+    }
+}

@@ -1,0 +1,181 @@
+//! Optimization passes over sampling programs (paper §4.2–4.3).
+//!
+//! [`run_passes`] is the compile pipeline: CSE → pre-processing → fusion →
+//! DCE → data-layout selection, each gated by [`OptConfig`] so ablation
+//! experiments (paper Fig. 10) can toggle pass groups individually.
+
+pub mod cse;
+pub mod dce;
+pub mod fusion;
+pub mod layout;
+pub mod preprocess;
+
+pub use layout::{LayoutMode, LayoutReport};
+
+use gsampler_engine::CostModel;
+use gsampler_engine::Residency;
+
+use crate::estimate::GraphStats;
+use crate::program::Program;
+
+/// Which optimization passes to run (the knobs of paper Fig. 10).
+#[derive(Debug, Clone)]
+pub struct OptConfig {
+    /// Dead-code elimination.
+    pub dce: bool,
+    /// Common-subexpression elimination.
+    pub cse: bool,
+    /// Pre-processing: hoist sampling-invariant compute onto the full graph.
+    pub preprocess: bool,
+    /// Operator fusion (Extract-Select, Edge-Map, Edge-MapReduce).
+    pub fusion: bool,
+    /// Data-layout selection strategy.
+    pub layout: LayoutMode,
+    /// Super-batch size (number of mini-batches sampled together);
+    /// planned separately by [`crate::superbatch`], stored here so the
+    /// executor sees one config object.
+    pub super_batch: usize,
+}
+
+impl OptConfig {
+    /// Everything on: the default gSampler configuration ("C+D+B").
+    pub fn all() -> OptConfig {
+        OptConfig {
+            dce: true,
+            cse: true,
+            preprocess: true,
+            fusion: true,
+            layout: LayoutMode::CostAware,
+            super_batch: 1,
+        }
+    }
+
+    /// Plain execution ("P" in Fig. 10): no IR optimization at all, greedy
+    /// per-operator formats (the DGL-like strategy).
+    pub fn plain() -> OptConfig {
+        OptConfig {
+            dce: false,
+            cse: false,
+            preprocess: false,
+            fusion: false,
+            layout: LayoutMode::Greedy,
+            super_batch: 1,
+        }
+    }
+
+    /// Computation optimizations only ("C"): fusion + pre-processing +
+    /// DCE/CSE, greedy layouts.
+    pub fn compute_only() -> OptConfig {
+        OptConfig {
+            layout: LayoutMode::Greedy,
+            ..OptConfig::all()
+        }
+    }
+
+    /// Enable super-batching with the given factor (builder-style).
+    pub fn with_super_batch(mut self, s: usize) -> OptConfig {
+        self.super_batch = s.max(1);
+        self
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig::all()
+    }
+}
+
+/// What the pass pipeline did — used by ablation reporting and tests.
+#[derive(Debug, Clone, Default)]
+pub struct PassReport {
+    /// Nodes removed by DCE.
+    pub dce_removed: usize,
+    /// Nodes deduplicated by CSE.
+    pub cse_merged: usize,
+    /// Nodes hoisted into the precompute program.
+    pub preprocessed: usize,
+    /// Extract-Select fusions applied.
+    pub extract_select_fused: usize,
+    /// Edge-map chain fusions applied.
+    pub edge_map_fused: usize,
+    /// Edge-map-reduce fusions applied.
+    pub edge_map_reduce_fused: usize,
+    /// Layout decisions, if the layout pass ran.
+    pub layout: Option<LayoutReport>,
+}
+
+/// The output of the compile pipeline.
+#[derive(Debug, Clone)]
+pub struct OptimizedProgram {
+    /// The optimized per-batch program.
+    pub program: Program,
+    /// Sampling-invariant subprogram, evaluated once at compile time; its
+    /// outputs fill the `Precomputed` slots of `program`.
+    pub precompute: Program,
+    /// What the passes did.
+    pub report: PassReport,
+}
+
+/// Run the configured passes over `program`.
+///
+/// `stats`/`batch_size` feed shape estimation for the layout search, and
+/// `cost_model`/`residency` price the alternatives.
+pub fn run_passes(
+    program: &Program,
+    config: &OptConfig,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> OptimizedProgram {
+    let mut report = PassReport::default();
+    let mut prog = program.clone();
+
+    if config.cse {
+        let (p, merged) = cse::run(&prog);
+        prog = p;
+        report.cse_merged = merged;
+    }
+
+    let mut precompute = Program::new();
+    if config.preprocess {
+        let r = preprocess::run(&prog);
+        prog = r.program;
+        precompute = r.precompute;
+        report.preprocessed = r.hoisted;
+    }
+
+    if config.fusion {
+        let r = fusion::run(&prog);
+        prog = r.program;
+        report.extract_select_fused = r.extract_select;
+        report.edge_map_fused = r.edge_map;
+        report.edge_map_reduce_fused = r.edge_map_reduce;
+    }
+
+    if config.dce {
+        let (p, removed) = dce::run(&prog);
+        prog = p;
+        report.dce_removed = removed;
+    }
+
+    if config.layout != LayoutMode::None {
+        let (p, lr) = layout::run(
+            &prog,
+            config.layout,
+            stats,
+            batch_size * config.super_batch.max(1),
+            cost_model,
+            residency,
+        );
+        prog = p;
+        report.layout = Some(lr);
+    }
+
+    debug_assert!(prog.validate().is_ok(), "pass broke program: {prog:?}");
+    OptimizedProgram {
+        program: prog,
+        precompute,
+        report,
+    }
+}

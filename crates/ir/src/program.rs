@@ -1,0 +1,539 @@
+//! Program representation: a DAG of operator nodes.
+
+use std::collections::HashMap;
+
+use crate::op::Op;
+
+/// Index of a node within a [`Program`].
+pub type OpId = usize;
+
+/// Kind of value an operator produces (used for builder-time validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// A sparse matrix with ID tracking.
+    Matrix,
+    /// A dense matrix.
+    Dense,
+    /// A dense `f32` vector.
+    Vector,
+    /// A list of node IDs.
+    Nodes,
+    /// A scalar.
+    Scalar,
+    /// Unknown at build time (precomputed slots).
+    Any,
+}
+
+/// One node of the program DAG: an operator plus its value dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// IDs of the nodes producing this node's inputs, in operator order.
+    pub inputs: Vec<OpId>,
+}
+
+/// A sampling program: one ECSF layer recorded as a data-flow DAG.
+///
+/// Nodes are stored in insertion order, which is always a valid topological
+/// order because an input must exist before it can be referenced. Passes
+/// either rewrite operators in place (keeping IDs) or rebuild the program
+/// through [`Program::compact`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    nodes: Vec<Node>,
+    outputs: Vec<OpId>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Append a node; its inputs must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input ID is out of range — that is a builder bug, not
+    /// a runtime condition.
+    pub fn add(&mut self, op: Op, inputs: Vec<OpId>) -> OpId {
+        for &i in &inputs {
+            assert!(i < self.nodes.len(), "input {i} does not exist yet");
+        }
+        self.nodes.push(Node { op, inputs });
+        self.nodes.len() - 1
+    }
+
+    /// Mark a node as a program output (kept alive through DCE; its value
+    /// is returned to the driver).
+    pub fn mark_output(&mut self, id: OpId) {
+        assert!(id < self.nodes.len(), "output {id} does not exist");
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// The program outputs, in marking order.
+    pub fn outputs(&self) -> &[OpId] {
+        &self.outputs
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: OpId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// All nodes in topological (insertion) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the program has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Replace a node's operator and inputs in place. Inputs must still
+    /// reference strictly earlier nodes to preserve topological order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or an input is not earlier than `id`.
+    pub fn replace(&mut self, id: OpId, op: Op, inputs: Vec<OpId>) {
+        for &i in &inputs {
+            assert!(i < id, "replacement input {i} must precede node {id}");
+        }
+        self.nodes[id] = Node { op, inputs };
+    }
+
+    /// For each node, the list of nodes that consume its output.
+    pub fn consumers(&self) -> Vec<Vec<OpId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for &input in &node.inputs {
+                out[input].push(id);
+            }
+        }
+        out
+    }
+
+    /// IDs reachable (backwards) from the outputs — the live set.
+    pub fn live_set(&self) -> Vec<bool> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<OpId> = self.outputs.clone();
+        while let Some(id) = stack.pop() {
+            if live[id] {
+                continue;
+            }
+            live[id] = true;
+            stack.extend(self.nodes[id].inputs.iter().copied());
+        }
+        live
+    }
+
+    /// Rebuild the program keeping only nodes where `keep[id]` is true,
+    /// remapping inputs. Returns the new program and, for each old ID, its
+    /// new ID (or `None` if dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kept node references a dropped node — the pass that
+    /// computed `keep` is buggy.
+    pub fn compact(&self, keep: &[bool]) -> (Program, Vec<Option<OpId>>) {
+        assert_eq!(keep.len(), self.nodes.len());
+        let mut mapping: Vec<Option<OpId>> = vec![None; self.nodes.len()];
+        let mut out = Program::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if !keep[id] {
+                continue;
+            }
+            let inputs: Vec<OpId> = node
+                .inputs
+                .iter()
+                .map(|&i| mapping[i].expect("kept node references dropped input"))
+                .collect();
+            let new_id = out.add(node.op.clone(), inputs);
+            mapping[id] = Some(new_id);
+        }
+        for &o in &self.outputs {
+            let new_id = mapping[o].expect("program output was dropped");
+            out.mark_output(new_id);
+        }
+        (out, mapping)
+    }
+
+    /// The value kind each node produces.
+    pub fn kinds(&self) -> Vec<ValueKind> {
+        self.nodes.iter().map(|n| output_kind(&n.op)).collect()
+    }
+
+    /// Count nodes matching a predicate (test/diagnostic helper).
+    pub fn count_ops(&self, pred: impl Fn(&Op) -> bool) -> usize {
+        self.nodes.iter().filter(|n| pred(&n.op)).count()
+    }
+
+    /// Find the first node matching a predicate.
+    pub fn find_op(&self, pred: impl Fn(&Op) -> bool) -> Option<OpId> {
+        self.nodes.iter().position(|n| pred(&n.op))
+    }
+
+    /// Structural validation: arity and input-kind checks for every node.
+    pub fn validate(&self) -> Result<(), String> {
+        let kinds = self.kinds();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let got: Vec<ValueKind> = node.inputs.iter().map(|&i| kinds[i]).collect();
+            check_inputs(&node.op, &got)
+                .map_err(|e| format!("node {id} ({}): {e}", node.op.name()))?;
+        }
+        for &o in &self.outputs {
+            if o >= self.nodes.len() {
+                return Err(format!("output {o} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Graphviz DOT rendering of the data-flow graph (operators as nodes,
+    /// value dependencies as edges; outputs double-circled) — the visual
+    /// counterpart of the paper's Fig. 5 diagrams.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{title}\" {{");
+        let _ = writeln!(s, "  rankdir=TB; node [fontname=monospace];");
+        for (id, node) in self.nodes.iter().enumerate() {
+            let shape = if self.outputs.contains(&id) {
+                "doublecircle"
+            } else if node.op.is_input() {
+                "box"
+            } else if node.op.is_random() {
+                "diamond"
+            } else {
+                "ellipse"
+            };
+            let label = node.op.name().replace('"', "'");
+            let _ = writeln!(s, "  n{id} [label=\"%{id}: {label}\", shape={shape}];");
+            for &input in &node.inputs {
+                let _ = writeln!(s, "  n{input} -> n{id};");
+            }
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Human-readable listing (one node per line) for debugging and docs.
+    pub fn display(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let marker = if self.outputs.contains(&id) { "*" } else { " " };
+            let _ = writeln!(
+                s,
+                "{marker}%{id:<3} = {:<40} {:?}",
+                node.op.name(),
+                node.inputs
+            );
+        }
+        s
+    }
+}
+
+/// The value kind an operator produces.
+pub fn output_kind(op: &Op) -> ValueKind {
+    match op {
+        Op::InputGraph
+        | Op::SliceCols
+        | Op::SliceRows
+        | Op::InduceSubgraph
+        | Op::ScalarOp(..)
+        | Op::UnaryOp(..)
+        | Op::Broadcast(..)
+        | Op::SparseElt(..)
+        | Op::Sddmm
+        | Op::EdgeValuesFromDense { .. }
+        | Op::IndividualSample { .. }
+        | Op::CollectiveSample { .. }
+        | Op::Node2VecBias { .. }
+        | Op::CompactRows
+        | Op::CompactCols
+        | Op::Convert(..)
+        | Op::FusedExtractSelect { .. }
+        | Op::FusedEdgeMap { .. } => ValueKind::Matrix,
+        Op::InputDense(..)
+        | Op::Spmm
+        | Op::SpmmT
+        | Op::Gemm
+        | Op::GemmT
+        | Op::DenseUnary(..)
+        | Op::DenseSoftmaxRows
+        | Op::DenseSoftmaxFlat
+        | Op::DenseGatherRows
+        | Op::StackEdgeValues => ValueKind::Dense,
+        Op::InputVector(..)
+        | Op::Reduce(..)
+        | Op::VectorOp(..)
+        | Op::VectorScalar(..)
+        | Op::VectorNormalize
+        | Op::GatherVector
+        | Op::GatherRowBias
+        | Op::AlignRowVector
+        | Op::DenseColumn { .. }
+        | Op::FusedEdgeMapReduce { .. } => ValueKind::Vector,
+        Op::InputFrontiers
+        | Op::InputNodes(..)
+        | Op::RowNodes
+        | Op::ColNodes
+        | Op::AllRowIds
+        | Op::NextWalkFrontier => ValueKind::Nodes,
+        Op::ReduceAll(..) | Op::VectorSum => ValueKind::Scalar,
+        Op::Precomputed { .. } => ValueKind::Any,
+    }
+}
+
+fn check_inputs(op: &Op, got: &[ValueKind]) -> Result<(), String> {
+    use ValueKind as V;
+    let expect = |want: &[V]| -> Result<(), String> {
+        if got.len() != want.len() {
+            return Err(format!("expected {} inputs, got {}", want.len(), got.len()));
+        }
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            if g != w && g != V::Any && w != V::Any {
+                return Err(format!("input {i}: expected {w:?}, got {g:?}"));
+            }
+        }
+        Ok(())
+    };
+    match op {
+        Op::InputGraph
+        | Op::InputFrontiers
+        | Op::InputDense(..)
+        | Op::InputVector(..)
+        | Op::InputNodes(..) => expect(&[]),
+        Op::SliceCols | Op::SliceRows | Op::InduceSubgraph => expect(&[V::Matrix, V::Nodes]),
+        Op::ScalarOp(..) | Op::UnaryOp(..) => expect(&[V::Matrix]),
+        Op::Broadcast(..) => expect(&[V::Matrix, V::Vector]),
+        Op::SparseElt(..) => expect(&[V::Matrix, V::Matrix]),
+        Op::Sddmm => expect(&[V::Matrix, V::Dense, V::Dense]),
+        Op::EdgeValuesFromDense { .. } => expect(&[V::Matrix, V::Dense]),
+        Op::Reduce(..) | Op::ReduceAll(..) => expect(&[V::Matrix]),
+        Op::Spmm | Op::SpmmT => expect(&[V::Matrix, V::Dense]),
+        Op::Gemm | Op::GemmT => expect(&[V::Dense, V::Dense]),
+        Op::DenseUnary(..)
+        | Op::DenseSoftmaxRows
+        | Op::DenseSoftmaxFlat
+        | Op::DenseColumn { .. } => expect(&[V::Dense]),
+        Op::DenseGatherRows => expect(&[V::Dense, V::Nodes]),
+        Op::StackEdgeValues => {
+            if got.is_empty() || got.iter().any(|&g| g != V::Matrix) {
+                Err("stack_edge_values needs >= 1 matrix inputs".to_string())
+            } else {
+                Ok(())
+            }
+        }
+        Op::VectorOp(..) => expect(&[V::Vector, V::Vector]),
+        Op::VectorScalar(..) | Op::VectorSum | Op::VectorNormalize => expect(&[V::Vector]),
+        Op::GatherVector => expect(&[V::Vector, V::Nodes]),
+        Op::GatherRowBias => expect(&[V::Vector, V::Matrix, V::Matrix]),
+        Op::AlignRowVector => expect(&[V::Vector, V::Matrix]),
+        Op::IndividualSample { .. } => {
+            if got.len() == 1 {
+                expect(&[V::Matrix])
+            } else {
+                expect(&[V::Matrix, V::Matrix])
+            }
+        }
+        Op::CollectiveSample { .. } => {
+            if got.len() == 1 {
+                expect(&[V::Matrix])
+            } else {
+                expect(&[V::Matrix, V::Vector])
+            }
+        }
+        Op::Node2VecBias { .. } => expect(&[V::Matrix, V::Nodes, V::Matrix]),
+        Op::RowNodes
+        | Op::ColNodes
+        | Op::AllRowIds
+        | Op::NextWalkFrontier
+        | Op::CompactRows
+        | Op::CompactCols
+        | Op::Convert(..) => expect(&[V::Matrix]),
+        Op::FusedExtractSelect { .. } => expect(&[V::Matrix, V::Nodes]),
+        Op::FusedEdgeMap { steps } | Op::FusedEdgeMapReduce { steps, .. } => {
+            let broadcasts = steps
+                .iter()
+                .filter(|s| matches!(s, crate::op::EdgeMapStep::Broadcast(..)))
+                .count();
+            if got.len() != 1 + broadcasts {
+                return Err(format!(
+                    "fused edge-map expects 1 matrix + {broadcasts} vectors, got {}",
+                    got.len()
+                ));
+            }
+            if got[0] != V::Matrix {
+                return Err("fused edge-map input 0 must be a matrix".to_string());
+            }
+            for (i, &g) in got.iter().enumerate().skip(1) {
+                if g != V::Vector {
+                    return Err(format!("fused edge-map input {i} must be a vector"));
+                }
+            }
+            Ok(())
+        }
+        Op::Precomputed { .. } => expect(&[]),
+    }
+}
+
+/// Structural hash key for CSE: operator + inputs. Random operators never
+/// produce a key (two samples are never "the same value").
+pub fn cse_key(node: &Node) -> Option<(String, Vec<OpId>)> {
+    if node.op.is_random() || node.op.is_input() {
+        return None;
+    }
+    Some((format!("{:?}", node.op), node.inputs.clone()))
+}
+
+/// Build a CSE lookup table for a program.
+pub fn cse_table(program: &Program) -> HashMap<(String, Vec<OpId>), OpId> {
+    let mut table = HashMap::new();
+    for (id, node) in program.nodes().iter().enumerate() {
+        if let Some(key) = cse_key(node) {
+            table.entry(key).or_insert(id);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsampler_matrix::{Axis, EltOp, ReduceOp};
+
+    /// Build the LADIES layer program of paper Fig. 3(b).
+    pub(crate) fn ladies_program(k: usize) -> Program {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let sq = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
+        let row_probs = p.add(Op::Reduce(ReduceOp::Sum, Axis::Row), vec![sq]);
+        let samp = p.add(Op::CollectiveSample { k }, vec![sub, row_probs]);
+        let sel_probs = p.add(Op::GatherRowBias, vec![row_probs, samp, sub]);
+        let norm1 = p.add(Op::Broadcast(EltOp::Div, Axis::Row), vec![samp, sel_probs]);
+        let colsum = p.add(Op::Reduce(ReduceOp::Sum, Axis::Col), vec![norm1]);
+        let norm2 = p.add(Op::Broadcast(EltOp::Div, Axis::Col), vec![norm1, colsum]);
+        let next = p.add(Op::RowNodes, vec![norm2]);
+        p.mark_output(norm2);
+        p.mark_output(next);
+        p
+    }
+
+    #[test]
+    fn build_and_validate_ladies() {
+        let p = ladies_program(512);
+        assert_eq!(p.len(), 11);
+        p.validate().unwrap();
+        assert_eq!(p.outputs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_reference_panics() {
+        let mut p = Program::new();
+        p.add(Op::RowNodes, vec![5]);
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let mut p = Program::new();
+        let f = p.add(Op::InputFrontiers, vec![]);
+        // RowNodes expects a matrix, frontiers is a node list.
+        p.add(Op::RowNodes, vec![f]);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn live_set_and_compact() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let sub = p.add(Op::SliceCols, vec![g, f]);
+        let _dead = p.add(Op::ScalarOp(EltOp::Mul, 3.0), vec![sub]);
+        let next = p.add(Op::RowNodes, vec![sub]);
+        p.mark_output(next);
+        let live = p.live_set();
+        assert_eq!(live, vec![true, true, true, false, true]);
+        let (q, mapping) = p.compact(&live);
+        assert_eq!(q.len(), 4);
+        assert_eq!(mapping[4], Some(3));
+        assert_eq!(mapping[3], None);
+        q.validate().unwrap();
+        assert_eq!(q.outputs(), &[3]);
+    }
+
+    #[test]
+    fn consumers_computed() {
+        let p = ladies_program(64);
+        let consumers = p.consumers();
+        // The extracted sub-matrix (node 2) feeds the square, the
+        // collective sample, and the bias gather.
+        assert_eq!(consumers[2].len(), 3);
+    }
+
+    #[test]
+    fn cse_key_skips_random_ops() {
+        let p = ladies_program(64);
+        let samp_id = p
+            .find_op(|op| matches!(op, Op::CollectiveSample { .. }))
+            .unwrap();
+        assert!(cse_key(p.node(samp_id)).is_none());
+        let sq_id = p
+            .find_op(|op| matches!(op, Op::ScalarOp(EltOp::Pow, _)))
+            .unwrap();
+        assert!(cse_key(p.node(sq_id)).is_some());
+    }
+
+    #[test]
+    fn display_lists_all_nodes() {
+        let p = ladies_program(8);
+        let s = p.display();
+        assert_eq!(s.lines().count(), p.len());
+        assert!(s.contains("collective_sample"));
+        assert!(s.contains("*")); // outputs marked
+    }
+
+    #[test]
+    fn dot_export_contains_all_nodes_and_edges() {
+        let p = ladies_program(8);
+        let dot = p.to_dot("ladies");
+        assert!(dot.starts_with("digraph"));
+        for id in 0..p.len() {
+            assert!(dot.contains(&format!("n{id} [")), "node {id} missing");
+        }
+        // The collective sample is rendered as a diamond (random op).
+        assert!(dot.contains("collective_sample(k=8)\", shape=diamond"));
+        // Outputs are double-circled.
+        assert!(dot.contains("doublecircle"));
+        let edge_count = dot.matches(" -> ").count();
+        let expected: usize = p.nodes().iter().map(|n| n.inputs.len()).sum();
+        assert_eq!(edge_count, expected);
+    }
+
+    #[test]
+    fn replace_in_place() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let id = p.add(Op::ScalarOp(EltOp::Mul, 1.0), vec![g]);
+        p.replace(id, Op::ScalarOp(EltOp::Pow, 2.0), vec![g]);
+        assert_eq!(p.node(id).op, Op::ScalarOp(EltOp::Pow, 2.0));
+    }
+}

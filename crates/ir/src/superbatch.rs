@@ -1,0 +1,115 @@
+//! Super-batch planning (paper §4.4).
+//!
+//! Small mini-batches under-utilize the device (Fig. 6), so gSampler
+//! samples several mini-batches *together*: their frontiers are
+//! concatenated and every batch's row space is shifted into its own ID
+//! range, which makes the combined extract a block-diagonal matrix —
+//! batches cannot interfere, per-column operators need no changes, and
+//! per-row reductions/selections stay per-batch because the row spaces are
+//! disjoint. The executor in `gsampler-core` implements the segmented
+//! runtime; this module implements the planning: a grid search for the
+//! largest super-batch factor whose transient memory fits the budget.
+
+use crate::estimate::{estimate_shapes, estimate_transient_bytes, GraphStats};
+use crate::program::Program;
+
+/// Result of the super-batch grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperBatchPlan {
+    /// Number of mini-batches to sample together (1 = disabled).
+    pub factor: usize,
+    /// Estimated transient bytes at the chosen factor.
+    pub est_bytes: f64,
+    /// The memory budget used for the search.
+    pub budget_bytes: f64,
+}
+
+/// Candidate factors tried by the grid search.
+const FACTORS: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Pick the largest factor whose estimated transient memory fits
+/// `budget_bytes`; never returns less than 1.
+pub fn plan(
+    program: &Program,
+    stats: &GraphStats,
+    batch_size: usize,
+    budget_bytes: f64,
+) -> SuperBatchPlan {
+    let mut chosen = 1usize;
+    let mut chosen_bytes = transient(program, stats, batch_size);
+    for &f in FACTORS.iter().skip(1) {
+        let bytes = transient(program, stats, batch_size * f);
+        if bytes <= budget_bytes {
+            chosen = f;
+            chosen_bytes = bytes;
+        } else {
+            break;
+        }
+    }
+    SuperBatchPlan {
+        factor: chosen,
+        est_bytes: chosen_bytes,
+        budget_bytes,
+    }
+}
+
+fn transient(program: &Program, stats: &GraphStats, batch: usize) -> f64 {
+    let shapes = estimate_shapes(program, stats, batch);
+    estimate_transient_bytes(program, &shapes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    fn stats() -> GraphStats {
+        GraphStats {
+            num_nodes: 2_400_000,
+            num_edges: 123_000_000,
+            feature_dim: 100,
+        }
+    }
+
+    fn graphsage() -> Program {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let s = p.add(Op::FusedExtractSelect { k: 10, replace: false }, vec![g, f]);
+        let next = p.add(Op::RowNodes, vec![s]);
+        p.mark_output(s);
+        p.mark_output(next);
+        p
+    }
+
+    #[test]
+    fn bigger_budget_bigger_factor() {
+        let p = graphsage();
+        let small = plan(&p, &stats(), 512, 1e6);
+        let large = plan(&p, &stats(), 512, 1e9);
+        assert!(large.factor > small.factor);
+        assert!(large.est_bytes <= 1e9);
+    }
+
+    #[test]
+    fn factor_never_below_one() {
+        let p = graphsage();
+        let tiny = plan(&p, &stats(), 512, 1.0);
+        assert_eq!(tiny.factor, 1);
+    }
+
+    #[test]
+    fn factor_caps_at_grid_max() {
+        let p = graphsage();
+        let huge = plan(&p, &stats(), 16, 1e15);
+        assert_eq!(huge.factor, 128);
+    }
+
+    #[test]
+    fn memory_estimate_monotone_in_factor() {
+        let p = graphsage();
+        let b1 = transient(&p, &stats(), 512);
+        let b8 = transient(&p, &stats(), 512 * 8);
+        assert!(b8 > b1 * 4.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Vector broadcasts over edge values (edge-map kernels).
+//!
+//! `broadcast(A, v, EltOp::Div, Axis::Col)` divides each edge `(r, c)` by
+//! `v[c]` — this is `A.div(V, axis)` from the paper's API (Table 4) and the
+//! canonical *edge-map* operator of the fusion taxonomy in §4.2 (LADIES'
+//! per-frontier weight normalization, Fig. 3b lines 6-7).
+
+use crate::error::{Error, Result};
+use crate::sparse::SparseMatrix;
+use crate::{Axis, EltOp};
+
+/// Apply `edge_value <op> v[index(axis)]` to every edge, returning a new
+/// matrix with the same sparsity pattern.
+///
+/// `v` must have length `nrows` for `Axis::Row` or `ncols` for `Axis::Col`.
+pub fn broadcast(m: &SparseMatrix, v: &[f32], op: EltOp, axis: Axis) -> Result<SparseMatrix> {
+    let expected = match axis {
+        Axis::Row => m.nrows(),
+        Axis::Col => m.ncols(),
+    };
+    if v.len() != expected {
+        return Err(Error::LengthMismatch {
+            op: "broadcast",
+            expected,
+            actual: v.len(),
+        });
+    }
+    let mut out = m.clone();
+    apply_in_place(&mut out, v, op, axis);
+    Ok(out)
+}
+
+/// In-place variant of [`broadcast`] for fused edge-map chains: applying
+/// several broadcasts to the same matrix touches the value array once per
+/// op without re-cloning structure.
+pub fn broadcast_in_place(m: &mut SparseMatrix, v: &[f32], op: EltOp, axis: Axis) -> Result<()> {
+    let expected = match axis {
+        Axis::Row => m.nrows(),
+        Axis::Col => m.ncols(),
+    };
+    if v.len() != expected {
+        return Err(Error::LengthMismatch {
+            op: "broadcast_in_place",
+            expected,
+            actual: v.len(),
+        });
+    }
+    apply_in_place(m, v, op, axis);
+    Ok(())
+}
+
+fn apply_in_place(m: &mut SparseMatrix, v: &[f32], op: EltOp, axis: Axis) {
+    // Collect the per-edge broadcast index in storage order, then update the
+    // value array in one pass.
+    let idx: Vec<usize> = m
+        .iter_edges()
+        .map(|(r, c, _)| match axis {
+            Axis::Row => r as usize,
+            Axis::Col => c as usize,
+        })
+        .collect();
+    let values = m.values_mut();
+    for (val, &i) in values.iter_mut().zip(idx.iter()) {
+        *val = op.apply(*val, v[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Csc;
+    use crate::reduce::reduce;
+    use crate::{Format, ReduceOp};
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::Csc(
+            Csc::new(
+                4,
+                3,
+                vec![0, 2, 3, 6],
+                vec![0, 2, 1, 0, 1, 3],
+                Some(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn div_by_column_sums_normalizes() {
+        let m = sample();
+        let sums = reduce(&m, ReduceOp::Sum, Axis::Col);
+        let n = broadcast(&m, &sums, EltOp::Div, Axis::Col).unwrap();
+        let new_sums = reduce(&n, ReduceOp::Sum, Axis::Col);
+        for s in new_sums {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn row_broadcast_add() {
+        let m = sample();
+        let v = vec![10.0, 20.0, 30.0, 40.0];
+        let n = broadcast(&m, &v, EltOp::Add, Axis::Row).unwrap();
+        // Edge (2, 0) has value 2.0, row 2 adds 30.0.
+        let edges = n.sorted_edges();
+        assert!(edges.contains(&(2, 0, 32.0)));
+        assert!(edges.contains(&(3, 2, 46.0)));
+    }
+
+    #[test]
+    fn broadcast_format_independent() {
+        let m = sample();
+        let v = vec![2.0, 4.0, 8.0];
+        let reference = broadcast(&m, &v, EltOp::Mul, Axis::Col).unwrap().sorted_edges();
+        for fmt in Format::ALL {
+            let out = broadcast(&m.to_format(fmt), &v, EltOp::Mul, Axis::Col).unwrap();
+            assert_eq!(out.sorted_edges(), reference);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let m = sample();
+        assert!(broadcast(&m, &[1.0, 2.0], EltOp::Add, Axis::Col).is_err());
+        assert!(broadcast(&m, &[1.0; 3], EltOp::Add, Axis::Row).is_err());
+    }
+
+    #[test]
+    fn unweighted_broadcast_materializes() {
+        let m = SparseMatrix::Csc(Csc::new(2, 2, vec![0, 1, 2], vec![0, 1], None).unwrap());
+        let n = broadcast(&m, &[3.0, 5.0], EltOp::Mul, Axis::Col).unwrap();
+        assert_eq!(n.sorted_edges(), vec![(0, 0, 3.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn in_place_matches_pure() {
+        let m = sample();
+        let v = vec![1.0, 2.0, 3.0];
+        let pure = broadcast(&m, &v, EltOp::Sub, Axis::Col).unwrap();
+        let mut inplace = m.clone();
+        broadcast_in_place(&mut inplace, &v, EltOp::Sub, Axis::Col).unwrap();
+        assert_eq!(pure.sorted_edges(), inplace.sorted_edges());
+    }
+}

@@ -1,0 +1,194 @@
+//! Row/column compaction — dropping isolated nodes.
+//!
+//! The extract step keeps the full row dimension of the input graph, so a
+//! sliced sub-matrix can carry millions of isolated rows (paper §4.3). The
+//! data-layout-selection pass decides whether to pay the relabelling cost;
+//! these kernels do the actual work and report the kept-node mapping so
+//! that global IDs survive.
+
+use crate::coo::Coo;
+use crate::sparse::SparseMatrix;
+use crate::NodeId;
+
+/// Result of a compaction: the smaller matrix plus the mapping from new
+/// (local) indices to the old indices they came from.
+#[derive(Debug, Clone)]
+pub struct Compacted {
+    /// The compacted matrix.
+    pub matrix: SparseMatrix,
+    /// `kept[i]` is the old index of new row/column `i` (ascending).
+    pub kept: Vec<NodeId>,
+}
+
+/// Drop rows with no stored edges, relabelling the survivors `0..n`.
+pub fn compact_rows(m: &SparseMatrix) -> Compacted {
+    let nrows = m.nrows();
+    let mut has_edge = vec![false; nrows];
+    for (r, _, _) in m.iter_edges() {
+        has_edge[r as usize] = true;
+    }
+    let kept: Vec<NodeId> = (0..nrows as NodeId)
+        .filter(|&r| has_edge[r as usize])
+        .collect();
+    let matrix = relabel_rows(m, &kept);
+    Compacted { matrix, kept }
+}
+
+/// Drop columns with no stored edges, relabelling the survivors `0..n`.
+pub fn compact_cols(m: &SparseMatrix) -> Compacted {
+    let ncols = m.ncols();
+    let mut has_edge = vec![false; ncols];
+    for (_, c, _) in m.iter_edges() {
+        has_edge[c as usize] = true;
+    }
+    let kept: Vec<NodeId> = (0..ncols as NodeId)
+        .filter(|&c| has_edge[c as usize])
+        .collect();
+    let matrix = relabel_cols(m, &kept);
+    Compacted { matrix, kept }
+}
+
+/// Relabel rows so that old row `kept[i]` becomes new row `i`; rows not in
+/// `kept` are dropped with their edges. `kept` must be ascending.
+pub fn relabel_rows(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
+    let mut old_to_new = vec![u32::MAX; m.nrows()];
+    for (new, &old) in kept.iter().enumerate() {
+        old_to_new[old as usize] = new as u32;
+    }
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let weighted = m.is_weighted();
+    let mut values = if weighted { Some(Vec::new()) } else { None };
+    for (r, c, v) in m.iter_edges() {
+        let nr = old_to_new[r as usize];
+        if nr == u32::MAX {
+            continue;
+        }
+        rows.push(nr);
+        cols.push(c);
+        if let Some(out) = values.as_mut() {
+            out.push(v);
+        }
+    }
+    let coo = Coo {
+        nrows: kept.len(),
+        ncols: m.ncols(),
+        rows,
+        cols,
+        values,
+    };
+    SparseMatrix::Coo(coo).to_format(m.format())
+}
+
+/// Relabel columns so that old column `kept[i]` becomes new column `i`;
+/// columns not in `kept` are dropped with their edges. `kept` must be
+/// ascending.
+pub fn relabel_cols(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
+    let mut old_to_new = vec![u32::MAX; m.ncols()];
+    for (new, &old) in kept.iter().enumerate() {
+        old_to_new[old as usize] = new as u32;
+    }
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let weighted = m.is_weighted();
+    let mut values = if weighted { Some(Vec::new()) } else { None };
+    for (r, c, v) in m.iter_edges() {
+        let nc = old_to_new[c as usize];
+        if nc == u32::MAX {
+            continue;
+        }
+        rows.push(r);
+        cols.push(nc);
+        if let Some(out) = values.as_mut() {
+            out.push(v);
+        }
+    }
+    let coo = Coo {
+        nrows: m.nrows(),
+        ncols: kept.len(),
+        rows,
+        cols,
+        values,
+    };
+    SparseMatrix::Coo(coo).to_format(m.format())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Csc;
+    use crate::Format;
+
+    fn sparse_with_isolated_rows() -> SparseMatrix {
+        // 6x2: only rows 1, 3, 4 have edges.
+        SparseMatrix::Csc(
+            Csc::new(
+                6,
+                2,
+                vec![0, 2, 3],
+                vec![1, 4, 3],
+                Some(vec![1.0, 2.0, 3.0]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn compact_rows_drops_isolated() {
+        let m = sparse_with_isolated_rows();
+        let c = compact_rows(&m);
+        assert_eq!(c.kept, vec![1, 3, 4]);
+        assert_eq!(c.matrix.shape(), (3, 2));
+        assert_eq!(c.matrix.nnz(), 3);
+        // Old row 4 (edge value 2.0 in col 0) is new row 2.
+        assert!(c.matrix.sorted_edges().contains(&(2, 0, 2.0)));
+    }
+
+    #[test]
+    fn compact_rows_format_preserved() {
+        let m = sparse_with_isolated_rows();
+        for fmt in Format::ALL {
+            let c = compact_rows(&m.to_format(fmt));
+            assert_eq!(c.matrix.format(), fmt);
+            assert_eq!(c.kept, vec![1, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn compact_cols_drops_isolated() {
+        // 2x4 with edges only in columns 0 and 3.
+        let m = SparseMatrix::Csc(
+            Csc::new(2, 4, vec![0, 1, 1, 1, 2], vec![0, 1], None).unwrap(),
+        );
+        let c = compact_cols(&m);
+        assert_eq!(c.kept, vec![0, 3]);
+        assert_eq!(c.matrix.shape(), (2, 2));
+        assert_eq!(c.matrix.sorted_edges(), vec![(0, 0, 1.0), (1, 1, 1.0)]);
+    }
+
+    #[test]
+    fn compact_no_isolated_is_identity_structure() {
+        let m = SparseMatrix::Csc(Csc::new(2, 2, vec![0, 1, 2], vec![0, 1], None).unwrap());
+        let c = compact_rows(&m);
+        assert_eq!(c.kept, vec![0, 1]);
+        assert_eq!(c.matrix.sorted_edges(), m.sorted_edges());
+    }
+
+    #[test]
+    fn relabel_rows_drops_unlisted() {
+        let m = sparse_with_isolated_rows();
+        let out = relabel_rows(&m, &[3, 4]);
+        assert_eq!(out.shape(), (2, 2));
+        assert_eq!(out.nnz(), 2);
+        // Old row 1's edge disappears.
+        assert!(!out.sorted_edges().iter().any(|&(_, _, v)| v == 1.0));
+    }
+
+    #[test]
+    fn compact_all_isolated() {
+        let m = SparseMatrix::Csc(Csc::empty(4, 3));
+        let c = compact_rows(&m);
+        assert!(c.kept.is_empty());
+        assert_eq!(c.matrix.shape(), (0, 3));
+    }
+}

@@ -1,0 +1,355 @@
+//! Compressed sparse column storage.
+
+use crate::error::{Error, Result};
+use crate::NodeId;
+
+/// A sparse matrix in compressed-sparse-column format.
+///
+/// For a graph adjacency matrix where `A[:, v]` holds the in-coming edges of
+/// node `v`, CSC stores the in-neighbours of each node consecutively, which
+/// makes column slicing (the *extract* step of sampling) an O(output) gather.
+///
+/// Invariants (checked by [`Csc::validate`]):
+/// - `indptr.len() == ncols + 1`, `indptr[0] == 0`, monotone non-decreasing,
+///   `indptr[ncols] == indices.len()`.
+/// - every entry of `indices` is `< nrows`.
+/// - within each column, row indices are strictly increasing (no duplicate
+///   edges).
+/// - `values`, when present, has the same length as `indices`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Column pointer array, length `ncols + 1`.
+    pub indptr: Vec<usize>,
+    /// Row indices of the non-zeros, column-major.
+    pub indices: Vec<NodeId>,
+    /// Optional edge values aligned with `indices`; `None` means the matrix
+    /// is unweighted (implicit value 1.0 everywhere).
+    pub values: Option<Vec<f32>>,
+}
+
+impl Csc {
+    /// Create a CSC matrix from raw parts, validating the invariants.
+    pub fn new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<NodeId>,
+        values: Option<Vec<f32>>,
+    ) -> Result<Csc> {
+        let m = Csc {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            values,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Create an empty `nrows × ncols` matrix with no edges.
+    pub fn empty(nrows: usize, ncols: usize) -> Csc {
+        Csc {
+            nrows,
+            ncols,
+            indptr: vec![0; ncols + 1],
+            indices: Vec::new(),
+            values: None,
+        }
+    }
+
+    /// Build from a per-column adjacency list. Row indices within each
+    /// column are sorted and deduplicated (keeping the first value).
+    pub fn from_adjacency(
+        nrows: usize,
+        columns: &[Vec<(NodeId, f32)>],
+        weighted: bool,
+    ) -> Result<Csc> {
+        let ncols = columns.len();
+        let mut indptr = Vec::with_capacity(ncols + 1);
+        indptr.push(0usize);
+        let total: usize = columns.iter().map(|c| c.len()).sum();
+        let mut indices = Vec::with_capacity(total);
+        let mut values = if weighted {
+            Some(Vec::with_capacity(total))
+        } else {
+            None
+        };
+        for col in columns {
+            let mut entries: Vec<(NodeId, f32)> = col.clone();
+            entries.sort_by_key(|(r, _)| *r);
+            entries.dedup_by_key(|(r, _)| *r);
+            for (r, v) in entries {
+                if (r as usize) >= nrows {
+                    return Err(Error::IndexOutOfBounds {
+                        op: "Csc::from_adjacency",
+                        index: r as usize,
+                        bound: nrows,
+                    });
+                }
+                indices.push(r);
+                if let Some(vals) = values.as_mut() {
+                    vals.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csc::new(nrows, ncols, indptr, indices, values)
+    }
+
+    /// Number of stored edges (non-zeros).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `(nrows, ncols)` shape tuple.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Half-open range of non-zero positions belonging to column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    #[inline]
+    pub fn col_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.indptr[c]..self.indptr[c + 1]
+    }
+
+    /// Row indices of the non-zeros in column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    #[inline]
+    pub fn col_rows(&self, c: usize) -> &[NodeId] {
+        &self.indices[self.col_range(c)]
+    }
+
+    /// In-degree of column `c` (number of stored entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= ncols`.
+    #[inline]
+    pub fn col_degree(&self, c: usize) -> usize {
+        self.indptr[c + 1] - self.indptr[c]
+    }
+
+    /// Value of the edge at non-zero position `pos` (1.0 if unweighted).
+    #[inline]
+    pub fn value_at(&self, pos: usize) -> f32 {
+        match &self.values {
+            Some(v) => v[pos],
+            None => 1.0,
+        }
+    }
+
+    /// Edge values as a materialized vector, substituting 1.0 for
+    /// unweighted matrices.
+    pub fn values_or_ones(&self) -> Vec<f32> {
+        match &self.values {
+            Some(v) => v.clone(),
+            None => vec![1.0; self.nnz()],
+        }
+    }
+
+    /// True if the edge `(row, col)` is stored.
+    ///
+    /// Uses binary search within the column (row indices are sorted).
+    pub fn contains_edge(&self, row: NodeId, col: usize) -> bool {
+        if col >= self.ncols {
+            return false;
+        }
+        self.col_rows(col).binary_search(&row).is_ok()
+    }
+
+    /// Value of edge `(row, col)`, or `None` if absent.
+    pub fn get(&self, row: NodeId, col: usize) -> Option<f32> {
+        if col >= self.ncols {
+            return None;
+        }
+        let range = self.col_range(col);
+        let local = self.indices[range.clone()].binary_search(&row).ok()?;
+        Some(self.value_at(range.start + local))
+    }
+
+    /// Check all structural invariants, returning the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.indptr.len() != self.ncols + 1 {
+            return Err(Error::InvalidStructure {
+                reason: format!(
+                    "csc indptr length {} != ncols+1 {}",
+                    self.indptr.len(),
+                    self.ncols + 1
+                ),
+            });
+        }
+        if self.indptr[0] != 0 {
+            return Err(Error::InvalidStructure {
+                reason: "csc indptr[0] != 0".to_string(),
+            });
+        }
+        if *self.indptr.last().unwrap() != self.indices.len() {
+            return Err(Error::InvalidStructure {
+                reason: "csc indptr tail != nnz".to_string(),
+            });
+        }
+        for w in self.indptr.windows(2) {
+            if w[1] < w[0] {
+                return Err(Error::InvalidStructure {
+                    reason: "csc indptr not monotone".to_string(),
+                });
+            }
+        }
+        for c in 0..self.ncols {
+            let rows = self.col_rows(c);
+            for pair in rows.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(Error::InvalidStructure {
+                        reason: format!("csc column {c} rows not strictly increasing"),
+                    });
+                }
+            }
+            if let Some(&last) = rows.last() {
+                if (last as usize) >= self.nrows {
+                    return Err(Error::IndexOutOfBounds {
+                        op: "Csc::validate",
+                        index: last as usize,
+                        bound: self.nrows,
+                    });
+                }
+            }
+        }
+        if let Some(v) = &self.values {
+            if v.len() != self.indices.len() {
+                return Err(Error::LengthMismatch {
+                    op: "Csc::validate values",
+                    expected: self.indices.len(),
+                    actual: v.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate over all stored edges as `(row, col, value)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.ncols).flat_map(move |c| {
+            self.col_range(c).map(move |pos| {
+                (
+                    self.indices[pos],
+                    c as NodeId,
+                    self.value_at(pos),
+                )
+            })
+        })
+    }
+
+    /// Approximate resident size in bytes (for the memory tracker).
+    pub fn size_bytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<NodeId>()
+            + self
+                .values
+                .as_ref()
+                .map_or(0, |v| v.len() * std::mem::size_of::<f32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc {
+        // 4x3 matrix:
+        // col0: rows {0, 2}, col1: rows {1}, col2: rows {0, 1, 3}
+        Csc::new(
+            4,
+            3,
+            vec![0, 2, 3, 6],
+            vec![0, 2, 1, 0, 1, 3],
+            Some(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (4, 3));
+        assert_eq!(m.nnz(), 6);
+        assert_eq!(m.col_degree(0), 2);
+        assert_eq!(m.col_degree(1), 1);
+        assert_eq!(m.col_rows(2), &[0, 1, 3]);
+        assert_eq!(m.value_at(1), 2.0);
+    }
+
+    #[test]
+    fn contains_and_get() {
+        let m = sample();
+        assert!(m.contains_edge(2, 0));
+        assert!(!m.contains_edge(3, 0));
+        assert_eq!(m.get(3, 2), Some(6.0));
+        assert_eq!(m.get(2, 2), None);
+        assert_eq!(m.get(0, 9), None);
+    }
+
+    #[test]
+    fn unweighted_values() {
+        let m = Csc::new(2, 2, vec![0, 1, 2], vec![0, 1], None).unwrap();
+        assert_eq!(m.value_at(0), 1.0);
+        assert_eq!(m.values_or_ones(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_adjacency_sorts_and_dedups() {
+        let cols = vec![vec![(2, 1.0), (0, 2.0), (2, 9.0)], vec![]];
+        let m = Csc::from_adjacency(3, &cols, true).unwrap();
+        assert_eq!(m.col_rows(0), &[0, 2]);
+        assert_eq!(m.values.as_ref().unwrap(), &vec![2.0, 1.0]);
+        assert_eq!(m.col_degree(1), 0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_indptr() {
+        let r = Csc::new(2, 2, vec![0, 2, 1], vec![0, 1], None);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_row() {
+        let r = Csc::new(2, 1, vec![0, 1], vec![5], None);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_rows_in_column() {
+        let r = Csc::new(3, 1, vec![0, 2], vec![1, 1], None);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn iter_edges_yields_all() {
+        let m = sample();
+        let edges: Vec<_> = m.iter_edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert_eq!(edges[0], (0, 0, 1.0));
+        assert_eq!(edges[5], (3, 2, 6.0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csc::empty(5, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.shape(), (5, 4));
+        m.validate().unwrap();
+    }
+}

@@ -1,0 +1,290 @@
+//! Element-wise operations on edge values.
+//!
+//! Three flavours, mirroring the paper's Table 4 compute operators:
+//!
+//! - scalar: `A ** 2`, `A * 0.5` — [`scalar_op`];
+//! - dense operand: `A * D` where `D` is a dense matrix of the same shape —
+//!   [`dense_op`] (an SDDMM-style kernel: only positions where `A` has an
+//!   edge are touched);
+//! - sparse operand with identical sparsity pattern: combine two
+//!   intermediate matrices derived from the same subgraph — [`sparse_op`].
+//!
+//! Plus unary maps ([`unary_op`]) used by model-driven algorithms
+//! (`relu`, `exp`, ...).
+
+use crate::dense::Dense;
+use crate::error::{Error, Result};
+use crate::sparse::SparseMatrix;
+use crate::EltOp;
+
+/// Unary element-wise function on edge values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `max(x, 0)`.
+    Relu,
+    /// `e^x`.
+    Exp,
+    /// `ln(x)`.
+    Log,
+    /// `|x|`.
+    Abs,
+    /// `-x`.
+    Neg,
+    /// `x^2` (fast path for the ubiquitous squared-weight bias).
+    Square,
+    /// `sqrt(x)`.
+    Sqrt,
+    /// `1 / (1 + e^-x)`.
+    Sigmoid,
+}
+
+impl UnaryOp {
+    /// Apply the function to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Log => x.ln(),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Neg => -x,
+            UnaryOp::Square => x * x,
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Short lowercase name of the function.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryOp::Relu => "relu",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Log => "log",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Neg => "neg",
+            UnaryOp::Square => "square",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Sigmoid => "sigmoid",
+        }
+    }
+}
+
+/// `A <op> s` for a scalar `s`, returning a matrix with the same pattern.
+pub fn scalar_op(m: &SparseMatrix, s: f32, op: EltOp) -> SparseMatrix {
+    let mut out = m.clone();
+    for v in out.values_mut() {
+        *v = op.apply(*v, s);
+    }
+    out
+}
+
+/// Apply a unary function to every edge value.
+pub fn unary_op(m: &SparseMatrix, op: UnaryOp) -> SparseMatrix {
+    let mut out = m.clone();
+    for v in out.values_mut() {
+        *v = op.apply(*v);
+    }
+    out
+}
+
+/// `A <op> D` where `D` is dense with the same `(nrows, ncols)` shape; only
+/// the stored positions of `A` are evaluated.
+pub fn dense_op(m: &SparseMatrix, d: &Dense, op: EltOp) -> Result<SparseMatrix> {
+    if d.shape() != m.shape() {
+        return Err(Error::ShapeMismatch {
+            op: "eltwise dense_op",
+            lhs: m.shape(),
+            rhs: d.shape(),
+        });
+    }
+    let positions: Vec<f32> = m
+        .iter_edges()
+        .map(|(r, c, _)| d.get(r as usize, c as usize))
+        .collect();
+    let mut out = m.clone();
+    let values = out.values_mut();
+    for (v, dv) in values.iter_mut().zip(positions) {
+        *v = op.apply(*v, dv);
+    }
+    Ok(out)
+}
+
+/// `A <op> B` for two sparse matrices with identical sparsity patterns
+/// (same shape and the same edge set).
+///
+/// Patterns are compared via the canonical sorted edge list; this is the
+/// safety check the paper's intra-subgraph arithmetic relies on (e.g. PASS
+/// combines three attention matrices derived from one extract).
+pub fn sparse_op(a: &SparseMatrix, b: &SparseMatrix, op: EltOp) -> Result<SparseMatrix> {
+    if a.shape() != b.shape() {
+        return Err(Error::ShapeMismatch {
+            op: "eltwise sparse_op",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if a.nnz() != b.nnz() {
+        return Err(Error::InvalidStructure {
+            reason: format!(
+                "sparse_op operands have different nnz: {} vs {}",
+                a.nnz(),
+                b.nnz()
+            ),
+        });
+    }
+    let ea = a.sorted_edges();
+    let eb = b.sorted_edges();
+    let mut combined = Vec::with_capacity(ea.len());
+    for (&(ra, ca, va), &(rb, cb, vb)) in ea.iter().zip(eb.iter()) {
+        if (ra, ca) != (rb, cb) {
+            return Err(Error::InvalidStructure {
+                reason: format!(
+                    "sparse_op operands differ in pattern at edge ({ra},{ca}) vs ({rb},{cb})"
+                ),
+            });
+        }
+        combined.push(op.apply(va, vb));
+    }
+    // Rebuild on `a`'s storage: map sorted-order results back to a's order.
+    let mut out = a.clone();
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..ea.len()).collect();
+        let a_edges: Vec<(u32, u32)> = a.iter_edges().map(|(r, c, _)| (r, c)).collect();
+        // For each storage position, find its rank in the sorted order.
+        let mut rank = std::collections::HashMap::with_capacity(ea.len());
+        for (i, &(r, c, _)) in ea.iter().enumerate() {
+            rank.insert((r, c), i);
+        }
+        for (pos, rc) in a_edges.iter().enumerate() {
+            idx[pos] = rank[rc];
+        }
+        idx
+    };
+    let values = out.values_mut();
+    for (pos, &sorted_pos) in order.iter().enumerate() {
+        values[pos] = combined[sorted_pos];
+    }
+    Ok(out)
+}
+
+/// Stack edge-value vectors of `k` pattern-identical matrices into an
+/// `nnz × k` dense matrix (one row per edge, in `mats[0]`'s storage order).
+///
+/// This is the `stack([A1, A2, A3])` step of PASS (Fig. 3c line 8): the
+/// result feeds a dense projection that maps per-edge attention vectors to
+/// sampling bias.
+pub fn stack_edge_values(mats: &[&SparseMatrix]) -> Result<Dense> {
+    let first = mats.first().ok_or(Error::InvalidStructure {
+        reason: "stack_edge_values needs at least one matrix".to_string(),
+    })?;
+    let nnz = first.nnz();
+    for m in mats {
+        if m.nnz() != nnz || m.shape() != first.shape() {
+            return Err(Error::InvalidStructure {
+                reason: "stack_edge_values operands must share shape and nnz".to_string(),
+            });
+        }
+    }
+    let mut out = Dense::zeros(nnz, mats.len());
+    for (k, m) in mats.iter().enumerate() {
+        let vals = m.values_or_ones();
+        for (i, v) in vals.into_iter().enumerate() {
+            out.set(i, k, v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Csc;
+    use crate::Format;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::Csc(
+            Csc::new(
+                4,
+                3,
+                vec![0, 2, 3, 6],
+                vec![0, 2, 1, 0, 1, 3],
+                Some(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn scalar_square() {
+        let m = sample();
+        let sq = scalar_op(&m, 2.0, EltOp::Pow);
+        assert_eq!(sq.values().unwrap(), &[1.0, 4.0, 9.0, 16.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn unary_ops() {
+        let m = scalar_op(&sample(), 3.0, EltOp::Sub); // values -2..=3
+        let relu = unary_op(&m, UnaryOp::Relu);
+        assert_eq!(relu.values().unwrap(), &[0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        let sq = unary_op(&m, UnaryOp::Square);
+        assert_eq!(sq.values().unwrap(), &[4.0, 1.0, 0.0, 1.0, 4.0, 9.0]);
+        let neg = unary_op(&m, UnaryOp::Neg);
+        assert_eq!(neg.values().unwrap()[5], -3.0);
+    }
+
+    #[test]
+    fn dense_operand() {
+        let m = sample();
+        let mut d = Dense::zeros(4, 3);
+        for r in 0..4 {
+            for c in 0..3 {
+                d.set(r, c, 10.0);
+            }
+        }
+        let out = dense_op(&m, &d, EltOp::Mul).unwrap();
+        assert_eq!(out.values().unwrap(), &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
+        let bad = Dense::zeros(2, 2);
+        assert!(dense_op(&m, &bad, EltOp::Mul).is_err());
+    }
+
+    #[test]
+    fn sparse_same_pattern() {
+        let a = sample();
+        let b = scalar_op(&a, 2.0, EltOp::Mul);
+        let sum = sparse_op(&a, &b, EltOp::Add).unwrap();
+        assert_eq!(sum.values().unwrap(), &[3.0, 6.0, 9.0, 12.0, 15.0, 18.0]);
+    }
+
+    #[test]
+    fn sparse_cross_format_pattern_match() {
+        let a = sample();
+        let b = scalar_op(&a, 1.0, EltOp::Add).to_format(Format::Coo);
+        let out = sparse_op(&a, &b, EltOp::Add).unwrap();
+        // Result uses a's (CSC) storage; edge (0,0) was 1.0, b's is 2.0.
+        assert_eq!(out.sorted_edges()[0], (0, 0, 3.0));
+        assert_eq!(out.format(), Format::Csc);
+    }
+
+    #[test]
+    fn sparse_pattern_mismatch_rejected() {
+        let a = sample();
+        let b = SparseMatrix::Csc(Csc::new(4, 3, vec![0, 1, 1, 1], vec![0], None).unwrap());
+        assert!(sparse_op(&a, &b, EltOp::Add).is_err());
+        let c = SparseMatrix::Csc(
+            Csc::new(4, 3, vec![0, 2, 3, 6], vec![1, 2, 1, 0, 1, 3], None).unwrap(),
+        );
+        assert!(sparse_op(&a, &c, EltOp::Add).is_err());
+    }
+
+    #[test]
+    fn stack_three_matrices() {
+        let a = sample();
+        let b = scalar_op(&a, 10.0, EltOp::Mul);
+        let c = scalar_op(&a, 100.0, EltOp::Mul);
+        let stacked = stack_edge_values(&[&a, &b, &c]).unwrap();
+        assert_eq!(stacked.shape(), (6, 3));
+        assert_eq!(stacked.get(2, 0), 3.0);
+        assert_eq!(stacked.get(2, 1), 30.0);
+        assert_eq!(stacked.get(2, 2), 300.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type shared by all matrix kernels.
+
+/// Errors produced by sparse/dense matrix kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// A vector operand's length does not match the matrix dimension it is
+    /// broadcast over or reduced onto.
+    LengthMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// An index (row, column, or node ID) is out of bounds.
+    IndexOutOfBounds {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must be below.
+        bound: usize,
+    },
+    /// A structural invariant of a sparse format is violated
+    /// (e.g. non-monotone `indptr`, unsorted indices).
+    InvalidStructure {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// An operation requires edge values but the matrix is unweighted and
+    /// the operation cannot assume implicit ones.
+    MissingValues {
+        /// Human-readable description of the operation.
+        op: &'static str,
+    },
+    /// Sampling was asked for more items than are available without
+    /// replacement, in a context where truncation is not permitted.
+    NotEnoughCandidates {
+        /// Requested sample size.
+        requested: usize,
+        /// Available population size.
+        available: usize,
+    },
+    /// A probability / weight vector contains a negative or non-finite entry.
+    InvalidProbability {
+        /// Position of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f32,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{} vs rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::LengthMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "length mismatch in {op}: expected {expected}, got {actual}"
+            ),
+            Error::IndexOutOfBounds { op, index, bound } => {
+                write!(f, "index {index} out of bounds {bound} in {op}")
+            }
+            Error::InvalidStructure { reason } => {
+                write!(f, "invalid sparse structure: {reason}")
+            }
+            Error::MissingValues { op } => {
+                write!(f, "operation {op} requires edge values")
+            }
+            Error::NotEnoughCandidates {
+                requested,
+                available,
+            } => write!(
+                f,
+                "requested {requested} samples but only {available} candidates available"
+            ),
+            Error::InvalidProbability { index, value } => {
+                write!(f, "invalid probability {value} at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias for `std::result::Result<T, Error>`.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,201 @@
+//! Axis reductions over edge values (edge-reduce kernels).
+//!
+//! `reduce(A, ReduceOp::Sum, Axis::Row)` returns a vector of length
+//! `A.nrows` whose entry `i` aggregates the values of all edges in row `i`
+//! — in the sampling setting this sums each candidate node's bias across
+//! all frontiers (LADIES, Fig. 3b line 3). These are the *edge-reduce*
+//! operators of the fusion taxonomy in paper §4.2.
+
+use crate::sparse::SparseMatrix;
+use crate::{Axis, ReduceOp};
+
+/// Reduce edge values onto one axis, returning a dense vector indexed by
+/// that axis (length `nrows` for `Axis::Row`, `ncols` for `Axis::Col`).
+///
+/// Nodes with no incident edges get 0.0 regardless of the reduction (the
+/// identity the paper's bias computations expect for isolated candidates).
+pub fn reduce(m: &SparseMatrix, op: ReduceOp, axis: Axis) -> Vec<f32> {
+    let n = match axis {
+        Axis::Row => m.nrows(),
+        Axis::Col => m.ncols(),
+    };
+    match op {
+        ReduceOp::Sum => {
+            let mut out = vec![0f32; n];
+            for (r, c, v) in m.iter_edges() {
+                let i = index(axis, r, c);
+                out[i] += v;
+            }
+            out
+        }
+        ReduceOp::Count => {
+            let mut out = vec![0f32; n];
+            for (r, c, _) in m.iter_edges() {
+                out[index(axis, r, c)] += 1.0;
+            }
+            out
+        }
+        ReduceOp::Max => {
+            let mut out = vec![f32::NEG_INFINITY; n];
+            let mut seen = vec![false; n];
+            for (r, c, v) in m.iter_edges() {
+                let i = index(axis, r, c);
+                out[i] = out[i].max(v);
+                seen[i] = true;
+            }
+            zero_unseen(&mut out, &seen);
+            out
+        }
+        ReduceOp::Min => {
+            let mut out = vec![f32::INFINITY; n];
+            let mut seen = vec![false; n];
+            for (r, c, v) in m.iter_edges() {
+                let i = index(axis, r, c);
+                out[i] = out[i].min(v);
+                seen[i] = true;
+            }
+            zero_unseen(&mut out, &seen);
+            out
+        }
+        ReduceOp::Mean => {
+            let mut sum = vec![0f32; n];
+            let mut cnt = vec![0f32; n];
+            for (r, c, v) in m.iter_edges() {
+                let i = index(axis, r, c);
+                sum[i] += v;
+                cnt[i] += 1.0;
+            }
+            for i in 0..n {
+                if cnt[i] > 0.0 {
+                    sum[i] /= cnt[i];
+                }
+            }
+            sum
+        }
+    }
+}
+
+/// Total of all edge values (`A.sum()` with no axis).
+pub fn reduce_all(m: &SparseMatrix, op: ReduceOp) -> f32 {
+    match op {
+        ReduceOp::Sum => m.iter_edges().map(|(_, _, v)| v).sum(),
+        ReduceOp::Count => m.nnz() as f32,
+        ReduceOp::Max => m
+            .iter_edges()
+            .map(|(_, _, v)| v)
+            .fold(f32::NEG_INFINITY, f32::max),
+        ReduceOp::Min => m
+            .iter_edges()
+            .map(|(_, _, v)| v)
+            .fold(f32::INFINITY, f32::min),
+        ReduceOp::Mean => {
+            if m.nnz() == 0 {
+                0.0
+            } else {
+                m.iter_edges().map(|(_, _, v)| v).sum::<f32>() / m.nnz() as f32
+            }
+        }
+    }
+}
+
+#[inline]
+fn index(axis: Axis, r: crate::NodeId, c: crate::NodeId) -> usize {
+    match axis {
+        Axis::Row => r as usize,
+        Axis::Col => c as usize,
+    }
+}
+
+fn zero_unseen(out: &mut [f32], seen: &[bool]) {
+    for (o, &s) in out.iter_mut().zip(seen) {
+        if !s {
+            *o = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Csc;
+    use crate::Format;
+
+    fn sample() -> SparseMatrix {
+        // 4x3 with values 1..=6 (see csc.rs sample)
+        SparseMatrix::Csc(
+            Csc::new(
+                4,
+                3,
+                vec![0, 2, 3, 6],
+                vec![0, 2, 1, 0, 1, 3],
+                Some(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn sum_rows_and_cols() {
+        let m = sample();
+        assert_eq!(reduce(&m, ReduceOp::Sum, Axis::Row), vec![5.0, 8.0, 2.0, 6.0]);
+        assert_eq!(reduce(&m, ReduceOp::Sum, Axis::Col), vec![3.0, 3.0, 15.0]);
+    }
+
+    #[test]
+    fn reductions_format_independent() {
+        let m = sample();
+        for fmt in Format::ALL {
+            let c = m.to_format(fmt);
+            for op in [
+                ReduceOp::Sum,
+                ReduceOp::Max,
+                ReduceOp::Min,
+                ReduceOp::Mean,
+                ReduceOp::Count,
+            ] {
+                assert_eq!(
+                    reduce(&c, op, Axis::Row),
+                    reduce(&m, op, Axis::Row),
+                    "op {op:?} fmt {fmt:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_is_degree() {
+        let m = sample();
+        assert_eq!(reduce(&m, ReduceOp::Count, Axis::Col), vec![2.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn max_min_mean() {
+        let m = sample();
+        assert_eq!(reduce(&m, ReduceOp::Max, Axis::Col), vec![2.0, 3.0, 6.0]);
+        assert_eq!(reduce(&m, ReduceOp::Min, Axis::Col), vec![1.0, 3.0, 4.0]);
+        assert_eq!(reduce(&m, ReduceOp::Mean, Axis::Col), vec![1.5, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn isolated_nodes_get_zero() {
+        let m = SparseMatrix::Csc(Csc::new(3, 2, vec![0, 1, 1], vec![2], Some(vec![4.0])).unwrap());
+        assert_eq!(reduce(&m, ReduceOp::Max, Axis::Row), vec![0.0, 0.0, 4.0]);
+        assert_eq!(reduce(&m, ReduceOp::Min, Axis::Col), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn reduce_all_variants() {
+        let m = sample();
+        assert_eq!(reduce_all(&m, ReduceOp::Sum), 21.0);
+        assert_eq!(reduce_all(&m, ReduceOp::Count), 6.0);
+        assert_eq!(reduce_all(&m, ReduceOp::Max), 6.0);
+        assert_eq!(reduce_all(&m, ReduceOp::Min), 1.0);
+        assert_eq!(reduce_all(&m, ReduceOp::Mean), 3.5);
+    }
+
+    #[test]
+    fn unweighted_sum_counts_edges() {
+        let m = SparseMatrix::Csc(Csc::new(2, 2, vec![0, 2, 2], vec![0, 1], None).unwrap());
+        assert_eq!(reduce(&m, ReduceOp::Sum, Axis::Col), vec![2.0, 0.0]);
+    }
+}

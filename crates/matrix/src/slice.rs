@@ -1,0 +1,325 @@
+//! Row/column slicing — the *extract* step of the ECSF model.
+//!
+//! `slice_cols(A, frontiers)` implements `A[:, frontiers]`: the result has
+//! one column per frontier entry (duplicates allowed, in the order given)
+//! and keeps the full row dimension of `A`. `slice_rows` is the transposed
+//! operation. Both are implemented for every storage format; the formats
+//! differ only in cost (CSC slices columns with a direct gather, CSR and
+//! COO must scan all edges — the asymmetry behind paper Table 5).
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::csr::Csr;
+use crate::error::{Error, Result};
+use crate::sparse::SparseMatrix;
+use crate::NodeId;
+
+/// Slice columns: `A[:, cols]`.
+///
+/// The output shape is `(A.nrows, cols.len())`; output column `j` is input
+/// column `cols[j]`. Returns an error if any index is out of bounds.
+pub fn slice_cols(m: &SparseMatrix, cols: &[NodeId]) -> Result<SparseMatrix> {
+    check_bounds(cols, m.ncols(), "slice_cols")?;
+    Ok(match m {
+        SparseMatrix::Csc(c) => SparseMatrix::Csc(slice_cols_csc(c, cols)),
+        SparseMatrix::Csr(c) => SparseMatrix::Csr(slice_cols_csr(c, cols)),
+        SparseMatrix::Coo(c) => SparseMatrix::Coo(slice_cols_coo(c, cols)),
+    })
+}
+
+/// Slice rows: `A[rows, :]`.
+///
+/// The output shape is `(rows.len(), A.ncols)`; output row `i` is input row
+/// `rows[i]`. Returns an error if any index is out of bounds.
+pub fn slice_rows(m: &SparseMatrix, rows: &[NodeId]) -> Result<SparseMatrix> {
+    check_bounds(rows, m.nrows(), "slice_rows")?;
+    Ok(match m {
+        SparseMatrix::Csc(c) => SparseMatrix::Csc(slice_rows_csc(c, rows)),
+        SparseMatrix::Csr(c) => SparseMatrix::Csr(slice_rows_csr(c, rows)),
+        SparseMatrix::Coo(c) => SparseMatrix::Coo(slice_rows_coo(c, rows)),
+    })
+}
+
+/// Keep only the rows listed in `rows`, relabelling them `0..rows.len()`,
+/// without touching columns. This is the structural core of
+/// `collective_sample` and of row compaction.
+pub fn gather_rows(m: &SparseMatrix, rows: &[NodeId]) -> Result<SparseMatrix> {
+    slice_rows(m, rows)
+}
+
+fn check_bounds(ids: &[NodeId], bound: usize, op: &'static str) -> Result<()> {
+    for &i in ids {
+        if (i as usize) >= bound {
+            return Err(Error::IndexOutOfBounds {
+                op,
+                index: i as usize,
+                bound,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Direct gather: copy each requested column's slice.
+fn slice_cols_csc(m: &Csc, cols: &[NodeId]) -> Csc {
+    let mut indptr = Vec::with_capacity(cols.len() + 1);
+    indptr.push(0usize);
+    let est: usize = cols
+        .iter()
+        .map(|&c| m.col_degree(c as usize))
+        .sum();
+    let mut indices = Vec::with_capacity(est);
+    let mut values = m.values.as_ref().map(|_| Vec::with_capacity(est));
+    for &c in cols {
+        let range = m.col_range(c as usize);
+        indices.extend_from_slice(&m.indices[range.clone()]);
+        if let (Some(out), Some(src)) = (values.as_mut(), m.values.as_ref()) {
+            out.extend_from_slice(&src[range]);
+        }
+        indptr.push(indices.len());
+    }
+    Csc {
+        nrows: m.nrows,
+        ncols: cols.len(),
+        indptr,
+        indices,
+        values,
+    }
+}
+
+/// Scan every row, keeping entries whose column is requested. A column
+/// requested `k` times produces `k` output columns.
+fn slice_cols_csr(m: &Csr, cols: &[NodeId]) -> Csr {
+    // old column -> list of new column positions
+    let mut col_map: Vec<Vec<NodeId>> = vec![Vec::new(); m.ncols];
+    for (new, &old) in cols.iter().enumerate() {
+        col_map[old as usize].push(new as NodeId);
+    }
+    let mut indptr = Vec::with_capacity(m.nrows + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = m.values.as_ref().map(|_| Vec::new());
+    for r in 0..m.nrows {
+        let mut row_entries: Vec<(NodeId, f32)> = Vec::new();
+        for pos in m.row_range(r) {
+            let old_col = m.indices[pos] as usize;
+            for &new_col in &col_map[old_col] {
+                row_entries.push((new_col, m.value_at(pos)));
+            }
+        }
+        row_entries.sort_by_key(|(c, _)| *c);
+        for (c, v) in row_entries {
+            indices.push(c);
+            if let Some(out) = values.as_mut() {
+                out.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    let values = if m.values.is_some() { values } else { None };
+    Csr {
+        nrows: m.nrows,
+        ncols: cols.len(),
+        indptr,
+        indices,
+        values,
+    }
+}
+
+/// Scan the edge list, emitting one edge per matching requested column.
+fn slice_cols_coo(m: &Coo, cols: &[NodeId]) -> Coo {
+    let mut col_map: Vec<Vec<NodeId>> = vec![Vec::new(); m.ncols];
+    for (new, &old) in cols.iter().enumerate() {
+        col_map[old as usize].push(new as NodeId);
+    }
+    let mut rows = Vec::new();
+    let mut out_cols = Vec::new();
+    let mut values = m.values.as_ref().map(|_| Vec::new());
+    for i in 0..m.nnz() {
+        for &new_col in &col_map[m.cols[i] as usize] {
+            rows.push(m.rows[i]);
+            out_cols.push(new_col);
+            if let Some(out) = values.as_mut() {
+                out.push(m.value_at(i));
+            }
+        }
+    }
+    Coo {
+        nrows: m.nrows,
+        ncols: cols.len(),
+        rows,
+        cols: out_cols,
+        values,
+    }
+}
+
+fn slice_rows_csr(m: &Csr, rows: &[NodeId]) -> Csr {
+    let mut indptr = Vec::with_capacity(rows.len() + 1);
+    indptr.push(0usize);
+    let est: usize = rows
+        .iter()
+        .map(|&r| m.row_degree(r as usize))
+        .sum();
+    let mut indices = Vec::with_capacity(est);
+    let mut values = m.values.as_ref().map(|_| Vec::with_capacity(est));
+    for &r in rows {
+        let range = m.row_range(r as usize);
+        indices.extend_from_slice(&m.indices[range.clone()]);
+        if let (Some(out), Some(src)) = (values.as_mut(), m.values.as_ref()) {
+            out.extend_from_slice(&src[range]);
+        }
+        indptr.push(indices.len());
+    }
+    Csr {
+        nrows: rows.len(),
+        ncols: m.ncols,
+        indptr,
+        indices,
+        values,
+    }
+}
+
+fn slice_rows_csc(m: &Csc, rows: &[NodeId]) -> Csc {
+    let mut row_map: Vec<Vec<NodeId>> = vec![Vec::new(); m.nrows];
+    for (new, &old) in rows.iter().enumerate() {
+        row_map[old as usize].push(new as NodeId);
+    }
+    let mut indptr = Vec::with_capacity(m.ncols + 1);
+    indptr.push(0usize);
+    let mut indices = Vec::new();
+    let mut values = m.values.as_ref().map(|_| Vec::new());
+    for c in 0..m.ncols {
+        let mut col_entries: Vec<(NodeId, f32)> = Vec::new();
+        for pos in m.col_range(c) {
+            let old_row = m.indices[pos] as usize;
+            for &new_row in &row_map[old_row] {
+                col_entries.push((new_row, m.value_at(pos)));
+            }
+        }
+        col_entries.sort_by_key(|(r, _)| *r);
+        for (r, v) in col_entries {
+            indices.push(r);
+            if let Some(out) = values.as_mut() {
+                out.push(v);
+            }
+        }
+        indptr.push(indices.len());
+    }
+    let values = if m.values.is_some() { values } else { None };
+    Csc {
+        nrows: rows.len(),
+        ncols: m.ncols,
+        indptr,
+        indices,
+        values,
+    }
+}
+
+fn slice_rows_coo(m: &Coo, rows: &[NodeId]) -> Coo {
+    let mut row_map: Vec<Vec<NodeId>> = vec![Vec::new(); m.nrows];
+    for (new, &old) in rows.iter().enumerate() {
+        row_map[old as usize].push(new as NodeId);
+    }
+    let mut out_rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut values = m.values.as_ref().map(|_| Vec::new());
+    for i in 0..m.nnz() {
+        for &new_row in &row_map[m.rows[i] as usize] {
+            out_rows.push(new_row);
+            cols.push(m.cols[i]);
+            if let Some(out) = values.as_mut() {
+                out.push(m.value_at(i));
+            }
+        }
+    }
+    Coo {
+        nrows: rows.len(),
+        ncols: m.ncols,
+        rows: out_rows,
+        cols,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Format;
+
+    fn sample() -> SparseMatrix {
+        // 4x3:
+        // col0: rows {0:1.0, 2:2.0}, col1: rows {1:3.0}, col2: rows {0:4.0, 1:5.0, 3:6.0}
+        SparseMatrix::Csc(
+            Csc::new(
+                4,
+                3,
+                vec![0, 2, 3, 6],
+                vec![0, 2, 1, 0, 1, 3],
+                Some(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn slice_cols_matches_across_formats() {
+        let m = sample();
+        let reference = slice_cols(&m, &[2, 0]).unwrap().sorted_edges();
+        for fmt in Format::ALL {
+            let sliced = slice_cols(&m.to_format(fmt), &[2, 0]).unwrap();
+            assert_eq!(sliced.shape(), (4, 2));
+            assert_eq!(sliced.sorted_edges(), reference);
+            sliced.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn slice_cols_with_duplicates() {
+        let m = sample();
+        for fmt in Format::ALL {
+            let sliced = slice_cols(&m.to_format(fmt), &[1, 1]).unwrap();
+            assert_eq!(sliced.shape(), (4, 2));
+            assert_eq!(sliced.nnz(), 2);
+            let edges = sliced.sorted_edges();
+            assert_eq!(edges, vec![(1, 0, 3.0), (1, 1, 3.0)]);
+        }
+    }
+
+    #[test]
+    fn slice_rows_matches_across_formats() {
+        let m = sample();
+        let reference = slice_rows(&m, &[3, 0]).unwrap().sorted_edges();
+        assert_eq!(reference, vec![(0, 2, 6.0), (1, 0, 1.0), (1, 2, 4.0)]);
+        for fmt in Format::ALL {
+            let sliced = slice_rows(&m.to_format(fmt), &[3, 0]).unwrap();
+            assert_eq!(sliced.shape(), (2, 3));
+            assert_eq!(sliced.sorted_edges(), reference);
+            sliced.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let m = sample();
+        assert!(slice_cols(&m, &[3]).is_err());
+        assert!(slice_rows(&m, &[4]).is_err());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let m = sample();
+        let sliced = slice_cols(&m, &[]).unwrap();
+        assert_eq!(sliced.shape(), (4, 0));
+        assert_eq!(sliced.nnz(), 0);
+    }
+
+    #[test]
+    fn unweighted_slice_keeps_unweighted() {
+        let csc = Csc::new(3, 2, vec![0, 2, 3], vec![0, 1, 2], None).unwrap();
+        let m = SparseMatrix::Csc(csc);
+        for fmt in Format::ALL {
+            let sliced = slice_cols(&m.to_format(fmt), &[0]).unwrap();
+            assert!(!sliced.is_weighted());
+        }
+    }
+}

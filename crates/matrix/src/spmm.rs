@@ -1,0 +1,195 @@
+//! Sparse × dense multiplication kernels.
+//!
+//! [`spmm`] implements `A @ D` (paper Table 4): sparse `(N, M)` times dense
+//! `(M, K)` gives dense `(N, K)`. [`sddmm`] computes per-edge dot products
+//! `out[e] = B.row(r_e) · C.row(c_e)` — the sampled dense-dense product
+//! PASS uses to turn feature projections into edge attention without
+//! materializing the full dense `N × T` product.
+
+use crate::dense::Dense;
+use crate::error::{Error, Result};
+use crate::sparse::SparseMatrix;
+
+/// Sparse-matrix × dense-matrix product `A @ D`.
+///
+/// `A` is `(N, M)` sparse, `D` is `(M, K)` dense; the result is `(N, K)`
+/// dense. Row `i` of the result aggregates `D`'s rows over `A`'s row-`i`
+/// edges weighted by the edge values — exactly the neighbour-aggregation
+/// primitive of GNNs.
+pub fn spmm(a: &SparseMatrix, d: &Dense) -> Result<Dense> {
+    if a.ncols() != d.nrows() {
+        return Err(Error::ShapeMismatch {
+            op: "spmm",
+            lhs: a.shape(),
+            rhs: d.shape(),
+        });
+    }
+    let k = d.ncols();
+    let mut out = Dense::zeros(a.nrows(), k);
+    for (r, c, v) in a.iter_edges() {
+        let src = d.row(c as usize);
+        let dst = out.row_mut(r as usize);
+        for (o, &x) in dst.iter_mut().zip(src) {
+            *o += v * x;
+        }
+    }
+    Ok(out)
+}
+
+/// Transposed SpMM: `A.T @ D`, aggregating over columns instead of rows.
+///
+/// `A` is `(N, M)` sparse, `D` is `(N, K)` dense; the result is `(M, K)`.
+pub fn spmm_t(a: &SparseMatrix, d: &Dense) -> Result<Dense> {
+    if a.nrows() != d.nrows() {
+        return Err(Error::ShapeMismatch {
+            op: "spmm_t",
+            lhs: a.shape(),
+            rhs: d.shape(),
+        });
+    }
+    let k = d.ncols();
+    let mut out = Dense::zeros(a.ncols(), k);
+    for (r, c, v) in a.iter_edges() {
+        let src = d.row(r as usize);
+        let dst = out.row_mut(c as usize);
+        for (o, &x) in dst.iter_mut().zip(src) {
+            *o += v * x;
+        }
+    }
+    Ok(out)
+}
+
+/// Sampled dense-dense multiplication: for every stored edge `(r, c)` of
+/// `pattern`, compute `B.row(r) · C.row(c)`; the result is a sparse matrix
+/// with `pattern`'s structure and the dot products as values.
+///
+/// `B` must have `pattern.nrows()` rows and `C` must have
+/// `pattern.ncols()` rows; both must share the feature dimension.
+pub fn sddmm(pattern: &SparseMatrix, b: &Dense, c: &Dense) -> Result<SparseMatrix> {
+    if b.nrows() != pattern.nrows() {
+        return Err(Error::ShapeMismatch {
+            op: "sddmm lhs rows",
+            lhs: pattern.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if c.nrows() != pattern.ncols() {
+        return Err(Error::ShapeMismatch {
+            op: "sddmm rhs rows",
+            lhs: pattern.shape(),
+            rhs: c.shape(),
+        });
+    }
+    if b.ncols() != c.ncols() {
+        return Err(Error::ShapeMismatch {
+            op: "sddmm feature dims",
+            lhs: b.shape(),
+            rhs: c.shape(),
+        });
+    }
+    let dots: Vec<f32> = pattern
+        .iter_edges()
+        .map(|(r, ccol, _)| {
+            let br = b.row(r as usize);
+            let cr = c.row(ccol as usize);
+            br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
+        })
+        .collect();
+    let mut out = pattern.clone();
+    out.set_values(dots);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csc::Csc;
+    use crate::Format;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::Csc(
+            Csc::new(
+                4,
+                3,
+                vec![0, 2, 3, 6],
+                vec![0, 2, 1, 0, 1, 3],
+                Some(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn spmm_against_dense_reference() {
+        let a = sample();
+        let d = Dense::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let out = spmm(&a, &d).unwrap();
+        // Dense reference: materialize A and multiply.
+        let mut a_dense = Dense::zeros(4, 3);
+        for (r, c, v) in a.iter_edges() {
+            a_dense.set(r as usize, c as usize, v);
+        }
+        let reference = a_dense.matmul(&d).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn spmm_format_independent() {
+        let a = sample();
+        let d = Dense::from_vec(3, 2, (0..6).map(|x| x as f32).collect()).unwrap();
+        let reference = spmm(&a, &d).unwrap();
+        for fmt in Format::ALL {
+            assert_eq!(spmm(&a.to_format(fmt), &d).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn spmm_t_is_transpose() {
+        let a = sample();
+        let d = Dense::from_vec(4, 2, (0..8).map(|x| x as f32).collect()).unwrap();
+        let out = spmm_t(&a, &d).unwrap();
+        assert_eq!(out.shape(), (3, 2));
+        // Column 2 of A has edges (0,4.0),(1,5.0),(3,6.0):
+        // out[2] = 4*d[0] + 5*d[1] + 6*d[3]
+        assert_eq!(out.get(2, 0), 4.0 * 0.0 + 5.0 * 2.0 + 6.0 * 6.0);
+        assert_eq!(out.get(2, 1), 4.0 * 1.0 + 5.0 * 3.0 + 6.0 * 7.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = sample();
+        assert!(spmm(&a, &Dense::zeros(5, 2)).is_err());
+        assert!(spmm_t(&a, &Dense::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn sddmm_dot_products() {
+        let a = sample();
+        let b = Dense::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0]).unwrap();
+        let c = Dense::from_vec(3, 2, vec![1.0, 1.0, 2.0, 0.0, 0.0, 3.0]).unwrap();
+        let out = sddmm(&a, &b, &c).unwrap();
+        assert_eq!(out.nnz(), a.nnz());
+        // Edge (0,0): b.row(0)=[1,0], c.row(0)=[1,1] -> 1.0
+        // Edge (3,2): b.row(3)=[2,2], c.row(2)=[0,3] -> 6.0
+        let edges = out.sorted_edges();
+        assert!(edges.contains(&(0, 0, 1.0)));
+        assert!(edges.contains(&(3, 2, 6.0)));
+    }
+
+    #[test]
+    fn sddmm_shape_checks() {
+        let a = sample();
+        assert!(sddmm(&a, &Dense::zeros(3, 2), &Dense::zeros(3, 2)).is_err());
+        assert!(sddmm(&a, &Dense::zeros(4, 2), &Dense::zeros(2, 2)).is_err());
+        assert!(sddmm(&a, &Dense::zeros(4, 2), &Dense::zeros(3, 5)).is_err());
+    }
+
+    #[test]
+    fn unweighted_spmm_sums_neighbours() {
+        let a = SparseMatrix::Csc(Csc::new(2, 2, vec![0, 2, 2], vec![0, 1], None).unwrap());
+        let d = Dense::from_vec(2, 1, vec![10.0, 20.0]).unwrap();
+        let out = spmm(&a, &d).unwrap();
+        assert_eq!(out.get(0, 0), 10.0);
+        assert_eq!(out.get(1, 0), 10.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The device cost model in action: the same LADIES epoch priced on a
+//! V100, a T4, and a CPU host, plus the effect of moving the graph behind
+//! UVA (host memory over PCIe) — the substitution this reproduction makes
+//! for real CUDA hardware (see DESIGN.md).
+//!
+//! Run with: `cargo run --release --example device_comparison`
+
+use std::sync::Arc;
+
+use gsampler::algos::layerwise;
+use gsampler::core::{compile, Bindings, DeviceProfile, Graph, Residency, SamplerConfig};
+use gsampler::graphs::{Dataset, DatasetKind};
+
+fn epoch_time(graph: &Arc<Graph>, device: DeviceProfile, seeds: &[u32]) -> (f64, f64) {
+    let sampler = compile(
+        graph.clone(),
+        layerwise::ladies(256, 2),
+        SamplerConfig {
+            device,
+            batch_size: 256,
+            auto_super_batch_budget: Some(64.0 * (1 << 20) as f64),
+            ..SamplerConfig::new()
+        },
+    )
+    .expect("compile");
+    let report = sampler
+        .run_epoch(seeds, &Bindings::new(), 0)
+        .expect("epoch");
+    (report.modeled_time, report.stats.sm_utilization())
+}
+
+fn main() {
+    let d = Dataset::generate(DatasetKind::OgbnProducts, 0.5, 9);
+    let graph = Arc::new(d.graph);
+    let seeds: Vec<u32> = d.frontiers.iter().copied().take(4096).collect();
+
+    println!("LADIES epoch ({} seeds) on the same graph:\n", seeds.len());
+    println!("device          | modeled epoch | SM util");
+    let (v100, u1) = epoch_time(&graph, DeviceProfile::v100(), &seeds);
+    println!("V100 (device)   | {:>10.1} µs | {:>5.1}%", v100 * 1e6, u1 * 100.0);
+    let (t4, u2) = epoch_time(&graph, DeviceProfile::t4(), &seeds);
+    println!("T4   (device)   | {:>10.1} µs | {:>5.1}%", t4 * 1e6, u2 * 100.0);
+    let (cpu, _) = epoch_time(&graph, DeviceProfile::cpu(), &seeds);
+    println!("CPU  (host)     | {:>10.1} µs |     -", cpu * 1e6);
+
+    // The same graph, but too big for device memory: UVA residency with a
+    // 70% cache hit rate (skewed access keeps hot adjacency lists on the
+    // device, paper §5.2).
+    let uva_graph = Arc::new((*graph).clone().with_residency(Residency::HostUva {
+        cache_hit_rate: 0.7,
+    }));
+    let (uva, _) = epoch_time(&uva_graph, DeviceProfile::v100(), &seeds);
+    println!("V100 (UVA host) | {:>10.1} µs |     -", uva * 1e6);
+
+    println!("\nexpected ordering: V100 < T4 < V100+UVA << CPU");
+    assert!(v100 <= t4, "T4 must not beat V100");
+    assert!(v100 < uva, "UVA must cost PCIe traffic");
+    assert!(t4 < cpu, "CPU sampling is the slowest");
+    println!(
+        "speedups vs CPU: V100 {:.0}x, T4 {:.0}x, V100+UVA {:.0}x",
+        cpu / v100,
+        cpu / t4,
+        cpu / uva
+    );
+}

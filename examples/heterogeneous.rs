@@ -1,0 +1,76 @@
+//! Heterogeneous graph sampling: typed nodes, one sparse matrix per edge
+//! type (the paper's §4.5 design), meta-path walks, and HetGNN-style typed
+//! neighbourhoods.
+//!
+//! Run with: `cargo run --release --example heterogeneous`
+
+use gsampler::algos::metapath::{typed_neighbors, MetaPathWalker};
+use gsampler::core::hetero::HeteroGraph;
+use gsampler::core::SamplerConfig;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A user-item commerce graph: 300 users, 120 items.
+    let users = 300u32;
+    let items = 120u32;
+    let mut node_type = vec![0usize; users as usize];
+    node_type.extend(vec![1usize; items as usize]);
+    let mut h = HeteroGraph::new(vec!["user".into(), "item".into()], node_type).unwrap();
+
+    // Power-law purchases: popular items attract most edges.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut bought = Vec::new();
+    let mut bought_by = Vec::new();
+    for u in 0..users {
+        let purchases = 2 + (u % 5);
+        for _ in 0..purchases {
+            // Skewed item choice: square a uniform draw.
+            let x: f32 = rng.gen_range(0.0..1.0);
+            let item = users + ((x * x * items as f32) as u32).min(items - 1);
+            bought.push((u, item, 1.0f32));
+            bought_by.push((item, u, 1.0f32));
+        }
+    }
+    h.add_relation("bought", 0, 1, &bought, false).unwrap();
+    h.add_relation("bought_by", 1, 0, &bought_by, false).unwrap();
+    println!(
+        "hetero graph: {} nodes ({} users, {} items), relations: {:?}",
+        h.num_nodes(),
+        users,
+        items,
+        h.relations().iter().map(|r| r.name.as_str()).collect::<Vec<_>>()
+    );
+
+    // PinSAGE-style meta-path from items: item <-bought- user <-bought_by- item.
+    let walker = MetaPathWalker::compile(
+        &h,
+        1,
+        &["bought", "bought_by"],
+        SamplerConfig::new(),
+    )
+    .expect("type-checked meta-path");
+    let seeds: Vec<u32> = (users..users + 6).collect();
+    let positions = walker.walk(&seeds, 4, 7).expect("walk");
+    println!("\nmeta-path walk (item -> user -> item ...), first walker:");
+    let mut path = vec![seeds[0]];
+    for step in &positions {
+        path.push(step[0]);
+    }
+    let names: Vec<String> = path
+        .iter()
+        .map(|&v| format!("{}#{v}", h.type_names()[h.node_type(v)]))
+        .collect();
+    println!("  {}", names.join(" -> "));
+
+    // HetGNN: top-k most-visited neighbours per node type.
+    let groups = typed_neighbors(&h, &walker, &seeds, 6, 5, 11).expect("typed neighbours");
+    println!("\nHetGNN typed neighbourhoods (top-5 per type):");
+    for (s, per_seed) in seeds.iter().zip(&groups) {
+        let users: &Vec<u32> = &per_seed[0];
+        let items: &Vec<u32> = &per_seed[1];
+        println!("  item#{s}: users {users:?}, items {items:?}");
+        assert!(users.iter().all(|&v| h.node_type(v) == 0));
+        assert!(items.iter().all(|&v| h.node_type(v) == 1));
+    }
+    println!("\ntype constraints verified for every sampled neighbour ✓");
+}

@@ -1,0 +1,30 @@
+//! gSampler-rs: general and efficient graph sampling for graph learning.
+//!
+//! A Rust reproduction of *gSampler* (SOSP 2023): matrix-centric sampling
+//! APIs over an ECSF (Extract-Compute-Select-Finalize) programming model,
+//! a data-flow IR with fusion / pre-processing / data-layout-selection /
+//! super-batching passes, and an execution engine with an analytical GPU
+//! cost model standing in for CUDA (see `DESIGN.md`).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`core`]: the public API — build layers, compile, sample.
+//! - [`algos`]: the 15 sampling algorithms of the paper's Table 2.
+//! - [`baselines`]: eager (DGL-like) and vertex-centric (SkyWalker-like)
+//!   comparison architectures.
+//! - [`graphs`]: synthetic dataset presets shaped like the paper's four
+//!   evaluation graphs.
+//! - [`train`]: a minimal GNN training stack for end-to-end experiments.
+//! - [`matrix`], [`engine`], [`ir`]: the underlying substrates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gsampler_algos as algos;
+pub use gsampler_baselines as baselines;
+pub use gsampler_core as core;
+pub use gsampler_engine as engine;
+pub use gsampler_graphs as graphs;
+pub use gsampler_ir as ir;
+pub use gsampler_matrix as matrix;
+pub use gsampler_train as train;

@@ -1,0 +1,152 @@
+//! Cross-validation of the baseline engines: the DGL-like eager engine
+//! and the vertex-centric engine implement *the same sampling semantics*
+//! as gSampler, just on a different execution architecture — so the
+//! comparison columns of Figures 7–8 measure architecture, not behaviour.
+//! These tests check the semantic equivalence statistically.
+
+use std::sync::Arc;
+
+use gsampler::baselines::{EagerSampler, VertexCentricSampler};
+use gsampler::core::builder::LayerBuilder;
+use gsampler::core::{compile, Bindings, DeviceProfile, Graph, SamplerConfig};
+
+/// A star: node 0 has 6 in-neighbours with distinct weights.
+fn star() -> Arc<Graph> {
+    let edges: Vec<(u32, u32, f32)> = (1..7u32).map(|r| (r, 0, r as f32)).collect();
+    Arc::new(Graph::from_edges("star", 7, &edges, true).unwrap())
+}
+
+/// Uniform fanout-1 pick frequencies per engine, over `trials` draws.
+fn frequencies(trials: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let graph = star();
+    // gSampler.
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s = a.slice_cols(&f).individual_sample(1, None);
+    let next = s.row_nodes();
+    b.output(&s);
+    b.output_next_frontiers(&next);
+    let gs = compile(
+        graph.clone(),
+        vec![b.build()],
+        SamplerConfig {
+            batch_size: 1,
+            ..SamplerConfig::new()
+        },
+    )
+    .unwrap();
+    let mut gs_counts = vec![0f64; 7];
+    for t in 0..trials {
+        let out = gs.sample_batch_seeded(&[0], &Bindings::new(), t).unwrap();
+        let v = out.layers[0][1].as_nodes().unwrap()[0];
+        gs_counts[v as usize] += 1.0;
+    }
+
+    // Eager (DGL-like).
+    let eager = EagerSampler::new(graph.clone(), DeviceProfile::v100(), 3);
+    let mut eager_counts = vec![0f64; 7];
+    for t in 0..trials {
+        let layers = eager.graphsage_batch(&[0], &[1], t);
+        for v in layers[0].row_nodes() {
+            eager_counts[v as usize] += 1.0;
+        }
+    }
+
+    // Vertex-centric (weighted alias draws — uses the edge weights).
+    let vc = VertexCentricSampler::new(graph, DeviceProfile::v100(), 4);
+    let mut vc_counts = vec![0f64; 7];
+    for t in 0..trials {
+        let per_frontier = vc.graphsage_batch(&[0], &[1], t);
+        for &v in &per_frontier[0][0] {
+            vc_counts[v as usize] += 1.0;
+        }
+    }
+    let norm = |v: Vec<f64>| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s.max(1.0)).collect()
+    };
+    (norm(gs_counts), norm(eager_counts), norm(vc_counts))
+}
+
+#[test]
+fn gsampler_and_eager_sample_the_same_uniform_distribution() {
+    let trials = 1800;
+    let (gs, eager, _) = frequencies(trials);
+    // Both are uniform over the 6 neighbours: each frequency near 1/6,
+    // and the two engines agree within sampling noise.
+    for v in 1..7 {
+        assert!(
+            (gs[v] - 1.0 / 6.0).abs() < 0.04,
+            "gSampler picked node {v} with frequency {}",
+            gs[v]
+        );
+        assert!(
+            (gs[v] - eager[v]).abs() < 0.05,
+            "engines disagree on node {v}: {} vs {}",
+            gs[v],
+            eager[v]
+        );
+    }
+}
+
+#[test]
+fn vertex_centric_draws_follow_edge_weights() {
+    // SkyWalker's alias tables are weight-proportional (its native
+    // semantics); node 6 (weight 6) should be picked 6/21 of the time.
+    let (_, _, vc) = frequencies(1800);
+    assert!(
+        (vc[6] - 6.0 / 21.0).abs() < 0.05,
+        "heaviest neighbour frequency {}",
+        vc[6]
+    );
+    assert!(
+        (vc[1] - 1.0 / 21.0).abs() < 0.03,
+        "lightest neighbour frequency {}",
+        vc[1]
+    );
+}
+
+#[test]
+fn eager_ladies_matches_gsampler_ladies_shape() {
+    // Same layer width, same graph: both engines produce LADIES samples
+    // with <= k distinct rows and unit column sums.
+    let graph = {
+        let edges: Vec<(u32, u32, f32)> = (0..48u32)
+            .flat_map(|v| (1..5u32).map(move |d| ((v + d * 7) % 48, v, 0.1 + d as f32 * 0.2)))
+            .collect();
+        Arc::new(Graph::from_edges("lad", 48, &edges, true).unwrap())
+    };
+    let frontiers: Vec<u32> = (0..8).collect();
+    let k = 6usize;
+
+    let gs = compile(
+        graph.clone(),
+        gsampler::algos::layerwise::ladies(k, 1),
+        SamplerConfig {
+            batch_size: 8,
+            ..SamplerConfig::new()
+        },
+    )
+    .unwrap();
+    let out = gs.sample_batch(&frontiers, &Bindings::new()).unwrap();
+    let gs_m = out.layers[0][0].as_matrix().unwrap().clone();
+
+    let eager = EagerSampler::new(graph, DeviceProfile::v100(), 9);
+    let eager_layers = eager.ladies_batch(&frontiers, k, 1, 0);
+    let eager_m = &eager_layers[0];
+
+    for m in [&gs_m, eager_m] {
+        assert!(m.row_nodes().len() <= k);
+        let sums = gsampler::matrix::reduce::reduce(
+            &m.data,
+            gsampler::matrix::ReduceOp::Sum,
+            gsampler::matrix::Axis::Col,
+        );
+        for s in sums {
+            if s != 0.0 {
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}
