@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints as errors, and the tier-1 test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test -q

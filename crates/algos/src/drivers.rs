@@ -60,8 +60,14 @@ pub fn run_walk_batch(
     restart: f32,
     stream: u64,
 ) -> Result<WalkTrace> {
-    let mut traces =
-        run_walk_groups(sampler, vec![seeds.to_vec()], length, node2vec, restart, stream)?;
+    let mut traces = run_walk_groups(
+        sampler,
+        vec![seeds.to_vec()],
+        length,
+        node2vec,
+        restart,
+        stream,
+    )?;
     Ok(traces.pop().expect("one group in, one trace out"))
 }
 
@@ -79,8 +85,10 @@ pub fn run_walk_groups(
     let pool = gsampler_engine::RngPool::new(stream);
     let mut restart_rng = StdRng::seed_from_u64(stream ^ 0x5EED);
     let mut frontiers: Vec<Vec<NodeId>> = seed_groups.clone();
-    let mut positions: Vec<Vec<Vec<NodeId>>> =
-        seed_groups.iter().map(|_| Vec::with_capacity(length)).collect();
+    let mut positions: Vec<Vec<Vec<NodeId>>> = seed_groups
+        .iter()
+        .map(|_| Vec::with_capacity(length))
+        .collect();
     for step in 0..length {
         let mut bindings = Bindings::new();
         if node2vec {
@@ -201,7 +209,13 @@ pub fn pinsage_neighbors(
         }
         let mut ranked: Vec<(NodeId, usize)> = counts.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        out.push(ranked.into_iter().take(hyper.top_k).map(|(v, _)| v).collect());
+        out.push(
+            ranked
+                .into_iter()
+                .take(hyper.top_k)
+                .map(|(v, _)| v)
+                .collect(),
+        );
     }
     Ok(out)
 }
@@ -274,10 +288,7 @@ fn pinsage_like_counts(
 /// A compiled single-layer sampler that induces the subgraph on a node
 /// set — the finalize step of GraphSAINT / ShaDow / SEAL, kept as a
 /// program so its kernel cost is charged like everything else.
-pub fn induce_sampler(
-    graph: std::sync::Arc<Graph>,
-    config: SamplerConfig,
-) -> Result<Sampler> {
+pub fn induce_sampler(graph: std::sync::Arc<Graph>, config: SamplerConfig) -> Result<Sampler> {
     let b = LayerBuilder::new();
     let a = b.graph();
     let f = b.frontiers();
@@ -370,7 +381,9 @@ impl BanditState {
     /// signal the real estimators use).
     pub fn update(&mut self, sample: &GraphSample) {
         for layer in &sample.layers {
-            let Some(m) = layer[0].as_matrix() else { continue };
+            let Some(m) = layer[0].as_matrix() else {
+                continue;
+            };
             let mut reward: HashMap<NodeId, f32> = HashMap::new();
             for (r, _, v) in m.global_edges() {
                 *reward.entry(r).or_insert(0.0) += v.abs();
@@ -410,15 +423,24 @@ impl BanditState {
 pub fn pass_bindings(feature_dim: usize, hidden: usize, seed: u64) -> Bindings {
     let mut rng = StdRng::seed_from_u64(seed);
     Bindings::new()
-        .dense("W1", gsampler_matrix::Dense::random(feature_dim, hidden, 0.3, &mut rng))
-        .dense("W2", gsampler_matrix::Dense::random(feature_dim, hidden, 0.3, &mut rng))
+        .dense(
+            "W1",
+            gsampler_matrix::Dense::random(feature_dim, hidden, 0.3, &mut rng),
+        )
+        .dense(
+            "W2",
+            gsampler_matrix::Dense::random(feature_dim, hidden, 0.3, &mut rng),
+        )
         .dense("W3", gsampler_matrix::Dense::random(3, 1, 0.5, &mut rng))
 }
 
 /// AS-GCN's learned-bias weights (`Wg`: `d × 1`).
 pub fn asgcn_bindings(feature_dim: usize, seed: u64) -> Bindings {
     let mut rng = StdRng::seed_from_u64(seed);
-    Bindings::new().dense("Wg", gsampler_matrix::Dense::random(feature_dim, 1, 0.5, &mut rng))
+    Bindings::new().dense(
+        "Wg",
+        gsampler_matrix::Dense::random(feature_dim, 1, 0.5, &mut rng),
+    )
 }
 
 /// SEAL's static PPR bias binding.

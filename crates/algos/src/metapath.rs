@@ -35,9 +35,7 @@ impl MetaPathWalker {
         hetero.check_metapath(start_type, path)?;
         let mut samplers = Vec::with_capacity(path.len());
         for name in path {
-            let rel = hetero
-                .relation(name)
-                .expect("checked by check_metapath");
+            let rel = hetero.relation(name).expect("checked by check_metapath");
             let sampler = compile(
                 Arc::clone(&rel.graph),
                 vec![deepwalk_step()],
@@ -54,12 +52,7 @@ impl MetaPathWalker {
     /// Walk one batch of seeds along the meta-path (repeated `rounds`
     /// times); returns per-step positions. Walkers stuck at nodes without
     /// the required in-edges stay in place for that step.
-    pub fn walk(
-        &self,
-        seeds: &[NodeId],
-        rounds: usize,
-        stream: u64,
-    ) -> Result<Vec<Vec<NodeId>>> {
+    pub fn walk(&self, seeds: &[NodeId], rounds: usize, stream: u64) -> Result<Vec<Vec<NodeId>>> {
         let mut cur: Vec<NodeId> = seeds.to_vec();
         let mut positions = Vec::with_capacity(rounds * self.samplers.len());
         for round in 0..rounds {
@@ -143,7 +136,8 @@ mod tests {
             }
         }
         h.add_relation("bought", 0, 1, &bought, false).unwrap();
-        h.add_relation("bought_by", 1, 0, &bought_by, false).unwrap();
+        h.add_relation("bought_by", 1, 0, &bought_by, false)
+            .unwrap();
         h
     }
 
@@ -152,8 +146,8 @@ mod tests {
         let h = commerce();
         // Start on items; sample in-neighbours under "bought" (users),
         // then under "bought_by" (items) — the user-item-user... chain.
-        let walker = MetaPathWalker::compile(&h, 1, &["bought", "bought_by"], SamplerConfig::new())
-            .unwrap();
+        let walker =
+            MetaPathWalker::compile(&h, 1, &["bought", "bought_by"], SamplerConfig::new()).unwrap();
         let seeds: Vec<NodeId> = vec![8, 9, 10, 11];
         let positions = walker.walk(&seeds, 3, 1).unwrap();
         assert_eq!(positions.len(), 6); // 3 rounds x 2 steps
@@ -172,16 +166,14 @@ mod tests {
     #[test]
     fn mistyped_path_rejected_at_compile() {
         let h = commerce();
-        assert!(
-            MetaPathWalker::compile(&h, 1, &["bought_by"], SamplerConfig::new()).is_err()
-        );
+        assert!(MetaPathWalker::compile(&h, 1, &["bought_by"], SamplerConfig::new()).is_err());
     }
 
     #[test]
     fn typed_neighbors_group_correctly() {
         let h = commerce();
-        let walker = MetaPathWalker::compile(&h, 1, &["bought", "bought_by"], SamplerConfig::new())
-            .unwrap();
+        let walker =
+            MetaPathWalker::compile(&h, 1, &["bought", "bought_by"], SamplerConfig::new()).unwrap();
         let seeds: Vec<NodeId> = vec![8, 12];
         let groups = typed_neighbors(&h, &walker, &seeds, 4, 3, 2).unwrap();
         assert_eq!(groups.len(), 2);

@@ -29,10 +29,7 @@ pub fn pagerank(graph: &Graph, alpha: f32, iters: usize) -> Vec<f32> {
     for _ in 0..iters {
         let mut next = vec![0.0f32; n];
         // Mass of dangling nodes is redistributed uniformly.
-        let dangling: f32 = (0..n)
-            .filter(|&v| out_deg[v] == 0)
-            .map(|v| rank[v])
-            .sum();
+        let dangling: f32 = (0..n).filter(|&v| out_deg[v] == 0).map(|v| rank[v]).sum();
         let dangling_share = alpha * dangling / n as f32;
         for v in 0..n {
             let mut acc = 0.0f32;
@@ -54,8 +51,7 @@ mod tests {
     #[test]
     fn ranks_sum_to_one_and_favor_hubs() {
         // Star: every node points to node 0.
-        let edges: Vec<(u32, u32, f32)> =
-            (1..10u32).map(|v| (v, 0, 1.0)).collect();
+        let edges: Vec<(u32, u32, f32)> = (1..10u32).map(|v| (v, 0, 1.0)).collect();
         let g = Graph::from_edges("star", 10, &edges, false).unwrap();
         let pr = pagerank(&g, 0.85, 30);
         let total: f32 = pr.iter().sum();
@@ -67,8 +63,7 @@ mod tests {
 
     #[test]
     fn uniform_on_cycle() {
-        let edges: Vec<(u32, u32, f32)> =
-            (0..6u32).map(|v| (v, (v + 1) % 6, 1.0)).collect();
+        let edges: Vec<(u32, u32, f32)> = (0..6u32).map(|v| (v, (v + 1) % 6, 1.0)).collect();
         let g = Graph::from_edges("cycle", 6, &edges, false).unwrap();
         let pr = pagerank(&g, 0.85, 50);
         for v in 1..6 {

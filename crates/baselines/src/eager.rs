@@ -15,16 +15,23 @@
 //!   operator's best format, paying conversion cost blindly every batch;
 //! - **no super-batching**: one mini-batch per execution, whatever the
 //!   occupancy.
+//!
+//! The operator *math* is not reimplemented: every step resolves through
+//! the shared kernel registry (`gsampler_core::kernels`) with a plain
+//! single-batch context, so the eager-vs-optimized gap measured by the
+//! benchmarks is purely the scheduling policy above.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use gsampler_core::Graph;
+use gsampler_core::kernels::{self, ExecCtx};
+use gsampler_core::{Bindings, Graph, Value};
 use gsampler_engine::workload::{self, MatShape};
 use gsampler_engine::{Device, DeviceProfile, Residency, RngPool};
-use gsampler_matrix::eltwise;
-use gsampler_matrix::{Axis, Dense, EltOp, Format, GraphMatrix, NodeId, ReduceOp};
+use gsampler_ir::Op;
+use gsampler_matrix::{Axis, Dense, EltOp, Format, GraphMatrix, NodeId, ReduceOp, SparseMatrix};
 
 use crate::BaselineReport;
 
@@ -34,6 +41,7 @@ const DISPATCH_LAUNCHES: u32 = 2;
 /// A DGL-like eager sampler bound to one graph and device profile.
 pub struct EagerSampler {
     graph: Arc<Graph>,
+    graph_value: Value,
     device: Device,
     pool: RngPool,
 }
@@ -42,6 +50,7 @@ impl EagerSampler {
     /// Create an eager sampler (GPU or CPU profile).
     pub fn new(graph: Arc<Graph>, profile: DeviceProfile, seed: u64) -> EagerSampler {
         EagerSampler {
+            graph_value: Value::Matrix(graph.matrix.clone()),
             graph,
             device: Device::new(profile),
             pool: RngPool::new(seed),
@@ -72,13 +81,40 @@ impl EagerSampler {
         self.device.charge(desc);
     }
 
+    /// Run one operator through the shared kernel registry with a plain
+    /// (single-batch, no super-batch segmentation) context.
+    fn run_kernel(&self, op: &Op, inputs: &[&Value], rng: &mut StdRng) -> Value {
+        let bindings = Bindings::new();
+        let ctx = ExecCtx::plain(&self.graph, &bindings);
+        kernels::kernel_for(op)
+            .run(op, inputs, &ctx, rng)
+            .expect("eager kernel")
+    }
+
+    /// Same for operators that consume no randomness.
+    fn run_kernel_norng(&self, op: &Op, inputs: &[&Value]) -> Value {
+        let mut rng = StdRng::seed_from_u64(0);
+        self.run_kernel(op, inputs, &mut rng)
+    }
+
+    fn as_matrix(v: Value) -> GraphMatrix {
+        match v {
+            Value::Matrix(m) => m,
+            other => panic!("expected matrix, got {}", other.kind_name()),
+        }
+    }
+
+    fn as_vector(v: Value) -> Vec<f32> {
+        match v {
+            Value::Vector(x) => x,
+            other => panic!("expected vector, got {}", other.kind_name()),
+        }
+    }
+
     /// Extract `A[:, frontiers]` (CSC gather), charging graph residency.
     fn extract(&self, frontiers: &[NodeId]) -> GraphMatrix {
-        let sub = self
-            .graph
-            .matrix
-            .slice_cols_global(frontiers)
-            .expect("frontiers in range");
+        let f = Value::Nodes(frontiers.to_vec());
+        let sub = Self::as_matrix(self.run_kernel_norng(&Op::SliceCols, &[&self.graph_value, &f]));
         let g = &self.graph.matrix;
         self.charge(workload::slice_cols(
             Format::Csc,
@@ -98,11 +134,8 @@ impl EagerSampler {
             return m.clone();
         }
         self.charge(workload::convert(m.data.format(), fmt, Self::shape(m)));
-        let out = GraphMatrix {
-            data: m.data.to_format(fmt),
-            row_ids: m.row_ids.clone(),
-            col_ids: m.col_ids.clone(),
-        };
+        let v = Value::Matrix(m.clone());
+        let out = Self::as_matrix(self.run_kernel_norng(&Op::Convert(fmt), &[&v]));
         self.device.alloc(out.data.size_bytes());
         out
     }
@@ -117,53 +150,97 @@ impl EagerSampler {
         self.device.alloc(msg_bytes); // materialized edge messages
         self.charge(workload::reduce(m.data.format(), shape, axis));
         self.device.free(msg_bytes);
-        gsampler_matrix::reduce::reduce(&m.data, op, axis)
+        let v = Value::Matrix(m.clone());
+        Self::as_vector(self.run_kernel_norng(&Op::Reduce(op, axis), &[&v]))
     }
 
     fn edge_map_scalar(&self, m: &GraphMatrix, op: EltOp, s: f32) -> GraphMatrix {
         self.charge(workload::eltwise(m.data.format(), Self::shape(m)));
-        GraphMatrix {
-            data: eltwise::scalar_op(&m.data, s, op),
-            row_ids: m.row_ids.clone(),
-            col_ids: m.col_ids.clone(),
-        }
+        let v = Value::Matrix(m.clone());
+        Self::as_matrix(self.run_kernel_norng(&Op::ScalarOp(op, s), &[&v]))
     }
 
     fn edge_broadcast(&self, m: &GraphMatrix, v: &[f32], op: EltOp, axis: Axis) -> GraphMatrix {
         self.charge(workload::broadcast(m.data.format(), Self::shape(m)));
-        let fitted: Vec<f32> = match axis {
-            Axis::Row => {
-                let nrows = m.shape().0;
-                if v.len() == nrows {
-                    v.to_vec()
-                } else {
-                    (0..nrows)
-                        .map(|r| v[m.global_row(r) as usize % v.len().max(1)])
-                        .collect()
-                }
+        let mv = Value::Matrix(m.clone());
+        let vv = Value::Vector(v.to_vec());
+        Self::as_matrix(self.run_kernel_norng(&Op::Broadcast(op, axis), &[&mv, &vv]))
+    }
+
+    /// Node-wise select on a materialized sub-matrix.
+    fn select(
+        &self,
+        sub: &GraphMatrix,
+        k: usize,
+        replace: bool,
+        probs: Option<&GraphMatrix>,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
+        self.charge(workload::individual_sample(
+            sub.data.format(),
+            Self::shape(sub),
+            k,
+            replace,
+            Residency::Device,
+        ));
+        let sv = Value::Matrix(sub.clone());
+        let op = Op::IndividualSample { k, replace };
+        let out = match probs {
+            Some(p) => {
+                let pv = Value::Matrix(p.clone());
+                self.run_kernel(&op, &[&sv, &pv], rng)
             }
-            Axis::Col => v.to_vec(),
+            None => self.run_kernel(&op, &[&sv], rng),
         };
-        GraphMatrix {
-            data: gsampler_matrix::broadcast::broadcast(&m.data, &fitted, op, axis)
-                .expect("broadcast dims"),
-            row_ids: m.row_ids.clone(),
-            col_ids: m.col_ids.clone(),
-        }
+        Self::as_matrix(out)
+    }
+
+    /// Layer-wise select with explicit node weights.
+    fn collective(
+        &self,
+        sub: &GraphMatrix,
+        width: usize,
+        probs: &[f32],
+        frontier_count: usize,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
+        self.charge(workload::collective_sample(
+            sub.data.format(),
+            Self::shape(sub),
+            width,
+            width * frontier_count.max(1),
+            Residency::Device,
+        ));
+        let sv = Value::Matrix(sub.clone());
+        let pv = Value::Vector(probs.to_vec());
+        let out = self.run_kernel(&Op::CollectiveSample { k: width }, &[&sv, &pv], rng);
+        Self::as_matrix(out)
+    }
+
+    /// SDDMM attention channel via the shared kernel (left table indexed
+    /// by global row ID, right by column position).
+    fn sddmm(&self, sub: &GraphMatrix, b: &Dense, c: &Dense) -> SparseMatrix {
+        self.charge(workload::sddmm(
+            sub.data.format(),
+            Self::shape(sub),
+            b.ncols(),
+        ));
+        let sv = Value::Matrix(sub.clone());
+        let bv = Value::Dense(b.clone());
+        let cv = Value::Dense(c.clone());
+        Self::as_matrix(self.run_kernel_norng(&Op::Sddmm, &[&sv, &bv, &cv])).data
     }
 
     /// One uniform node-wise layer (GraphSAGE): extract then select, both
     /// materialized.
-    pub fn graphsage_layer(&self, frontiers: &[NodeId], fanout: usize, rng: &mut StdRng) -> GraphMatrix {
+    pub fn graphsage_layer(
+        &self,
+        frontiers: &[NodeId],
+        fanout: usize,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
         let sub = self.extract(frontiers);
-        self.charge(workload::individual_sample(
-            sub.data.format(),
-            Self::shape(&sub),
-            fanout,
-            false,
-            Residency::Device,
-        ));
-        let out = sub.individual_sample(fanout, None, rng).expect("sample");
+        let out = self.select(&sub, fanout, false, None, rng);
         self.device.alloc(out.data.size_bytes());
         self.device.free(sub.data.size_bytes());
         out
@@ -190,7 +267,12 @@ impl EagerSampler {
     /// One LADIES layer: squared-weight bias via message passing (no
     /// pre-processed `A**2`), greedy conversions for the reduce and the
     /// row gather, collective select, debias, renormalize.
-    pub fn ladies_layer(&self, frontiers: &[NodeId], width: usize, rng: &mut StdRng) -> GraphMatrix {
+    pub fn ladies_layer(
+        &self,
+        frontiers: &[NodeId],
+        width: usize,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
         let sub = self.extract(frontiers);
         // Bias: square every batch (DGL has no pre-processing pass).
         let sq = self.edge_map_scalar(&sub, EltOp::Pow, 2.0);
@@ -199,16 +281,7 @@ impl EagerSampler {
         let row_probs = self.mp_reduce(&sq_csr, ReduceOp::Sum, Axis::Row);
         // Collective select prefers CSR as well; sub must follow.
         let sub_csr = self.convert(&sub, Format::Csr);
-        self.charge(workload::collective_sample(
-            Format::Csr,
-            Self::shape(&sub_csr),
-            width,
-            width * frontiers.len().max(1),
-            Residency::Device,
-        ));
-        let sampled = sub_csr
-            .collective_sample(width, Some(&row_probs), rng)
-            .expect("collective sample");
+        let sampled = self.collective(&sub_csr, width, &row_probs, frontiers.len(), rng);
         self.device.alloc(sampled.data.size_bytes());
         // Debias by selection probability, renormalize per frontier.
         let sel: Vec<f32> = sampled
@@ -248,7 +321,12 @@ impl EagerSampler {
     /// FastGCN: like LADIES but with degree bias — recomputed every batch
     /// over the *full graph* (no pre-processing), the expensive part DGL
     /// pays.
-    pub fn fastgcn_layer(&self, frontiers: &[NodeId], width: usize, rng: &mut StdRng) -> GraphMatrix {
+    pub fn fastgcn_layer(
+        &self,
+        frontiers: &[NodeId],
+        width: usize,
+        rng: &mut StdRng,
+    ) -> GraphMatrix {
         let g = &self.graph.matrix;
         // Degrees of the full graph, every batch.
         self.charge(workload::reduce(
@@ -259,16 +337,7 @@ impl EagerSampler {
         let deg: Vec<f32> = g.data.row_degrees().iter().map(|&d| d as f32).collect();
         let sub = self.extract(frontiers);
         let sub_csr = self.convert(&sub, Format::Csr);
-        self.charge(workload::collective_sample(
-            Format::Csr,
-            Self::shape(&sub_csr),
-            width,
-            width * frontiers.len().max(1),
-            Residency::Device,
-        ));
-        let sampled = sub_csr
-            .collective_sample(width, Some(&deg), rng)
-            .expect("collective sample");
+        let sampled = self.collective(&sub_csr, width, &deg, frontiers.len(), rng);
         let sel: Vec<f32> = sampled
             .global_row_ids()
             .iter()
@@ -292,7 +361,9 @@ impl EagerSampler {
         let feats = self.graph.features.as_ref().expect("features required");
         self.charge(workload::gemm(feats.nrows(), feats.ncols(), wg.ncols()));
         let scores = feats.matmul(wg).expect("gemm dims").relu();
-        let learned: Vec<f32> = (0..scores.nrows()).map(|r| scores.get(r, 0) + 1e-6).collect();
+        let learned: Vec<f32> = (0..scores.nrows())
+            .map(|r| scores.get(r, 0) + 1e-6)
+            .collect();
         let sub = self.extract(frontiers);
         let sq = self.edge_map_scalar(&sub, EltOp::Pow, 2.0);
         let sq_csr = self.convert(&sq, Format::Csr);
@@ -304,16 +375,7 @@ impl EagerSampler {
             .map(|(&s, &l)| s + l)
             .collect();
         let sub_csr = self.convert(&sub, Format::Csr);
-        self.charge(workload::collective_sample(
-            Format::Csr,
-            Self::shape(&sub_csr),
-            width,
-            width * frontiers.len().max(1),
-            Residency::Device,
-        ));
-        let sampled = sub_csr
-            .collective_sample(width, Some(&bias), rng)
-            .expect("collective sample");
+        let sampled = self.collective(&sub_csr, width, &bias, frontiers.len(), rng);
         let sel: Vec<f32> = sampled
             .global_row_ids()
             .iter()
@@ -353,55 +415,41 @@ impl EagerSampler {
             feats.ncols(),
             self.residency(),
         ));
-        let frontier_feats = feats
-            .gather_rows(frontiers)
-            .expect("frontier features");
+        let frontier_feats = feats.gather_rows(frontiers).expect("frontier features");
         self.charge(workload::gemm(frontiers.len(), feats.ncols(), hidden));
         let c1 = frontier_feats.matmul(w1).expect("gemm dims");
-        self.charge(workload::sddmm(sub.data.format(), shape, hidden));
-        let a1 = {
-            let dots: Vec<f32> = sub
-                .data
-                .iter_edges()
-                .map(|(r, c, _)| {
-                    let br = b1.row(sub.global_row(r as usize) as usize % b1.nrows());
-                    let cr = c1.row(c as usize);
-                    br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
-                })
-                .collect();
-            let mut d = sub.data.clone();
-            d.set_values(dots);
-            d
-        };
+        let a1 = self.sddmm(&sub, &b1, &c1);
         self.charge(workload::gemm(feats.nrows(), feats.ncols(), hidden));
         let b2 = feats.matmul(w2).expect("gemm dims");
         transient += b2.size_bytes();
         self.device.alloc(b2.size_bytes());
         self.charge(workload::gemm(frontiers.len(), feats.ncols(), hidden));
         let c2 = frontier_feats.matmul(w2).expect("gemm dims");
-        self.charge(workload::sddmm(sub.data.format(), shape, hidden));
-        let a2 = {
-            let dots: Vec<f32> = sub
-                .data
-                .iter_edges()
-                .map(|(r, c, _)| {
-                    let br = b2.row(sub.global_row(r as usize) as usize % b2.nrows());
-                    let cr = c2.row(c as usize);
-                    br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
-                })
-                .collect();
-            let mut d = sub.data.clone();
-            d.set_values(dots);
-            d
-        };
+        let a2 = self.sddmm(&sub, &b2, &c2);
         let rowsum = self.mp_reduce(&sub, ReduceOp::Sum, Axis::Row);
         let a3 = self.edge_broadcast(&sub, &rowsum, EltOp::Div, Axis::Row);
         // Stack + project + relu, each its own kernel.
         self.charge(workload::dense_map(sub.nnz() * 3));
-        let stacked =
-            eltwise::stack_edge_values(&[&a1, &a2, &a3.data]).expect("pattern-identical");
+        let a1v = Value::Matrix(GraphMatrix {
+            data: a1.clone(),
+            row_ids: sub.row_ids.clone(),
+            col_ids: sub.col_ids.clone(),
+        });
+        let a2v = Value::Matrix(GraphMatrix {
+            data: a2.clone(),
+            row_ids: sub.row_ids.clone(),
+            col_ids: sub.col_ids.clone(),
+        });
+        let a3v = Value::Matrix(a3);
+        let stacked = match self.run_kernel_norng(&Op::StackEdgeValues, &[&a1v, &a2v, &a3v]) {
+            Value::Dense(d) => d,
+            other => panic!("expected dense, got {}", other.kind_name()),
+        };
         self.charge(workload::gemm(sub.nnz(), 3, 1));
-        let bias = stacked.matmul(&w3.softmax_flat()).expect("gemm dims").relu();
+        let bias = stacked
+            .matmul(&w3.softmax_flat())
+            .expect("gemm dims")
+            .relu();
         self.charge(workload::eltwise(sub.data.format(), shape));
         let probs = {
             let mut d = sub.data.clone();
@@ -412,6 +460,14 @@ impl EagerSampler {
                 col_ids: sub.col_ids.clone(),
             }
         };
+        transient +=
+            (a1.size_bytes() + a2.size_bytes()) + stacked.size_bytes() + probs.data.size_bytes();
+        self.device.alloc(
+            a1.size_bytes() + a2.size_bytes() + stacked.size_bytes() + probs.data.size_bytes(),
+        );
+        // DGL charges its replacement-capable pick kernel here, but the
+        // pick itself is weighted *without* replacement — relu can zero
+        // whole columns, which only the without-replacement path accepts.
         self.charge(workload::individual_sample(
             sub.data.format(),
             shape,
@@ -419,15 +475,13 @@ impl EagerSampler {
             true,
             Residency::Device,
         ));
-        transient += (a1.size_bytes() + a2.size_bytes())
-            + stacked.size_bytes()
-            + probs.data.size_bytes();
-        self.device.alloc(
-            a1.size_bytes() + a2.size_bytes() + stacked.size_bytes() + probs.data.size_bytes(),
-        );
-        let out = sub
-            .individual_sample(fanout, Some(&probs), rng)
-            .expect("biased sample");
+        let sv = Value::Matrix(sub.clone());
+        let pv = Value::Matrix(probs.clone());
+        let op = Op::IndividualSample {
+            k: fanout,
+            replace: false,
+        };
+        let out = Self::as_matrix(self.run_kernel(&op, &[&sv, &pv], rng));
         self.device.free(sub.data.size_bytes());
         self.device.free(transient);
         out
@@ -455,7 +509,8 @@ impl EagerSampler {
             nodes.len(),
             self.residency(),
         ));
-        g.induce_subgraph(&nodes).expect("induce")
+        let nv = Value::Nodes(nodes);
+        Self::as_matrix(self.run_kernel_norng(&Op::InduceSubgraph, &[&self.graph_value, &nv]))
     }
 
     /// One random-walk step for every walker (DGL's `random_walk`):
@@ -466,25 +521,12 @@ impl EagerSampler {
         let mut trace = Vec::with_capacity(length);
         for _ in 0..length {
             let sub = self.extract(&cur);
-            self.charge(workload::individual_sample(
-                sub.data.format(),
-                Self::shape(&sub),
-                1,
-                false,
-                Residency::Device,
-            ));
-            let step = sub.individual_sample(1, None, &mut rng).expect("walk step");
-            let csc = step.data.to_csc();
-            let next: Vec<NodeId> = (0..csc.ncols)
-                .map(|c| {
-                    let range = csc.col_range(c);
-                    if range.is_empty() {
-                        cur[c]
-                    } else {
-                        step.global_row(csc.indices[range.start] as usize)
-                    }
-                })
-                .collect();
+            let step = self.select(&sub, 1, false, None, &mut rng);
+            let sv = Value::Matrix(step);
+            let next = match self.run_kernel_norng(&Op::NextWalkFrontier, &[&sv]) {
+                Value::Nodes(n) => n,
+                other => panic!("expected nodes, got {}", other.kind_name()),
+            };
             self.device.free(sub.data.size_bytes());
             cur = next;
             trace.push(cur.clone());
@@ -508,7 +550,6 @@ impl EagerSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn graph() -> Arc<Graph> {
         let mut edges = Vec::new();
@@ -617,5 +658,59 @@ mod tests {
         for (r, c, _) in m.global_edges() {
             assert!(base.contains(&(r, c)));
         }
+    }
+
+    #[test]
+    fn biased_select_tolerates_zero_probability_columns() {
+        // PASS's relu bias can zero out every weight of a column; the
+        // eager pick must keep sampling (weighted without replacement,
+        // where zero-weight candidates are legal), not reject the batch.
+        let g = graph();
+        let s = EagerSampler::new(g, DeviceProfile::v100(), 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sub = s.extract(&[0, 1, 2]);
+        let probs = {
+            let mut d = sub.data.clone();
+            d.set_values(vec![0.0; sub.nnz()]);
+            GraphMatrix {
+                data: d,
+                row_ids: sub.row_ids.clone(),
+                col_ids: sub.col_ids.clone(),
+            }
+        };
+        let out = s.select(&sub, 2, false, Some(&probs), &mut rng);
+        for d in out.data.col_degrees() {
+            assert!(d <= 2);
+        }
+        assert!(out.nnz() > 0);
+    }
+
+    #[test]
+    fn eager_math_matches_shared_kernels_bit_exactly() {
+        // The same seed through the eager policy layer and directly
+        // through the registry must produce identical samples — the eager
+        // baseline adds scheduling cost, never different math.
+        let g = graph();
+        let s = EagerSampler::new(g.clone(), DeviceProfile::v100(), 11);
+        let frontiers: Vec<NodeId> = (0..6).collect();
+        let eager_out = s.graphsage_batch(&frontiers, &[3], 7);
+
+        let bindings = Bindings::new();
+        let ctx = ExecCtx::plain(&g, &bindings);
+        let mut rng = RngPool::new(11).stream(7);
+        let gv = Value::Matrix(g.matrix.clone());
+        let fv = Value::Nodes(frontiers);
+        let sub = kernels::kernel_for(&Op::SliceCols)
+            .run(&Op::SliceCols, &[&gv, &fv], &ctx, &mut rng)
+            .unwrap();
+        let op = Op::IndividualSample {
+            k: 3,
+            replace: false,
+        };
+        let direct = kernels::kernel_for(&op)
+            .run(&op, &[&sub], &ctx, &mut rng)
+            .unwrap();
+        let direct_m = direct.as_matrix().unwrap();
+        assert_eq!(eager_out[0].global_edges(), direct_m.global_edges());
     }
 }

@@ -88,12 +88,7 @@ impl VertexCentricSampler {
     }
 
     /// DeepWalk: one alias draw per walker per step.
-    pub fn deepwalk_batch(
-        &self,
-        seeds: &[NodeId],
-        length: usize,
-        stream: u64,
-    ) -> Vec<Vec<NodeId>> {
+    pub fn deepwalk_batch(&self, seeds: &[NodeId], length: usize, stream: u64) -> Vec<Vec<NodeId>> {
         let mut rng = self.pool.stream(stream);
         let mut cur: Vec<NodeId> = seeds.to_vec();
         let mut trace = Vec::with_capacity(length);
@@ -139,9 +134,10 @@ impl VertexCentricSampler {
                     if range.is_empty() {
                         return v;
                     }
-                    let probe = 8 * ((self.csc.col_degree(pv as usize).max(2) as f64)
-                        .log2()
-                        .ceil() as u64);
+                    let probe = 8
+                        * ((self.csc.col_degree(pv as usize).max(2) as f64)
+                            .log2()
+                            .ceil() as u64);
                     let mut weights: Vec<f32> = Vec::with_capacity(range.len());
                     for pos in range.clone() {
                         let cand = self.csc.indices[pos];
@@ -290,10 +286,13 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = graph();
-        let a = VertexCentricSampler::new(g.clone(), DeviceProfile::v100(), 9)
-            .deepwalk_batch(&[0, 1], 5, 3);
-        let b = VertexCentricSampler::new(g, DeviceProfile::v100(), 9)
-            .deepwalk_batch(&[0, 1], 5, 3);
+        let a = VertexCentricSampler::new(g.clone(), DeviceProfile::v100(), 9).deepwalk_batch(
+            &[0, 1],
+            5,
+            3,
+        );
+        let b =
+            VertexCentricSampler::new(g, DeviceProfile::v100(), 9).deepwalk_batch(&[0, 1], 5, 3);
         assert_eq!(a, b);
     }
 }

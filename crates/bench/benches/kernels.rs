@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 
 use gsampler_graphs::{rmat_edges, RmatParams};
-use gsampler_matrix::{
-    reduce, sample, slice, Axis, Csc, Format, NodeId, ReduceOp, SparseMatrix,
-};
+use gsampler_matrix::{reduce, sample, slice, Axis, Csc, Format, NodeId, ReduceOp, SparseMatrix};
 
 fn test_matrix() -> SparseMatrix {
     let n = 20_000;

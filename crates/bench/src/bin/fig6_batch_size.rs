@@ -36,7 +36,11 @@ fn main() {
             )
             .and_then(|s| gsampler_bench::gsampler_epoch(&s, &graph, algo, seeds, &h));
             row.push(match est {
-                Ok(e) => format!("{} (util {:4.1}%)", fmt_time(e.seconds), e.sm_utilization * 100.0),
+                Ok(e) => format!(
+                    "{} (util {:4.1}%)",
+                    fmt_time(e.seconds),
+                    e.sm_utilization * 100.0
+                ),
                 Err(e) => format!("error: {e}"),
             });
         }

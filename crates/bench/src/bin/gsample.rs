@@ -131,7 +131,11 @@ fn main() {
     let mut h = Hyper::paper();
     h.batch_size = batch;
     h.layers = 2;
-    let opt = if plain { OptConfig::plain() } else { OptConfig::all() };
+    let opt = if plain {
+        OptConfig::plain()
+    } else {
+        OptConfig::all()
+    };
     let sampler = build_gsampler(&graph, algo, &h, device, opt, !plain).unwrap_or_else(|e| {
         eprintln!("compile failed: {e}");
         std::process::exit(1);
@@ -140,19 +144,22 @@ fn main() {
         "compiled {}: super-batch factor {}, passes: {:?}",
         algo.name(),
         sampler.super_batch_factor(),
-        sampler
-            .layers()
-            .first()
-            .map(|l| (
-                l.optimized.report.extract_select_fused,
-                l.optimized.report.edge_map_reduce_fused,
-                l.optimized.report.preprocessed
-            ))
+        sampler.layers().first().map(|l| (
+            l.optimized.report.extract_select_fused,
+            l.optimized.report.edge_map_reduce_fused,
+            l.optimized.report.preprocessed
+        ))
     );
 
     if dot {
         for (i, layer) in sampler.layers().iter().enumerate() {
-            println!("{}", layer.optimized.program.to_dot(&format!("{}-layer{}", algo.name(), i)));
+            println!(
+                "{}",
+                layer
+                    .optimized
+                    .program
+                    .to_dot(&format!("{}-layer{}", algo.name(), i))
+            );
         }
     }
 

@@ -7,15 +7,18 @@
 //! SkyWalker-like vertex-centric engine (simple algorithms only).
 //! `N/A` marks architecture gaps, exactly as in the paper's figures.
 //!
-//! Usage: `main_comparison [--simple|--complex]`; `GS_SCALE` shrinks the
-//! datasets for smoke runs.
+//! Usage: `main_comparison [--simple|--complex] [--profile]`; `--profile`
+//! additionally prints, per dataset × algorithm, the dispatcher's
+//! per-kernel breakdown of the measured gSampler epoch (invocation count,
+//! modeled device time, bytes). `GS_SCALE` shrinks the datasets for smoke
+//! runs.
 
 use std::sync::Arc;
 
 use gsampler_algos::Hyper;
 use gsampler_bench::{
-    build_gsampler, dataset, eager_epoch, env_scale, fmt_time, gsampler_epoch, print_table,
-    vertex_centric_epoch, Algo,
+    build_gsampler, dataset, eager_epoch, env_scale, fmt_time, gsampler_epoch, print_profile,
+    print_table, vertex_centric_epoch, Algo,
 };
 use gsampler_core::{DeviceProfile, OptConfig};
 use gsampler_graphs::DatasetKind;
@@ -24,12 +27,17 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let simple_only = args.iter().any(|a| a == "--simple");
     let complex_only = args.iter().any(|a| a == "--complex");
+    let profile = args.iter().any(|a| a == "--profile");
     let algos: Vec<Algo> = if simple_only {
         Algo::SIMPLE.to_vec()
     } else if complex_only {
         Algo::COMPLEX.to_vec()
     } else {
-        Algo::SIMPLE.iter().chain(Algo::COMPLEX.iter()).copied().collect()
+        Algo::SIMPLE
+            .iter()
+            .chain(Algo::COMPLEX.iter())
+            .copied()
+            .collect()
     };
     let scale = env_scale();
 
@@ -53,6 +61,8 @@ fn main() {
         );
         let mut rows = Vec::new();
         for &algo in &algos {
+            // Keep the sampler alive past the measurement: its device
+            // session holds the dispatcher records `--profile` prints.
             let gs = build_gsampler(
                 &graph,
                 algo,
@@ -61,16 +71,30 @@ fn main() {
                 OptConfig::all(),
                 true,
             )
-            .and_then(|s| gsampler_epoch(&s, &graph, algo, seeds, &h))
-            .map(|e| e.seconds);
+            .and_then(|s| gsampler_epoch(&s, &graph, algo, seeds, &h).map(|e| (e.seconds, s)));
             let dgl_gpu = eager_epoch(&graph, algo, seeds, &h, DeviceProfile::v100());
             let dgl_cpu = eager_epoch(&graph, algo, seeds, &h, DeviceProfile::cpu());
             let vc = vertex_centric_epoch(&graph, algo, seeds, &h, DeviceProfile::v100());
 
             let gs_time = match &gs {
-                Ok(t) => *t,
+                Ok((t, sampler)) => {
+                    if profile {
+                        print_profile(
+                            &format!("{} / {} — dispatcher profile", kind.abbr(), algo.name()),
+                            &sampler.device().stats(),
+                        );
+                    }
+                    *t
+                }
                 Err(e) => {
-                    rows.push(vec![algo.name().into(), format!("error: {e}"), String::new(), String::new(), String::new(), String::new()]);
+                    rows.push(vec![
+                        algo.name().into(),
+                        format!("error: {e}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
                     continue;
                 }
             };

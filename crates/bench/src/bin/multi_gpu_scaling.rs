@@ -46,9 +46,7 @@ fn main() {
                     gpus,
                 )
                 .expect("compile fleet");
-                let report = fleet
-                    .run_epoch(&seeds, &Bindings::new(), 0)
-                    .expect("epoch");
+                let report = fleet.run_epoch(&seeds, &Bindings::new(), 0).expect("epoch");
                 let t = report.modeled_time;
                 let speedup = base.get_or_insert(t);
                 row.push(format!("{} ({:.2}x)", fmt_time(t), *speedup / t));

@@ -104,8 +104,7 @@ fn main() {
                     },
                 )
                 .ok()?;
-                let est =
-                    gsampler_bench::gsampler_epoch(&sampler, &graph, algo, seeds, &h).ok()?;
+                let est = gsampler_bench::gsampler_epoch(&sampler, &graph, algo, seeds, &h).ok()?;
                 Some(est.seconds)
             }
             _ => None,

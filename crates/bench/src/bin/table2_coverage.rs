@@ -97,8 +97,7 @@ fn main() {
                 }
                 Driver::WalkInduce => {
                     let ind = drivers::induce_sampler(graph.clone(), config.clone())?;
-                    let m =
-                        drivers::graphsaint_sample(&sampler, &ind, &frontiers[..8], &h, 1)?;
+                    let m = drivers::graphsaint_sample(&sampler, &ind, &frontiers[..8], &h, 1)?;
                     Ok(format!("ok (induced {} edges)", m.nnz()))
                 }
                 Driver::ChainedInduce => {

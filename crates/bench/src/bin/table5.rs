@@ -79,11 +79,17 @@ fn main() {
     let conv = vec![
         vec![
             "CSC -> COO (expand)".to_string(),
-            format!("{:.4}", ms(&workload::convert(Format::Csc, Format::Coo, sub))),
+            format!(
+                "{:.4}",
+                ms(&workload::convert(Format::Csc, Format::Coo, sub))
+            ),
         ],
         vec![
             "COO -> CSR (compress)".to_string(),
-            format!("{:.4}", ms(&workload::convert(Format::Coo, Format::Csr, sub))),
+            format!(
+                "{:.4}",
+                ms(&workload::convert(Format::Coo, Format::Csr, sub))
+            ),
         ],
     ];
     gsampler_bench::print_table(
@@ -92,9 +98,7 @@ fn main() {
         &conv,
     );
 
-    println!(
-        "\nPaper reference (measured ms): extract CSC 1.32 / COO 18.42 / CSR 14.13;"
-    );
+    println!("\nPaper reference (measured ms): extract CSC 1.32 / COO 18.42 / CSR 14.13;");
     println!("sum COO 0.86 / CSR 0.55; collective CSC 2.54 / COO 1.52 / CSR 0.50;");
     println!("CSC2COO 0.30, COO2CSR 2.40. Orderings should match.");
 }

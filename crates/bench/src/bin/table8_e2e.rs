@@ -75,15 +75,10 @@ fn main() {
         } else {
             gsampler_bench::Algo::Ladies
         };
-        let dgl_sampling = gsampler_bench::eager_epoch(
-            &graph,
-            dgl_algo,
-            &seeds,
-            &h,
-            DeviceProfile::v100(),
-        )
-        .map(|e| e.seconds * epochs as f64)
-        .unwrap_or(f64::NAN);
+        let dgl_sampling =
+            gsampler_bench::eager_epoch(&graph, dgl_algo, &seeds, &h, DeviceProfile::v100())
+                .map(|e| e.seconds * epochs as f64)
+                .unwrap_or(f64::NAN);
         let dgl_total = dgl_sampling + report.total_training;
 
         // PyG-style CPU sampling comparator (GraphSAGE only, as in the

@@ -2,6 +2,12 @@
 //! memory and SM utilization — of the four complex algorithms on the
 //! Ogbn-Products preset, gSampler vs the DGL-like eager baseline.
 //!
+//! Both columns are read from the **dispatcher session** of each system's
+//! device: SM utilization is the time-weighted average over the recorded
+//! kernel invocations, and the dominant-kernel column names the op that
+//! accounts for the largest share of modeled device time. Transient
+//! memory comes from the device memory tracker.
+//!
 //! Expected shape: gSampler's SM utilization is a large multiple of the
 //! baseline's (1.6–2.5× in the paper, with LADIES/ShaDow above 90%
 //! thanks to super-batching), while its transient memory stays in the
@@ -12,16 +18,21 @@ use std::sync::Arc;
 
 use gsampler_algos::Hyper;
 use gsampler_bench::{
-    build_gsampler, dataset, eager_epoch, env_scale, gsampler_epoch, print_table, Algo,
+    build_gsampler, dataset, eager_epoch_with_stats, env_scale, fmt_bytes, gsampler_epoch,
+    print_table, Algo,
 };
 use gsampler_core::{DeviceProfile, OptConfig};
+use gsampler_engine::ExecStats;
 use gsampler_graphs::DatasetKind;
 
-fn fmt_mem(bytes: u64) -> String {
-    if bytes >= 1 << 20 {
-        format!("{:.2} MiB", bytes as f64 / (1 << 20) as f64)
-    } else {
-        format!("{:.1} KiB", bytes as f64 / 1024.0)
+/// The kernel with the largest modeled-time share of a session, as
+/// `name (NN%)` — straight off the dispatcher's per-kernel aggregates.
+fn dominant_kernel(stats: &ExecStats) -> String {
+    match stats.profile().into_iter().next() {
+        Some((name, agg)) if stats.total_time > 0.0 => {
+            format!("{} ({:.0}%)", name, agg.time / stats.total_time * 100.0)
+        }
+        _ => "-".into(),
     }
 }
 
@@ -34,32 +45,44 @@ fn main() {
 
     let mut rows = Vec::new();
     for algo in Algo::COMPLEX {
-        let gs = build_gsampler(&graph, algo, &h, DeviceProfile::v100(), OptConfig::all(), true)
-            .and_then(|s| gsampler_epoch(&s, &graph, algo, seeds, &h));
-        let dgl = eager_epoch(&graph, algo, seeds, &h, DeviceProfile::v100());
+        // Keep the sampler alive: its device session holds the dispatcher
+        // records this table is built from.
+        let gs = build_gsampler(
+            &graph,
+            algo,
+            &h,
+            DeviceProfile::v100(),
+            OptConfig::all(),
+            true,
+        )
+        .and_then(|s| gsampler_epoch(&s, &graph, algo, seeds, &h).map(|e| (e, s)));
+        let dgl = eager_epoch_with_stats(&graph, algo, seeds, &h, DeviceProfile::v100());
         match (gs, dgl) {
-            (Ok(g), Some(b)) => {
+            (Ok((g, sampler)), Some((b, eager_stats))) => {
+                let gstats = sampler.device().stats();
                 rows.push(vec![
                     algo.name().into(),
                     "gSampler".into(),
-                    fmt_mem(g.peak_memory),
-                    format!("{:.1}%", g.sm_utilization * 100.0),
+                    fmt_bytes(g.peak_memory),
+                    format!("{:.1}%", gstats.sm_utilization() * 100.0),
+                    gstats.kernel_launches.to_string(),
+                    dominant_kernel(&gstats),
                 ]);
                 rows.push(vec![
                     String::new(),
                     "DGL-like".into(),
-                    fmt_mem(b.peak_memory),
-                    format!("{:.1}%", b.sm_utilization * 100.0),
+                    fmt_bytes(b.peak_memory),
+                    format!("{:.1}%", eager_stats.sm_utilization() * 100.0),
+                    eager_stats.kernel_launches.to_string(),
+                    dominant_kernel(&eager_stats),
                 ]);
             }
             (g, b) => {
                 rows.push(vec![
                     algo.name().into(),
-                    format!(
-                        "unavailable (gs: {}, dgl: {})",
-                        g.is_ok(),
-                        b.is_some()
-                    ),
+                    format!("unavailable (gs: {}, dgl: {})", g.is_ok(), b.is_some()),
+                    String::new(),
+                    String::new(),
                     String::new(),
                     String::new(),
                 ]);
@@ -68,7 +91,14 @@ fn main() {
     }
     print_table(
         "Table 9: transient memory and SM utilization on PD (V100)",
-        &["algorithm", "system", "memory", "SM"],
+        &[
+            "algorithm",
+            "system",
+            "memory",
+            "SM",
+            "launches",
+            "dominant kernel",
+        ],
         &rows,
     );
     println!("\nPaper reference (V100, PD): LADIES 1.83GB/94.2% vs 0.19GB/37.4%;");

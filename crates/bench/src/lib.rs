@@ -18,6 +18,7 @@ use gsampler_algos::{layerwise, nodewise, walks, Hyper};
 use gsampler_baselines::{EagerSampler, VertexCentricSampler};
 use gsampler_core::builder::Layer;
 use gsampler_core::{compile, Bindings, DeviceProfile, Graph, OptConfig, Result, SamplerConfig};
+use gsampler_engine::ExecStats;
 use gsampler_graphs::{Dataset, DatasetKind};
 
 /// Upper bound on mini-batches actually executed per epoch measurement;
@@ -230,6 +231,19 @@ pub fn eager_epoch(
     h: &Hyper,
     profile: DeviceProfile,
 ) -> Option<EpochEstimate> {
+    eager_epoch_with_stats(graph, algo, seeds, h, profile).map(|(e, _)| e)
+}
+
+/// Like [`eager_epoch`], but also returns the eager device's dispatcher
+/// session, so resource reports (Table 9) can read per-kernel records
+/// instead of re-deriving totals.
+pub fn eager_epoch_with_stats(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    seeds: &[u32],
+    h: &Hyper,
+    profile: DeviceProfile,
+) -> Option<(EpochEstimate, ExecStats)> {
     let sampler = EagerSampler::new(graph.clone(), profile, 5);
     let total_batches = seeds.len().div_ceil(h.batch_size.max(1));
     let dim = graph.features.as_ref().map_or(1, |f| f.ncols());
@@ -282,8 +296,8 @@ pub fn eager_epoch(
         Algo::Pass => {
             let batches = run(4);
             let mut rng = rand::SeedableRng::seed_from_u64(4);
-            let w1 = gsampler_matrix::Dense::from_vec(dim, h.hidden, vec![0.02; dim * h.hidden])
-                .ok()?;
+            let w1 =
+                gsampler_matrix::Dense::from_vec(dim, h.hidden, vec![0.02; dim * h.hidden]).ok()?;
             let w2 = w1.clone();
             let w3 = gsampler_matrix::Dense::from_vec(3, 1, vec![0.3, 0.3, 0.4]).ok()?;
             for chunk in seeds.chunks(h.batch_size.max(1)).take(batches) {
@@ -306,13 +320,14 @@ pub fn eager_epoch(
     };
     let report = sampler.report(ran);
     let per_batch = report.modeled_time / ran.max(1) as f64;
-    Some(EpochEstimate {
+    let est = EpochEstimate {
         seconds: per_batch * step_scale * total_batches as f64,
         total_batches,
         ran_batches: ran,
         sm_utilization: report.sm_utilization,
         peak_memory: report.peak_memory,
-    })
+    };
+    Some((est, sampler.device().stats()))
 }
 
 /// Measure one SkyWalker-like vertex-centric epoch (simple algos only).
@@ -370,6 +385,45 @@ pub fn fmt_time(seconds: f64) -> String {
     } else {
         format!("{:8.1} µs", seconds * 1e6)
     }
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.2} MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Print the dispatcher's per-op profile of an execution session: one row
+/// per kernel name with invocation count, modeled device time (and its
+/// share of the session total), and device bytes moved. This is the
+/// `--profile` view of the bench binaries.
+pub fn print_profile(title: &str, stats: &ExecStats) {
+    let total = stats.total_time.max(f64::MIN_POSITIVE);
+    let rows: Vec<Vec<String>> = stats
+        .profile()
+        .into_iter()
+        .map(|(name, a)| {
+            vec![
+                name,
+                a.count.to_string(),
+                fmt_time(a.time),
+                format!("{:5.1}%", a.time / total * 100.0),
+                fmt_bytes(a.bytes),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["kernel", "count", "modeled time", "share", "bytes"],
+        &rows,
+    );
 }
 
 /// Print a row-major table with a header.
@@ -463,12 +517,43 @@ mod tests {
     }
 
     #[test]
+    fn fmt_bytes_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00 GiB");
+    }
+
+    #[test]
+    fn eager_stats_carry_dispatcher_profile() {
+        let d = dataset(DatasetKind::Tiny, 1.0);
+        let graph = Arc::new(d.graph);
+        let h = Hyper::small();
+        let (est, stats) = eager_epoch_with_stats(
+            &graph,
+            Algo::GraphSage,
+            &d.frontiers,
+            &h,
+            DeviceProfile::v100(),
+        )
+        .unwrap();
+        assert!(est.seconds > 0.0);
+        assert!(stats.kernel_launches > 0);
+        assert!(!stats.profile().is_empty());
+    }
+
+    #[test]
     fn eager_rejects_gpu_node2vec() {
         let d = dataset(DatasetKind::Tiny, 1.0);
         let graph = Arc::new(d.graph);
         let h = Hyper::small();
-        assert!(
-            eager_epoch(&graph, Algo::Node2Vec, &d.frontiers, &h, DeviceProfile::v100()).is_none()
-        );
+        assert!(eager_epoch(
+            &graph,
+            Algo::Node2Vec,
+            &d.frontiers,
+            &h,
+            DeviceProfile::v100()
+        )
+        .is_none());
     }
 }

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-definition surface gsampler-rs's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`) with a simple
+//! fixed-iteration timing loop instead of criterion's statistical engine.
+//! Results are printed as median-free mean wall times per benchmark id.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// The benchmark harness: holds timing configuration and runs benches.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Set the warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// An identifier for one parameterized benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from the parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, mut f: F) {
+    // Warm-up: a single pass, bounded by warm_up_time via one iteration.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    f(&mut warm);
+    let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+    let _ = c.warm_up_time;
+    let budget = c.measurement_time.as_secs_f64() / c.sample_size as f64;
+    let iters = (budget / per_iter.as_secs_f64()).clamp(1.0, 1_000_000.0) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        let per = b.elapsed / iters.max(1) as u32;
+        if per < best {
+            best = per;
+        }
+    }
+    let mean = total.as_secs_f64() / (c.sample_size as u64 * iters.max(1)) as f64;
+    println!(
+        "bench {id:<48} mean {:>12} best {:>12} ({} samples x {} iters; warmed {:?})",
+        format_time(mean),
+        format_time(best.as_secs_f64()),
+        c.sample_size,
+        iters,
+        warm_start.elapsed(),
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declare a benchmark group as a function that runs its targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main()` running the named groups (benches use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 3)
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        targets = tiny
+    }
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

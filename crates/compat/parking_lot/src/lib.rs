@@ -1,0 +1,51 @@
+//! Offline stand-in for the `parking_lot` crate: the `Mutex` surface
+//! gsampler-rs uses, implemented over `std::sync::Mutex` with poisoning
+//! ignored (parking_lot mutexes do not poison).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock()` never fails: a poisoned inner
+/// lock is recovered, matching parking_lot's no-poisoning behavior.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

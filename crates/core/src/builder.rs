@@ -333,10 +333,7 @@ impl Mat {
 
     /// Node2Vec second-order edge bias against the previous frontier.
     pub fn node2vec_bias(&self, prev: &Nodes, graph: &Mat, p: f32, q: f32) -> Mat {
-        let id = self.add(
-            Op::Node2VecBias { p, q },
-            vec![self.id, prev.id, graph.id],
-        );
+        let id = self.add(Op::Node2VecBias { p, q }, vec![self.id, prev.id, graph.id]);
         self.mat(id)
     }
 

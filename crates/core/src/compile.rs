@@ -112,10 +112,7 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
 
     let mut compiled = Vec::with_capacity(layers.len());
     for (li, layer) in layers.into_iter().enumerate() {
-        layer
-            .program
-            .validate()
-            .map_err(Error::InvalidProgram)?;
+        layer.program.validate().map_err(Error::InvalidProgram)?;
         let optimized = run_passes(
             &layer.program,
             &config.opt,
@@ -256,9 +253,8 @@ impl Sampler {
         rng: &mut rand::rngs::StdRng,
     ) -> Result<Vec<GraphSample>> {
         let s = groups.len();
-        let mut per_group: Vec<GraphSample> = (0..s)
-            .map(|_| GraphSample { layers: Vec::new() })
-            .collect();
+        let mut per_group: Vec<GraphSample> =
+            (0..s).map(|_| GraphSample { layers: Vec::new() }).collect();
         for layer in &self.layers {
             let outputs = exec::execute(
                 &layer.optimized.program,
@@ -274,14 +270,9 @@ impl Sampler {
             if let Some(pos) = layer.layer.next_frontier_output {
                 let mut next_groups = Vec::with_capacity(s);
                 for out in &outputs {
-                    let nodes = out
-                        .get(pos)
-                        .and_then(|v| v.as_nodes())
-                        .ok_or_else(|| {
-                            Error::Execution(
-                                "next-frontier output is not a node list".to_string(),
-                            )
-                        })?;
+                    let nodes = out.get(pos).and_then(|v| v.as_nodes()).ok_or_else(|| {
+                        Error::Execution("next-frontier output is not a node list".to_string())
+                    })?;
                     next_groups.push(nodes.to_vec());
                 }
                 groups = next_groups;
@@ -339,7 +330,12 @@ impl Sampler {
     }
 
     /// Run one epoch, discarding the samples (pure timing runs).
-    pub fn run_epoch(&self, seeds: &[NodeId], bindings: &Bindings, epoch: u64) -> Result<EpochReport> {
+    pub fn run_epoch(
+        &self,
+        seeds: &[NodeId],
+        bindings: &Bindings,
+        epoch: u64,
+    ) -> Result<EpochReport> {
         self.run_epoch_with(seeds, bindings, epoch, |_, _| {})
     }
 }

@@ -1,14 +1,18 @@
-//! The program executor: runs (optimized) sampling programs on a device
-//! session, charging each kernel's modeled cost with its *actual* shapes.
+//! The program executor: a thin driver over the kernel registry
+//! ([`crate::kernels`]).
 //!
-//! Super-batch execution (paper §4.4) is handled here: when more than one
-//! frontier group is passed, the extract step builds a *block-diagonal*
-//! matrix — group `b`'s rows live in ID range `[b·N, (b+1)·N)` — so the
-//! groups cannot interfere: per-column operators need no changes, per-row
-//! reductions stay per-group because row spaces are disjoint, and
-//! `collective_sample` runs segmented (k rows per group). Outputs are
-//! split back into per-group values at the end, translating block IDs to
-//! original node IDs.
+//! `execute` walks the program in topological order, resolves every
+//! operator through [`crate::kernels::kernel_for`] via the instrumented
+//! [`crate::kernels::dispatch`] entry point (which charges modeled device
+//! time, SM utilization, and host wall-clock time per invocation), and
+//! manages value lifetimes: reference counting, device alloc/free
+//! accounting, and the resident base-graph set.
+//!
+//! Super-batch execution (paper §4.4) is transparent to this driver: when
+//! more than one frontier group is passed, the extract kernels build a
+//! *block-diagonal* matrix — group `b`'s rows live in ID range
+//! `[b·N, (b+1)·N)` — and `kernels::superbatch::split_outputs` translates
+//! block IDs back to original node IDs at program exit.
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -17,19 +21,12 @@ use rand::rngs::StdRng;
 
 use gsampler_engine::Device;
 use gsampler_ir::costing;
-use gsampler_ir::op::EdgeMapStep;
 use gsampler_ir::{Op, Program};
-use gsampler_matrix::eltwise;
-use gsampler_matrix::sample::{
-    individual_sample_with_replacement, weighted_sample_without_replacement,
-};
-use gsampler_matrix::{
-    broadcast, reduce, slice, spmm, Axis, Csc, Dense, Format, GraphMatrix, NodeId,
-    SparseMatrix,
-};
+use gsampler_matrix::{Dense, NodeId};
 
 use crate::error::{Error, Result};
 use crate::graph::Graph;
+use crate::kernels::{self, superbatch, ExecCtx};
 use crate::value::Value;
 
 /// Named inputs bound per batch (model weights, feature tables, bias
@@ -73,6 +70,11 @@ impl Bindings {
     /// Look up a vector binding.
     pub fn get_vector(&self, name: &str) -> Option<&[f32]> {
         self.vectors.get(name).map(|v| v.as_slice())
+    }
+
+    /// Look up a node-list binding.
+    pub fn get_node_list(&self, name: &str) -> Option<&[NodeId]> {
+        self.nodes.get(name).map(|n| n.as_slice())
     }
 }
 
@@ -141,7 +143,7 @@ pub fn execute(
     let resident = costing::graph_resident_set(program);
     let mut env: Vec<Option<Rc<Value>>> = vec![None; program.len()];
 
-    let ctx = Ctx {
+    let ctx = ExecCtx {
         graph,
         n,
         s,
@@ -153,6 +155,23 @@ pub fn execute(
     };
 
     for (id, node) in program.nodes().iter().enumerate() {
+        // Value-sharing slots short-circuit the dispatcher: they clone an
+        // `Rc` rather than produce a new value.
+        match &node.op {
+            Op::InputGraph => {
+                env[id] = Some(graph_value.clone());
+                continue;
+            }
+            Op::Precomputed { slot } => {
+                let v = precomputed
+                    .get(*slot)
+                    .ok_or_else(|| Error::Execution(format!("missing precomputed slot {slot}")))?;
+                env[id] = Some(v.clone());
+                continue;
+            }
+            _ => {}
+        }
+
         let inputs: Vec<&Value> = node
             .inputs
             .iter()
@@ -163,38 +182,8 @@ pub fn execute(
             })
             .collect::<Result<Vec<_>>>()?;
 
-        let value = match &node.op {
-            Op::InputGraph => {
-                env[id] = Some(graph_value.clone());
-                continue;
-            }
-            Op::Precomputed { slot } => {
-                let v = precomputed.get(*slot).ok_or_else(|| {
-                    Error::Execution(format!("missing precomputed slot {slot}"))
-                })?;
-                env[id] = Some(v.clone());
-                continue;
-            }
-            other => eval(other, &inputs, &ctx, rng)?,
-        };
-
-        // Charge the modeled kernel cost with actual shapes.
-        let in_fmts: Vec<Option<Format>> = inputs
-            .iter()
-            .map(|v| v.as_matrix().map(|m| m.data.format()))
-            .collect();
-        let in_shapes: Vec<_> = inputs.iter().map(|v| v.shape_est()).collect();
         let graph_input = node.inputs.first().map(|&i| resident[i]).unwrap_or(false);
-        if let Some(desc) = costing::kernel_desc(
-            &node.op,
-            &in_fmts,
-            &in_shapes,
-            &value.shape_est(),
-            graph.residency,
-            graph_input,
-        ) {
-            device.charge(desc);
-        }
+        let value = kernels::dispatch(&node.op, &inputs, graph_input, &ctx, device, rng)?;
         device.alloc(value.bytes());
         env[id] = Some(Rc::new(value));
 
@@ -219,918 +208,5 @@ pub fn execute(
         })
         .collect::<Result<Vec<_>>>()?;
 
-    split_outputs(&outputs, &ctx)
-}
-
-/// Execution context shared by the operator evaluators.
-struct Ctx<'a> {
-    graph: &'a Graph,
-    // `precomputed` is carried for evaluators added in the future; the
-    // current set resolves slots in the main loop.
-    /// Original node count (the row period of block-diagonal matrices).
-    n: usize,
-    /// Number of super-batched groups (1 = plain execution).
-    s: usize,
-    col_offsets: &'a [usize],
-    frontier_groups: &'a [Vec<NodeId>],
-    concat_frontiers: &'a [NodeId],
-    bindings: &'a Bindings,
-    #[allow(dead_code)]
-    precomputed: &'a [Rc<Value>],
-}
-
-fn want_matrix<'v>(v: &'v Value, what: &str) -> Result<&'v GraphMatrix> {
-    v.as_matrix()
-        .ok_or_else(|| Error::Execution(format!("{what}: expected matrix, got {}", v.kind_name())))
-}
-
-fn want_vector<'v>(v: &'v Value, what: &str) -> Result<&'v [f32]> {
-    v.as_vector()
-        .ok_or_else(|| Error::Execution(format!("{what}: expected vector, got {}", v.kind_name())))
-}
-
-fn want_dense<'v>(v: &'v Value, what: &str) -> Result<&'v Dense> {
-    v.as_dense()
-        .ok_or_else(|| Error::Execution(format!("{what}: expected dense, got {}", v.kind_name())))
-}
-
-fn want_nodes<'v>(v: &'v Value, what: &str) -> Result<&'v [NodeId]> {
-    v.as_nodes()
-        .ok_or_else(|| Error::Execution(format!("{what}: expected nodes, got {}", v.kind_name())))
-}
-
-/// Adapt a row-axis vector to a matrix's row dimension: identical length
-/// passes through; a node-indexed vector is looked up by each row's
-/// global ID (directly for compacted sub-matrices, modulo the graph's
-/// node count `period` for block-diagonal super-batched ones). Any other
-/// mismatch is a genuine length error.
-fn fit_row_vector_checked(m: &GraphMatrix, v: &[f32], period: usize) -> Result<Vec<f32>> {
-    let nrows = m.shape().0;
-    if v.len() == nrows {
-        return Ok(v.to_vec());
-    }
-    let len = v.len();
-    (0..nrows)
-        .map(|r| {
-            let g = m.global_row(r) as usize;
-            if g < len {
-                Ok(v[g])
-            } else if len == period {
-                Ok(v[g % len])
-            } else {
-                Err(Error::Execution(format!(
-                    "row vector of length {len} cannot index row id {g} (period {period})"
-                )))
-            }
-        })
-        .collect()
-}
-
-/// Infallible variant used where the caller already guarantees the vector
-/// is full-graph node-indexed (the executor's internal paths).
-fn fit_row_vector(m: &GraphMatrix, v: &[f32]) -> Vec<f32> {
-    let nrows = m.shape().0;
-    if v.len() == nrows {
-        return v.to_vec();
-    }
-    (0..nrows)
-        .map(|r| {
-            let g = m.global_row(r) as usize;
-            v[g % v.len().max(1)]
-        })
-        .collect()
-}
-
-/// Column-axis analogue (columns keep original node IDs).
-fn fit_col_vector_checked(m: &GraphMatrix, v: &[f32], period: usize) -> Result<Vec<f32>> {
-    let ncols = m.shape().1;
-    if v.len() == ncols {
-        return Ok(v.to_vec());
-    }
-    let len = v.len();
-    (0..ncols)
-        .map(|c| {
-            let g = m.global_col(c) as usize;
-            if g < len {
-                Ok(v[g])
-            } else if len == period {
-                Ok(v[g % len])
-            } else {
-                Err(Error::Execution(format!(
-                    "column vector of length {len} cannot index column id {g}"
-                )))
-            }
-        })
-        .collect()
-}
-
-fn fit_axis_vector(m: &GraphMatrix, v: &[f32], axis: Axis, period: usize) -> Result<Vec<f32>> {
-    match axis {
-        Axis::Row => fit_row_vector_checked(m, v, period),
-        Axis::Col => fit_col_vector_checked(m, v, period),
-    }
-}
-
-fn eval(op: &Op, inputs: &[&Value], ctx: &Ctx<'_>, rng: &mut StdRng) -> Result<Value> {
-    match op {
-        Op::InputGraph | Op::Precomputed { .. } => unreachable!("handled by caller"),
-        Op::InputFrontiers => Ok(Value::Nodes(ctx.concat_frontiers.to_vec())),
-        Op::InputDense(name) => {
-            if let Some(d) = ctx.bindings.get_dense(name) {
-                Ok(Value::Dense(d.clone()))
-            } else if name == "features" {
-                ctx.graph
-                    .features
-                    .clone()
-                    .map(Value::Dense)
-                    .ok_or_else(|| Error::MissingBinding("features".to_string()))
-            } else {
-                Err(Error::MissingBinding(name.clone()))
-            }
-        }
-        Op::InputVector(name) => ctx
-            .bindings
-            .get_vector(name)
-            .map(|v| Value::Vector(v.to_vec()))
-            .ok_or_else(|| Error::MissingBinding(name.clone())),
-        Op::InputNodes(name) => ctx
-            .bindings
-            .nodes
-            .get(name)
-            .map(|n| Value::Nodes(n.clone()))
-            .ok_or_else(|| Error::MissingBinding(name.clone())),
-
-        Op::SliceCols => {
-            let m = want_matrix(inputs[0], "slice_cols")?;
-            let f = want_nodes(inputs[1], "slice_cols")?;
-            if ctx.s > 1 && m.shape().0 == ctx.n {
-                segmented_slice_cols(m, ctx)
-            } else {
-                Ok(Value::Matrix(m.slice_cols_global(f)?))
-            }
-        }
-        Op::SliceRows => {
-            let m = want_matrix(inputs[0], "slice_rows")?;
-            let f = want_nodes(inputs[1], "slice_rows")?;
-            Ok(Value::Matrix(m.slice_rows_global(f)?))
-        }
-        Op::InduceSubgraph => {
-            let m = want_matrix(inputs[0], "induce_subgraph")?;
-            let nodes = want_nodes(inputs[1], "induce_subgraph")?;
-            Ok(Value::Matrix(m.induce_subgraph(nodes)?))
-        }
-
-        Op::ScalarOp(o, s) => {
-            let m = want_matrix(inputs[0], "scalar_op")?;
-            let data = eltwise::scalar_op(&m.data, *s, *o);
-            Ok(Value::Matrix(with_data(m, data)))
-        }
-        Op::UnaryOp(o) => {
-            let m = want_matrix(inputs[0], "unary_op")?;
-            let data = eltwise::unary_op(&m.data, *o);
-            Ok(Value::Matrix(with_data(m, data)))
-        }
-        Op::Broadcast(o, axis) => {
-            let m = want_matrix(inputs[0], "broadcast")?;
-            let v = want_vector(inputs[1], "broadcast")?;
-            let fitted = fit_axis_vector(m, v, *axis, ctx.n)?;
-            let data = broadcast::broadcast(&m.data, &fitted, *o, *axis)?;
-            Ok(Value::Matrix(with_data(m, data)))
-        }
-        Op::SparseElt(o) => {
-            let a = want_matrix(inputs[0], "sparse_elt")?;
-            let b = want_matrix(inputs[1], "sparse_elt")?;
-            let data = eltwise::sparse_op(&a.data, &b.data, *o)?;
-            Ok(Value::Matrix(with_data(a, data)))
-        }
-        Op::Sddmm => {
-            let m = want_matrix(inputs[0], "sddmm")?;
-            let b = want_dense(inputs[1], "sddmm")?;
-            let c = want_dense(inputs[2], "sddmm")?;
-            sddmm_modular(m, b, c, ctx.n)
-        }
-        Op::EdgeValuesFromDense { col } => {
-            let m = want_matrix(inputs[0], "edge_values_from_dense")?;
-            let d = want_dense(inputs[1], "edge_values_from_dense")?;
-            if d.nrows() != m.nnz() || *col >= d.ncols() {
-                return Err(Error::Execution(format!(
-                    "edge_values_from_dense: dense {}x{} incompatible with nnz {} col {col}",
-                    d.nrows(),
-                    d.ncols(),
-                    m.nnz()
-                )));
-            }
-            let values: Vec<f32> = (0..m.nnz()).map(|e| d.get(e, *col)).collect();
-            let mut data = m.data.clone();
-            data.set_values(values);
-            Ok(Value::Matrix(with_data(m, data)))
-        }
-
-        Op::Reduce(o, axis) => {
-            let m = want_matrix(inputs[0], "reduce")?;
-            Ok(Value::Vector(reduce::reduce(&m.data, *o, *axis)))
-        }
-        Op::ReduceAll(o) => {
-            let m = want_matrix(inputs[0], "reduce_all")?;
-            Ok(Value::Scalar(reduce::reduce_all(&m.data, *o)))
-        }
-        Op::Spmm => {
-            let m = want_matrix(inputs[0], "spmm")?;
-            let d = want_dense(inputs[1], "spmm")?;
-            Ok(Value::Dense(spmm::spmm(&m.data, d)?))
-        }
-        Op::SpmmT => {
-            let m = want_matrix(inputs[0], "spmm_t")?;
-            let d = want_dense(inputs[1], "spmm_t")?;
-            Ok(Value::Dense(spmm::spmm_t(&m.data, d)?))
-        }
-
-        Op::Gemm => {
-            let a = want_dense(inputs[0], "gemm")?;
-            let b = want_dense(inputs[1], "gemm")?;
-            Ok(Value::Dense(a.matmul(b)?))
-        }
-        Op::GemmT => {
-            let a = want_dense(inputs[0], "gemm_t")?;
-            let b = want_dense(inputs[1], "gemm_t")?;
-            Ok(Value::Dense(a.matmul_t(b)?))
-        }
-        Op::DenseUnary(o) => {
-            let d = want_dense(inputs[0], "dense_unary")?;
-            Ok(Value::Dense(d.map(|x| o.apply(x))))
-        }
-        Op::DenseSoftmaxRows => {
-            let d = want_dense(inputs[0], "softmax_rows")?;
-            Ok(Value::Dense(d.softmax_rows()))
-        }
-        Op::DenseSoftmaxFlat => {
-            let d = want_dense(inputs[0], "softmax_flat")?;
-            Ok(Value::Dense(d.softmax_flat()))
-        }
-        Op::DenseColumn { col } => {
-            let d = want_dense(inputs[0], "dense_column")?;
-            if *col >= d.ncols() {
-                return Err(Error::Execution(format!(
-                    "dense_column: column {col} out of {}",
-                    d.ncols()
-                )));
-            }
-            Ok(Value::Vector(
-                (0..d.nrows()).map(|r| d.get(r, *col)).collect(),
-            ))
-        }
-        Op::DenseGatherRows => {
-            let d = want_dense(inputs[0], "dense_gather_rows")?;
-            let idx = want_nodes(inputs[1], "dense_gather_rows")?;
-            // Block IDs wrap into a full-graph table; any other oversize
-            // index is a genuine error (surfaced by gather_rows).
-            let wrap_ok = d.nrows() == ctx.n;
-            let wrapped: Vec<NodeId> = idx
-                .iter()
-                .map(|&i| {
-                    if wrap_ok {
-                        (i as usize % d.nrows().max(1)) as NodeId
-                    } else {
-                        i
-                    }
-                })
-                .collect();
-            Ok(Value::Dense(d.gather_rows(&wrapped)?))
-        }
-        Op::StackEdgeValues => {
-            let mats: Vec<&SparseMatrix> = inputs
-                .iter()
-                .map(|v| want_matrix(v, "stack_edge_values").map(|m| &m.data))
-                .collect::<Result<Vec<_>>>()?;
-            Ok(Value::Dense(eltwise::stack_edge_values(&mats)?))
-        }
-
-        Op::VectorOp(o) => {
-            let a = want_vector(inputs[0], "vector_op")?;
-            let b = want_vector(inputs[1], "vector_op")?;
-            // Under super-batching, a block-space vector (length S·N) may
-            // combine with a base-space one (length N): tile the shorter
-            // periodically, mirroring `fit_row_vector`.
-            let (long, short, flipped) = if a.len() >= b.len() {
-                (a, b, false)
-            } else {
-                (b, a, true)
-            };
-            if short.is_empty() || long.len() % short.len() != 0 {
-                return Err(Error::Execution(format!(
-                    "vector_op length mismatch: {} vs {}",
-                    a.len(),
-                    b.len()
-                )));
-            }
-            let out: Vec<f32> = long
-                .iter()
-                .enumerate()
-                .map(|(i, &x)| {
-                    let y = short[i % short.len()];
-                    if flipped {
-                        o.apply(y, x)
-                    } else {
-                        o.apply(x, y)
-                    }
-                })
-                .collect();
-            Ok(Value::Vector(out))
-        }
-        Op::VectorScalar(o, s) => {
-            let a = want_vector(inputs[0], "vector_scalar")?;
-            Ok(Value::Vector(a.iter().map(|&x| o.apply(x, *s)).collect()))
-        }
-        Op::VectorSum => {
-            let a = want_vector(inputs[0], "vector_sum")?;
-            Ok(Value::Scalar(a.iter().sum()))
-        }
-        Op::VectorNormalize => {
-            let a = want_vector(inputs[0], "vector_normalize")?;
-            let total: f32 = a.iter().sum();
-            if total > 0.0 {
-                Ok(Value::Vector(a.iter().map(|&x| x / total).collect()))
-            } else {
-                Ok(Value::Vector(a.to_vec()))
-            }
-        }
-        Op::GatherVector => {
-            let v = want_vector(inputs[0], "gather_vector")?;
-            let idx = want_nodes(inputs[1], "gather_vector")?;
-            idx.iter()
-                .map(|&i| {
-                    v.get(i as usize).copied().ok_or_else(|| {
-                        Error::Execution(format!("gather_vector index {i} out of range"))
-                    })
-                })
-                .collect::<Result<Vec<f32>>>()
-                .map(Value::Vector)
-        }
-        Op::GatherRowBias => {
-            let v = want_vector(inputs[0], "gather_row_bias")?;
-            let sampled = want_matrix(inputs[1], "gather_row_bias")?;
-            let source = want_matrix(inputs[2], "gather_row_bias")?;
-            gather_row_bias(v, sampled, source)
-        }
-        Op::AlignRowVector => {
-            let v = want_vector(inputs[0], "align_row_vector")?;
-            let m = want_matrix(inputs[1], "align_row_vector")?;
-            Ok(Value::Vector(fit_row_vector(m, v)))
-        }
-
-        Op::IndividualSample { k, replace } => {
-            let m = want_matrix(inputs[0], "individual_sample")?;
-            let probs = match inputs.get(1) {
-                Some(v) => Some(want_matrix(v, "individual_sample probs")?),
-                None => None,
-            };
-            let out = if *replace {
-                let data =
-                    individual_sample_with_replacement(&m.data, *k, probs.map(|p| &p.data), rng)?;
-                with_data(m, data)
-            } else {
-                m.individual_sample(*k, probs, rng)?
-            };
-            Ok(Value::Matrix(out))
-        }
-        Op::CollectiveSample { k } => {
-            let m = want_matrix(inputs[0], "collective_sample")?;
-            let probs = match inputs.get(1) {
-                Some(v) => Some(want_vector(v, "collective_sample probs")?),
-                None => None,
-            };
-            segmented_collective_sample(m, *k, probs, ctx, rng)
-        }
-        Op::Node2VecBias { p, q } => {
-            let m = want_matrix(inputs[0], "node2vec_bias")?;
-            let prev = want_nodes(inputs[1], "node2vec_bias")?;
-            let g = want_matrix(inputs[2], "node2vec_bias")?;
-            node2vec_bias(m, prev, g, *p, *q, ctx)
-        }
-
-        Op::RowNodes => {
-            let m = want_matrix(inputs[0], "row_nodes")?;
-            Ok(Value::Nodes(m.row_nodes()))
-        }
-        Op::ColNodes => {
-            let m = want_matrix(inputs[0], "col_nodes")?;
-            Ok(Value::Nodes(m.col_nodes()))
-        }
-        Op::AllRowIds => {
-            let m = want_matrix(inputs[0], "all_row_ids")?;
-            Ok(Value::Nodes(m.global_row_ids()))
-        }
-        Op::NextWalkFrontier => {
-            let m = want_matrix(inputs[0], "next_walk_frontier")?;
-            next_walk_frontier(m, ctx)
-        }
-        Op::CompactRows => {
-            let m = want_matrix(inputs[0], "compact_rows")?;
-            Ok(Value::Matrix(m.compact_rows()))
-        }
-        Op::CompactCols => {
-            let m = want_matrix(inputs[0], "compact_cols")?;
-            Ok(Value::Matrix(m.compact_cols()))
-        }
-        Op::Convert(fmt) => {
-            let m = want_matrix(inputs[0], "convert")?;
-            let mut out = m.clone();
-            out.data = out.data.to_format(*fmt);
-            Ok(Value::Matrix(out))
-        }
-
-        Op::FusedExtractSelect { k, replace } => {
-            let m = want_matrix(inputs[0], "fused_extract_select")?;
-            fused_extract_select(m, *k, *replace, ctx, rng)
-        }
-        Op::FusedEdgeMap { steps } => {
-            let m = want_matrix(inputs[0], "fused_edge_map")?;
-            let mut data = m.data.clone();
-            apply_steps(&mut data, m, steps, inputs, ctx.n)?;
-            Ok(Value::Matrix(with_data(m, data)))
-        }
-        Op::FusedEdgeMapReduce {
-            steps,
-            reduce: rop,
-            axis,
-        } => {
-            let m = want_matrix(inputs[0], "fused_edge_map_reduce")?;
-            let mut data = m.data.clone();
-            apply_steps(&mut data, m, steps, inputs, ctx.n)?;
-            Ok(Value::Vector(reduce::reduce(&data, *rop, *axis)))
-        }
-    }
-}
-
-/// Keep a matrix's ID spaces while swapping its data (same pattern).
-fn with_data(m: &GraphMatrix, data: SparseMatrix) -> GraphMatrix {
-    GraphMatrix {
-        data,
-        row_ids: m.row_ids.clone(),
-        col_ids: m.col_ids.clone(),
-    }
-}
-
-/// Apply a fused edge-map chain in place.
-fn apply_steps(
-    data: &mut SparseMatrix,
-    m: &GraphMatrix,
-    steps: &[EdgeMapStep],
-    inputs: &[&Value],
-    period: usize,
-) -> Result<()> {
-    for step in steps {
-        match step {
-            EdgeMapStep::Scalar(op, s) => {
-                let op = *op;
-                let s = *s;
-                for v in data.values_mut() {
-                    *v = op.apply(*v, s);
-                }
-            }
-            EdgeMapStep::Unary(op) => {
-                let op = *op;
-                for v in data.values_mut() {
-                    *v = op.apply(*v);
-                }
-            }
-            EdgeMapStep::Broadcast(op, axis, pos) => {
-                let v = want_vector(inputs[*pos], "fused broadcast")?;
-                let fitted = fit_axis_vector(m, v, *axis, period)?;
-                broadcast::broadcast_in_place(data, &fitted, *op, *axis)?;
-            }
-        }
-    }
-    Ok(())
-}
-
-/// Segmented (block-diagonal) column extraction from a base-space matrix.
-fn segmented_slice_cols(m: &GraphMatrix, ctx: &Ctx<'_>) -> Result<Value> {
-    let n = ctx.n;
-    let csc = m.data.to_csc();
-    let total_cols = ctx.concat_frontiers.len();
-    let mut indptr = Vec::with_capacity(total_cols + 1);
-    indptr.push(0usize);
-    let mut indices: Vec<NodeId> = Vec::new();
-    let mut values: Option<Vec<f32>> = csc.values.as_ref().map(|_| Vec::new());
-    for (b, group) in ctx.frontier_groups.iter().enumerate() {
-        let offset = (b * n) as NodeId;
-        for &f in group {
-            if (f as usize) >= csc.ncols {
-                return Err(gsampler_matrix::Error::IndexOutOfBounds {
-                    op: "segmented_slice_cols",
-                    index: f as usize,
-                    bound: csc.ncols,
-                }
-                .into());
-            }
-            let range = csc.col_range(f as usize);
-            for pos in range.clone() {
-                indices.push(csc.indices[pos] + offset);
-            }
-            if let (Some(out), Some(src)) = (values.as_mut(), csc.values.as_ref()) {
-                out.extend_from_slice(&src[range]);
-            }
-            indptr.push(indices.len());
-        }
-    }
-    let block = Csc {
-        nrows: n * ctx.s,
-        ncols: total_cols,
-        indptr,
-        indices,
-        values,
-    };
-    let fmt = m.data.format();
-    Ok(Value::Matrix(GraphMatrix {
-        data: SparseMatrix::Csc(block).to_format(fmt),
-        row_ids: None,
-        col_ids: Some(std::sync::Arc::new(ctx.concat_frontiers.to_vec())),
-    }))
-}
-
-/// Fused extract + node-wise select: sample `k` in-neighbours per frontier
-/// directly from the source matrix's columns, with block-diagonal row
-/// offsets under super-batching.
-fn fused_extract_select(
-    m: &GraphMatrix,
-    k: usize,
-    replace: bool,
-    ctx: &Ctx<'_>,
-    rng: &mut StdRng,
-) -> Result<Value> {
-    let n = ctx.n;
-    let csc = m.data.to_csc();
-    let total_cols = ctx.concat_frontiers.len();
-    let mut indptr = Vec::with_capacity(total_cols + 1);
-    indptr.push(0usize);
-    let mut indices: Vec<NodeId> = Vec::new();
-    let mut values: Option<Vec<f32>> = csc.values.as_ref().map(|_| Vec::new());
-    for (b, group) in ctx.frontier_groups.iter().enumerate() {
-        let offset = if ctx.s > 1 { (b * n) as NodeId } else { 0 };
-        for &f in group {
-            if (f as usize) >= csc.ncols {
-                return Err(gsampler_matrix::Error::IndexOutOfBounds {
-                    op: "fused_extract_select",
-                    index: f as usize,
-                    bound: csc.ncols,
-                }
-                .into());
-            }
-            let range = csc.col_range(f as usize);
-            let deg = range.len();
-            let mut picked: Vec<usize> = if deg == 0 {
-                Vec::new()
-            } else if replace {
-                let mut p: Vec<usize> = (0..k).map(|_| rand::Rng::gen_range(rng, 0..deg)).collect();
-                p.sort_unstable();
-                p.dedup();
-                p
-            } else if deg <= k {
-                (0..deg).collect()
-            } else {
-                gsampler_matrix::sample::uniform_sample_without_replacement(deg, k, rng)
-            };
-            picked.sort_unstable();
-            for off in picked {
-                let pos = range.start + off;
-                indices.push(csc.indices[pos] + offset);
-                if let (Some(out), Some(src)) = (values.as_mut(), csc.values.as_ref()) {
-                    out.push(src[pos]);
-                }
-            }
-            indptr.push(indices.len());
-        }
-    }
-    let nrows = if ctx.s > 1 { n * ctx.s } else { csc.nrows };
-    let block = Csc {
-        nrows,
-        ncols: total_cols,
-        indptr,
-        indices,
-        values,
-    };
-    Ok(Value::Matrix(GraphMatrix {
-        data: SparseMatrix::Csc(block),
-        row_ids: m.row_ids.clone(),
-        col_ids: Some(std::sync::Arc::new(ctx.concat_frontiers.to_vec())),
-    }))
-}
-
-/// Collective (layer-wise) sampling, segmented per super-batch group: `k`
-/// distinct rows are selected inside each group's row range.
-// Node-id indexing across the weight/segment arrays reads better than
-// zipped iterators here.
-#[allow(clippy::needless_range_loop)]
-fn segmented_collective_sample(
-    m: &GraphMatrix,
-    k: usize,
-    probs: Option<&[f32]>,
-    ctx: &Ctx<'_>,
-    rng: &mut StdRng,
-) -> Result<Value> {
-    let nrows = m.shape().0;
-    let weights: Vec<f32> = match probs {
-        Some(p) => fit_row_vector(m, p),
-        None => m
-            .data
-            .row_degrees()
-            .into_iter()
-            .map(|d| d as f32)
-            .collect(),
-    };
-    for (i, &w) in weights.iter().enumerate() {
-        if !w.is_finite() || w < 0.0 {
-            return Err(gsampler_matrix::Error::InvalidProbability { index: i, value: w }.into());
-        }
-    }
-
-    // Partition candidate rows into segments by their global (block) ID.
-    let segments = ctx.s.max(1);
-    let period = ctx.n;
-    let mut per_segment: Vec<Vec<NodeId>> = vec![Vec::new(); segments];
-    for r in 0..nrows {
-        if weights[r] > 0.0 {
-            let seg = if segments > 1 {
-                (m.global_row(r) as usize / period).min(segments - 1)
-            } else {
-                0
-            };
-            per_segment[seg].push(r as NodeId);
-        }
-    }
-
-    let mut selected: Vec<NodeId> = Vec::new();
-    for cands in &per_segment {
-        if cands.len() <= k {
-            selected.extend_from_slice(cands);
-        } else {
-            let w: Vec<f32> = cands.iter().map(|&r| weights[r as usize]).collect();
-            let picks = weighted_sample_without_replacement(&w, k, rng);
-            selected.extend(picks.into_iter().map(|i| cands[i]));
-        }
-    }
-    selected.sort_unstable();
-
-    let data = slice::slice_rows(&m.data, &selected)?;
-    let globals: Vec<NodeId> = selected
-        .iter()
-        .map(|&r| m.global_row(r as usize))
-        .collect();
-    Ok(Value::Matrix(GraphMatrix {
-        data,
-        row_ids: Some(std::sync::Arc::new(globals)),
-        col_ids: m.col_ids.clone(),
-    }))
-}
-
-/// Per-walker finalize: each column's sampled row becomes that walker's
-/// next node; dead-end walkers stay where they are. Under super-batching,
-/// stay-in-place nodes are lifted into the column's block row range so
-/// the output splits per group like any other row-space node list.
-fn next_walk_frontier(m: &GraphMatrix, ctx: &Ctx<'_>) -> Result<Value> {
-    let csc = m.data.to_csc();
-    let mut out: Vec<NodeId> = Vec::with_capacity(csc.ncols);
-    for c in 0..csc.ncols {
-        let range = csc.col_range(c);
-        if let Some(&row) = csc.indices.get(range.start..range.end).and_then(|s| s.first()) {
-            out.push(m.global_row(row as usize));
-        } else {
-            // Dead end: keep the walker at its current node; under
-            // super-batching, lift it into this column's block.
-            let node = m.global_col(c);
-            if ctx.s > 1 {
-                let b = ctx
-                    .col_offsets
-                    .iter()
-                    .position(|&off| off > c)
-                    .unwrap_or(ctx.s)
-                    .saturating_sub(1);
-                out.push((b * ctx.n) as NodeId + node);
-            } else {
-                out.push(node);
-            }
-        }
-    }
-    Ok(Value::Nodes(out))
-}
-
-/// SDDMM where the left feature table is indexed by each row's *global*
-/// ID: a full-graph table (`N` rows) is consumed directly by compacted
-/// sub-matrices, and through `id mod N` by block-diagonal super-batched
-/// ones. Any other size mismatch is a genuine shape error.
-fn sddmm_modular(m: &GraphMatrix, b: &Dense, c: &Dense, period: usize) -> Result<Value> {
-    if b.ncols() != c.ncols() {
-        return Err(gsampler_matrix::Error::ShapeMismatch {
-            op: "sddmm feature dims",
-            lhs: b.shape(),
-            rhs: c.shape(),
-        }
-        .into());
-    }
-    if c.nrows() != m.shape().1 {
-        return Err(gsampler_matrix::Error::ShapeMismatch {
-            op: "sddmm rhs rows",
-            lhs: m.shape(),
-            rhs: c.shape(),
-        }
-        .into());
-    }
-    let bn = b.nrows();
-    let wrap_ok = bn == period;
-    let nrows = m.shape().0;
-    let mut dots: Vec<f32> = Vec::with_capacity(m.nnz());
-    for (r, col, _) in m.data.iter_edges() {
-        let g = m.global_row(r as usize) as usize;
-        let idx = if g < bn {
-            g
-        } else if wrap_ok {
-            g % bn
-        } else {
-            return Err(gsampler_matrix::Error::ShapeMismatch {
-                op: "sddmm lhs rows",
-                lhs: (nrows, m.shape().1),
-                rhs: b.shape(),
-            }
-            .into());
-        };
-        let br = b.row(idx);
-        let cr = c.row(col as usize);
-        dots.push(br.iter().zip(cr).map(|(&x, &y)| x * y).sum());
-    }
-    let mut data = m.data.clone();
-    data.set_values(dots);
-    Ok(Value::Matrix(with_data(m, data)))
-}
-
-/// Second-order Node2Vec bias: candidate `r` for walker `c` is weighted
-/// `1/p` when returning to the previous node, `1` when staying in its
-/// neighbourhood, `1/q` otherwise.
-fn node2vec_bias(
-    m: &GraphMatrix,
-    prev: &[NodeId],
-    graph: &GraphMatrix,
-    p: f32,
-    q: f32,
-    ctx: &Ctx<'_>,
-) -> Result<Value> {
-    if prev.len() != m.shape().1 {
-        return Err(Error::Execution(format!(
-            "node2vec_bias: prev length {} != columns {}",
-            prev.len(),
-            m.shape().1
-        )));
-    }
-    let gcsc = graph.data.to_csc();
-    let n = ctx.n.max(1);
-    let biases: Vec<f32> = m
-        .data
-        .iter_edges()
-        .map(|(r, c, _)| {
-            let cand = (m.global_row(r as usize) as usize % n) as NodeId;
-            let prev_node = prev[c as usize];
-            if cand == prev_node {
-                1.0 / p
-            } else if gcsc.contains_edge(cand, prev_node as usize)
-                || gcsc.contains_edge(prev_node, cand as usize)
-            {
-                1.0
-            } else {
-                1.0 / q
-            }
-        })
-        .collect();
-    let mut data = m.data.clone();
-    data.set_values(biases);
-    Ok(Value::Matrix(with_data(m, data)))
-}
-
-/// `row_probs[sample_A.row()]`: look each sampled row's bias up at its
-/// position in `source`'s row space.
-fn gather_row_bias(v: &[f32], sampled: &GraphMatrix, source: &GraphMatrix) -> Result<Value> {
-    let lookup: Box<dyn Fn(NodeId) -> Option<usize>> = match &source.row_ids {
-        None => {
-            let n = source.shape().0;
-            Box::new(move |g: NodeId| {
-                if (g as usize) < n {
-                    Some(g as usize)
-                } else {
-                    None
-                }
-            })
-        }
-        Some(ids) => {
-            let map: HashMap<NodeId, usize> = ids
-                .iter()
-                .enumerate()
-                .map(|(i, &g)| (g, i))
-                .collect();
-            Box::new(move |g: NodeId| map.get(&g).copied())
-        }
-    };
-    let nrows = sampled.shape().0;
-    let mut out = Vec::with_capacity(nrows);
-    for r in 0..nrows {
-        let g = sampled.global_row(r);
-        let pos = lookup(g).ok_or_else(|| {
-            Error::Execution(format!("gather_row_bias: row {g} missing from source space"))
-        })?;
-        let val = if pos < v.len() {
-            v[pos]
-        } else {
-            v[pos % v.len().max(1)]
-        };
-        out.push(val);
-    }
-    Ok(Value::Vector(out))
-}
-
-/// Split super-batched output values back into per-group values.
-fn split_outputs(outputs: &[Rc<Value>], ctx: &Ctx<'_>) -> Result<Vec<Vec<Value>>> {
-    let s = ctx.s;
-    if s <= 1 {
-        return Ok(vec![outputs.iter().map(|v| (**v).clone()).collect()]);
-    }
-    let n = ctx.n;
-    let mut per_group: Vec<Vec<Value>> = vec![Vec::new(); s];
-    for value in outputs {
-        match &**value {
-            Value::Matrix(m) => {
-                for (b, group) in per_group.iter_mut().enumerate() {
-                    group.push(Value::Matrix(split_matrix(m, b, n, ctx.col_offsets)?));
-                }
-            }
-            Value::Nodes(ids) => {
-                // Block-row IDs split by period; IDs below N (true graph
-                // IDs, e.g. from column space) go to every group.
-                let block = ids.iter().any(|&i| (i as usize) >= n);
-                for (b, group) in per_group.iter_mut().enumerate() {
-                    let list: Vec<NodeId> = if block {
-                        ids.iter()
-                            .filter(|&&i| (i as usize) / n == b)
-                            .map(|&i| (i as usize % n) as NodeId)
-                            .collect()
-                    } else if s == 1 {
-                        ids.clone()
-                    } else {
-                        // Without block offsets we cannot attribute IDs;
-                        // give each group the full list.
-                        ids.clone()
-                    };
-                    group.push(Value::Nodes(list));
-                }
-            }
-            Value::Vector(v) => {
-                let total_cols = *ctx.col_offsets.last().unwrap();
-                for (b, group) in per_group.iter_mut().enumerate() {
-                    let piece = if v.len() == n * s {
-                        v[b * n..(b + 1) * n].to_vec()
-                    } else if v.len() == total_cols {
-                        v[ctx.col_offsets[b]..ctx.col_offsets[b + 1]].to_vec()
-                    } else {
-                        v.clone()
-                    };
-                    group.push(Value::Vector(piece));
-                }
-            }
-            other => {
-                for group in per_group.iter_mut() {
-                    group.push(other.clone());
-                }
-            }
-        }
-    }
-    Ok(per_group)
-}
-
-/// Slice group `b`'s columns out of a block-diagonal matrix and translate
-/// its block-row IDs back to original node IDs.
-fn split_matrix(
-    m: &GraphMatrix,
-    b: usize,
-    n: usize,
-    col_offsets: &[usize],
-) -> Result<GraphMatrix> {
-    let cols: Vec<NodeId> = (col_offsets[b]..col_offsets[b + 1])
-        .map(|c| c as NodeId)
-        .collect();
-    let data = slice::slice_cols(&m.data, &cols)?;
-    let col_ids: Vec<NodeId> = cols.iter().map(|&c| m.global_col(c as usize)).collect();
-    let piece = GraphMatrix {
-        data,
-        row_ids: m.row_ids.clone(),
-        col_ids: Some(std::sync::Arc::new(col_ids)),
-    };
-    // Drop the other groups' (isolated) rows, then unwrap the block offset.
-    let compacted = piece.compact_rows();
-    let fixed: Vec<NodeId> = compacted
-        .global_row_ids()
-        .into_iter()
-        .map(|g| (g as usize % n) as NodeId)
-        .collect();
-    Ok(GraphMatrix {
-        data: compacted.data,
-        row_ids: Some(std::sync::Arc::new(fixed)),
-        col_ids: compacted.col_ids,
-    })
+    superbatch::split_outputs(&outputs, &ctx)
 }

@@ -138,7 +138,9 @@ pub fn to_edge_index_graph(sample: &GraphSample) -> EdgeIndexGraph {
     let mut edge_index_dst = Vec::new();
     let mut edge_weight = Vec::new();
     for outputs in &sample.layers {
-        let Some(m) = outputs[0].as_matrix() else { continue };
+        let Some(m) = outputs[0].as_matrix() else {
+            continue;
+        };
         for (r, c, v) in m.global_edges() {
             if !seen.insert((r, c)) {
                 continue;

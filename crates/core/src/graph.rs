@@ -111,13 +111,8 @@ mod tests {
 
     #[test]
     fn from_edges_builds_in_edge_columns() {
-        let g = Graph::from_edges(
-            "toy",
-            4,
-            &[(0, 1, 1.0), (2, 1, 0.5), (3, 0, 2.0)],
-            true,
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges("toy", 4, &[(0, 1, 1.0), (2, 1, 0.5), (3, 0, 2.0)], true).unwrap();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 3);
         // Column 1 (in-edges of node 1) holds rows {0, 2}.

@@ -188,7 +188,13 @@ mod tests {
             "bought",
             0,
             1,
-            &[(0, 4, 1.0), (1, 4, 1.0), (1, 5, 1.0), (2, 6, 1.0), (3, 7, 1.0)],
+            &[
+                (0, 4, 1.0),
+                (1, 4, 1.0),
+                (1, 5, 1.0),
+                (2, 6, 1.0),
+                (3, 7, 1.0),
+            ],
             false,
         )
         .unwrap();
@@ -197,7 +203,13 @@ mod tests {
             "bought_by",
             1,
             0,
-            &[(4, 0, 1.0), (4, 1, 1.0), (5, 1, 1.0), (6, 2, 1.0), (7, 3, 1.0)],
+            &[
+                (4, 0, 1.0),
+                (4, 1, 1.0),
+                (5, 1, 1.0),
+                (6, 2, 1.0),
+                (7, 3, 1.0),
+            ],
             false,
         )
         .unwrap();

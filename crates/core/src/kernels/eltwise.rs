@@ -1,0 +1,402 @@
+//! Edge-map, reduce, and vector kernels: element-wise sparse ops,
+//! broadcasts, reductions, vector algebra, and the fused edge-map chains
+//! the fusion pass emits.
+//!
+//! Also home of [`fit_vector`], the single axis-parameterized helper that
+//! adapts node-indexed vectors to a matrix's row/column dimension (the
+//! former `fit_row_vector` / `fit_row_vector_checked` /
+//! `fit_col_vector_checked` trio).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use gsampler_ir::op::EdgeMapStep;
+use gsampler_ir::Op;
+use gsampler_matrix::{broadcast, eltwise, reduce, Axis, GraphMatrix, NodeId, SparseMatrix};
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+use super::{ExecCtx, Kernel};
+
+/// Keep a matrix's ID spaces while swapping its data (same pattern).
+pub fn with_data(m: &GraphMatrix, data: SparseMatrix) -> GraphMatrix {
+    GraphMatrix {
+        data,
+        row_ids: m.row_ids.clone(),
+        col_ids: m.col_ids.clone(),
+    }
+}
+
+/// How [`fit_vector`] treats an index beyond the vector's length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitMode {
+    /// Out-of-range IDs are an error unless the vector spans exactly one
+    /// period (a full-graph node-indexed table), in which case block IDs
+    /// wrap by `id mod period`.
+    Strict,
+    /// Always wrap by `id mod len` — for internal paths where the caller
+    /// guarantees a full-graph node-indexed vector.
+    Wrap,
+}
+
+/// Adapt a vector to a matrix's `axis` dimension: identical length passes
+/// through; otherwise each position is looked up by its global ID along
+/// that axis (directly for compacted sub-matrices, modulo the graph's
+/// node count `period` for block-diagonal super-batched ones).
+pub fn fit_vector(
+    m: &GraphMatrix,
+    v: &[f32],
+    axis: Axis,
+    period: usize,
+    mode: FitMode,
+) -> Result<Vec<f32>> {
+    let dim = match axis {
+        Axis::Row => m.shape().0,
+        Axis::Col => m.shape().1,
+    };
+    if v.len() == dim {
+        return Ok(v.to_vec());
+    }
+    let len = v.len();
+    (0..dim)
+        .map(|i| {
+            let g = match axis {
+                Axis::Row => m.global_row(i),
+                Axis::Col => m.global_col(i),
+            } as usize;
+            if g < len {
+                Ok(v[g])
+            } else if len == period || mode == FitMode::Wrap {
+                Ok(v[g % len.max(1)])
+            } else {
+                let name = match axis {
+                    Axis::Row => "row",
+                    Axis::Col => "column",
+                };
+                Err(Error::Execution(format!(
+                    "{name} vector of length {len} cannot index {name} id {g} (period {period})"
+                )))
+            }
+        })
+        .collect()
+}
+
+/// Strict row/column fit — errors on a genuine length mismatch.
+pub fn fit_axis_vector(m: &GraphMatrix, v: &[f32], axis: Axis, period: usize) -> Result<Vec<f32>> {
+    fit_vector(m, v, axis, period, FitMode::Strict)
+}
+
+/// Infallible row fit for internal paths where the vector is known to be
+/// full-graph node-indexed.
+pub fn fit_row_vector(m: &GraphMatrix, v: &[f32]) -> Vec<f32> {
+    fit_vector(m, v, Axis::Row, usize::MAX, FitMode::Wrap).expect("wrap-mode fit cannot fail")
+}
+
+/// Apply a fused edge-map chain in place.
+pub fn apply_steps(
+    data: &mut SparseMatrix,
+    m: &GraphMatrix,
+    steps: &[EdgeMapStep],
+    inputs: &[&Value],
+    period: usize,
+) -> Result<()> {
+    for step in steps {
+        match step {
+            EdgeMapStep::Scalar(op, s) => {
+                let op = *op;
+                let s = *s;
+                for v in data.values_mut() {
+                    *v = op.apply(*v, s);
+                }
+            }
+            EdgeMapStep::Unary(op) => {
+                let op = *op;
+                for v in data.values_mut() {
+                    *v = op.apply(*v);
+                }
+            }
+            EdgeMapStep::Broadcast(op, axis, pos) => {
+                let v = want_vector(inputs[*pos], "fused broadcast")?;
+                let fitted = fit_axis_vector(m, v, *axis, period)?;
+                broadcast::broadcast_in_place(data, &fitted, *op, *axis)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `row_probs[sample_A.row()]`: look each sampled row's bias up at its
+/// position in `source`'s row space.
+pub fn gather_row_bias(v: &[f32], sampled: &GraphMatrix, source: &GraphMatrix) -> Result<Value> {
+    let lookup: Box<dyn Fn(NodeId) -> Option<usize>> = match &source.row_ids {
+        None => {
+            let n = source.shape().0;
+            Box::new(move |g: NodeId| {
+                if (g as usize) < n {
+                    Some(g as usize)
+                } else {
+                    None
+                }
+            })
+        }
+        Some(ids) => {
+            let map: HashMap<NodeId, usize> =
+                ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+            Box::new(move |g: NodeId| map.get(&g).copied())
+        }
+    };
+    let nrows = sampled.shape().0;
+    let mut out = Vec::with_capacity(nrows);
+    for r in 0..nrows {
+        let g = sampled.global_row(r);
+        let pos = lookup(g).ok_or_else(|| {
+            Error::Execution(format!(
+                "gather_row_bias: row {g} missing from source space"
+            ))
+        })?;
+        let val = if pos < v.len() {
+            v[pos]
+        } else {
+            v[pos % v.len().max(1)]
+        };
+        out.push(val);
+    }
+    Ok(Value::Vector(out))
+}
+
+pub(super) fn want_matrix<'v>(v: &'v Value, what: &str) -> Result<&'v GraphMatrix> {
+    v.as_matrix()
+        .ok_or_else(|| Error::Execution(format!("{what}: expected matrix, got {}", v.kind_name())))
+}
+
+pub(super) fn want_vector<'v>(v: &'v Value, what: &str) -> Result<&'v [f32]> {
+    v.as_vector()
+        .ok_or_else(|| Error::Execution(format!("{what}: expected vector, got {}", v.kind_name())))
+}
+
+pub(super) fn want_nodes<'v>(v: &'v Value, what: &str) -> Result<&'v [NodeId]> {
+    v.as_nodes()
+        .ok_or_else(|| Error::Execution(format!("{what}: expected nodes, got {}", v.kind_name())))
+}
+
+/// Edge-map / reduce / vector operator family.
+pub struct EltwiseKernels;
+
+impl Kernel for EltwiseKernels {
+    fn name(&self) -> &'static str {
+        "eltwise"
+    }
+
+    fn run(
+        &self,
+        op: &Op,
+        inputs: &[&Value],
+        ctx: &ExecCtx<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<Value> {
+        match op {
+            Op::ScalarOp(o, s) => {
+                let m = want_matrix(inputs[0], "scalar_op")?;
+                let data = eltwise::scalar_op(&m.data, *s, *o);
+                Ok(Value::Matrix(with_data(m, data)))
+            }
+            Op::UnaryOp(o) => {
+                let m = want_matrix(inputs[0], "unary_op")?;
+                let data = eltwise::unary_op(&m.data, *o);
+                Ok(Value::Matrix(with_data(m, data)))
+            }
+            Op::Broadcast(o, axis) => {
+                let m = want_matrix(inputs[0], "broadcast")?;
+                let v = want_vector(inputs[1], "broadcast")?;
+                let fitted = fit_axis_vector(m, v, *axis, ctx.n)?;
+                let data = broadcast::broadcast(&m.data, &fitted, *o, *axis)?;
+                Ok(Value::Matrix(with_data(m, data)))
+            }
+            Op::SparseElt(o) => {
+                let a = want_matrix(inputs[0], "sparse_elt")?;
+                let b = want_matrix(inputs[1], "sparse_elt")?;
+                let data = eltwise::sparse_op(&a.data, &b.data, *o)?;
+                Ok(Value::Matrix(with_data(a, data)))
+            }
+            Op::Reduce(o, axis) => {
+                let m = want_matrix(inputs[0], "reduce")?;
+                Ok(Value::Vector(reduce::reduce(&m.data, *o, *axis)))
+            }
+            Op::ReduceAll(o) => {
+                let m = want_matrix(inputs[0], "reduce_all")?;
+                Ok(Value::Scalar(reduce::reduce_all(&m.data, *o)))
+            }
+            Op::VectorOp(o) => {
+                let a = want_vector(inputs[0], "vector_op")?;
+                let b = want_vector(inputs[1], "vector_op")?;
+                // Under super-batching, a block-space vector (length S·N)
+                // may combine with a base-space one (length N): tile the
+                // shorter periodically, mirroring `fit_vector`.
+                let (long, short, flipped) = if a.len() >= b.len() {
+                    (a, b, false)
+                } else {
+                    (b, a, true)
+                };
+                if short.is_empty() || long.len() % short.len() != 0 {
+                    return Err(Error::Execution(format!(
+                        "vector_op length mismatch: {} vs {}",
+                        a.len(),
+                        b.len()
+                    )));
+                }
+                let out: Vec<f32> = long
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        let y = short[i % short.len()];
+                        if flipped {
+                            o.apply(y, x)
+                        } else {
+                            o.apply(x, y)
+                        }
+                    })
+                    .collect();
+                Ok(Value::Vector(out))
+            }
+            Op::VectorScalar(o, s) => {
+                let a = want_vector(inputs[0], "vector_scalar")?;
+                Ok(Value::Vector(a.iter().map(|&x| o.apply(x, *s)).collect()))
+            }
+            Op::VectorSum => {
+                let a = want_vector(inputs[0], "vector_sum")?;
+                Ok(Value::Scalar(a.iter().sum()))
+            }
+            Op::VectorNormalize => {
+                let a = want_vector(inputs[0], "vector_normalize")?;
+                let total: f32 = a.iter().sum();
+                if total > 0.0 {
+                    Ok(Value::Vector(a.iter().map(|&x| x / total).collect()))
+                } else {
+                    Ok(Value::Vector(a.to_vec()))
+                }
+            }
+            Op::GatherVector => {
+                let v = want_vector(inputs[0], "gather_vector")?;
+                let idx = want_nodes(inputs[1], "gather_vector")?;
+                idx.iter()
+                    .map(|&i| {
+                        v.get(i as usize).copied().ok_or_else(|| {
+                            Error::Execution(format!("gather_vector index {i} out of range"))
+                        })
+                    })
+                    .collect::<Result<Vec<f32>>>()
+                    .map(Value::Vector)
+            }
+            Op::GatherRowBias => {
+                let v = want_vector(inputs[0], "gather_row_bias")?;
+                let sampled = want_matrix(inputs[1], "gather_row_bias")?;
+                let source = want_matrix(inputs[2], "gather_row_bias")?;
+                gather_row_bias(v, sampled, source)
+            }
+            Op::AlignRowVector => {
+                let v = want_vector(inputs[0], "align_row_vector")?;
+                let m = want_matrix(inputs[1], "align_row_vector")?;
+                Ok(Value::Vector(fit_row_vector(m, v)))
+            }
+            Op::FusedEdgeMap { steps } => {
+                let m = want_matrix(inputs[0], "fused_edge_map")?;
+                let mut data = m.data.clone();
+                apply_steps(&mut data, m, steps, inputs, ctx.n)?;
+                Ok(Value::Matrix(with_data(m, data)))
+            }
+            Op::FusedEdgeMapReduce {
+                steps,
+                reduce: rop,
+                axis,
+            } => {
+                let m = want_matrix(inputs[0], "fused_edge_map_reduce")?;
+                let mut data = m.data.clone();
+                apply_steps(&mut data, m, steps, inputs, ctx.n)?;
+                Ok(Value::Vector(reduce::reduce(&data, *rop, *axis)))
+            }
+            other => Err(Error::Execution(format!(
+                "eltwise kernel cannot evaluate {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsampler_matrix::Csc;
+    use std::sync::Arc;
+
+    /// 4×3 matrix whose rows carry global IDs (compacted sub-matrix).
+    fn compacted() -> GraphMatrix {
+        let csc = Csc {
+            nrows: 4,
+            ncols: 3,
+            indptr: vec![0, 2, 3, 4],
+            indices: vec![0, 2, 1, 3],
+            values: Some(vec![1.0, 2.0, 3.0, 4.0]),
+        };
+        GraphMatrix {
+            data: SparseMatrix::Csc(csc),
+            row_ids: Some(Arc::new(vec![10, 25, 40, 55])),
+            col_ids: Some(Arc::new(vec![0, 1, 2])),
+        }
+    }
+
+    #[test]
+    fn exact_length_passes_through_both_axes() {
+        let m = compacted();
+        let rows = fit_axis_vector(&m, &[1.0, 2.0, 3.0, 4.0], Axis::Row, 64).unwrap();
+        assert_eq!(rows, vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = fit_axis_vector(&m, &[5.0, 6.0, 7.0], Axis::Col, 64).unwrap();
+        assert_eq!(cols, vec![5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn node_indexed_vector_is_gathered_by_global_id() {
+        let m = compacted();
+        let table: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let rows = fit_axis_vector(&m, &table, Axis::Row, 64).unwrap();
+        assert_eq!(rows, vec![10.0, 25.0, 40.0, 55.0]);
+    }
+
+    #[test]
+    fn period_vector_wraps_block_ids() {
+        // Block-diagonal IDs (period 32) index a period-length table mod N.
+        let mut m = compacted();
+        m.row_ids = Some(Arc::new(vec![10, 25, 32 + 4, 32 + 20]));
+        let table: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let rows = fit_axis_vector(&m, &table, Axis::Row, 32).unwrap();
+        assert_eq!(rows, vec![10.0, 25.0, 4.0, 20.0]);
+    }
+
+    #[test]
+    fn strict_mode_rejects_period_mismatch_on_rows() {
+        let m = compacted();
+        // Length 20: neither the row count (4) nor the period (64), and
+        // row id 25 is out of range -> error names the row axis.
+        let err = fit_axis_vector(&m, &[1.0; 20], Axis::Row, 64).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row vector of length 20"), "got: {msg}");
+        assert!(msg.contains("period 64"), "got: {msg}");
+    }
+
+    #[test]
+    fn strict_mode_rejects_period_mismatch_on_cols() {
+        let mut m = compacted();
+        m.col_ids = Some(Arc::new(vec![0, 30, 45]));
+        let err = fit_axis_vector(&m, &[1.0; 7], Axis::Col, 64).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("column vector of length 7"), "got: {msg}");
+    }
+
+    #[test]
+    fn wrap_mode_never_fails() {
+        let m = compacted();
+        let fitted = fit_row_vector(&m, &[1.0, 2.0, 3.0]);
+        // IDs 10, 25, 40, 55 wrap mod 3.
+        assert_eq!(fitted, vec![2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Extract / select kernels: column and row slicing, subgraph induction,
+//! node-wise and layer-wise sampling, the fused extract+select kernel,
+//! format conversion, and compaction.
+
+use rand::rngs::StdRng;
+
+use gsampler_ir::Op;
+use gsampler_matrix::sample::individual_sample_with_replacement;
+use gsampler_matrix::{Csc, GraphMatrix, NodeId, SparseMatrix};
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+use super::eltwise::{want_matrix, want_nodes, want_vector, with_data};
+use super::{superbatch, ExecCtx, Kernel};
+
+/// Fused extract + node-wise select: sample `k` in-neighbours per frontier
+/// directly from the source matrix's columns, with block-diagonal row
+/// offsets under super-batching.
+pub fn fused_extract_select(
+    m: &GraphMatrix,
+    k: usize,
+    replace: bool,
+    ctx: &ExecCtx<'_>,
+    rng: &mut StdRng,
+) -> Result<Value> {
+    let n = ctx.n;
+    let csc = m.data.to_csc();
+    let total_cols = ctx.concat_frontiers.len();
+    let mut indptr = Vec::with_capacity(total_cols + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<NodeId> = Vec::new();
+    let mut values: Option<Vec<f32>> = csc.values.as_ref().map(|_| Vec::new());
+    for (b, group) in ctx.frontier_groups.iter().enumerate() {
+        let offset = if ctx.s > 1 { (b * n) as NodeId } else { 0 };
+        for &f in group {
+            if (f as usize) >= csc.ncols {
+                return Err(gsampler_matrix::Error::IndexOutOfBounds {
+                    op: "fused_extract_select",
+                    index: f as usize,
+                    bound: csc.ncols,
+                }
+                .into());
+            }
+            let range = csc.col_range(f as usize);
+            let deg = range.len();
+            let mut picked: Vec<usize> = if deg == 0 {
+                Vec::new()
+            } else if replace {
+                let mut p: Vec<usize> = (0..k).map(|_| rand::Rng::gen_range(rng, 0..deg)).collect();
+                p.sort_unstable();
+                p.dedup();
+                p
+            } else if deg <= k {
+                (0..deg).collect()
+            } else {
+                gsampler_matrix::sample::uniform_sample_without_replacement(deg, k, rng)
+            };
+            picked.sort_unstable();
+            for off in picked {
+                let pos = range.start + off;
+                indices.push(csc.indices[pos] + offset);
+                if let (Some(out), Some(src)) = (values.as_mut(), csc.values.as_ref()) {
+                    out.push(src[pos]);
+                }
+            }
+            indptr.push(indices.len());
+        }
+    }
+    let nrows = if ctx.s > 1 { n * ctx.s } else { csc.nrows };
+    let block = Csc {
+        nrows,
+        ncols: total_cols,
+        indptr,
+        indices,
+        values,
+    };
+    Ok(Value::Matrix(GraphMatrix {
+        data: SparseMatrix::Csc(block),
+        row_ids: m.row_ids.clone(),
+        col_ids: Some(std::sync::Arc::new(ctx.concat_frontiers.to_vec())),
+    }))
+}
+
+/// Extract / select operator family.
+pub struct SliceSampleKernels;
+
+impl Kernel for SliceSampleKernels {
+    fn name(&self) -> &'static str {
+        "slice_sample"
+    }
+
+    fn run(
+        &self,
+        op: &Op,
+        inputs: &[&Value],
+        ctx: &ExecCtx<'_>,
+        rng: &mut StdRng,
+    ) -> Result<Value> {
+        match op {
+            Op::SliceCols => {
+                let m = want_matrix(inputs[0], "slice_cols")?;
+                let f = want_nodes(inputs[1], "slice_cols")?;
+                if ctx.s > 1 && m.shape().0 == ctx.n {
+                    superbatch::segmented_slice_cols(m, ctx)
+                } else {
+                    Ok(Value::Matrix(m.slice_cols_global(f)?))
+                }
+            }
+            Op::SliceRows => {
+                let m = want_matrix(inputs[0], "slice_rows")?;
+                let f = want_nodes(inputs[1], "slice_rows")?;
+                Ok(Value::Matrix(m.slice_rows_global(f)?))
+            }
+            Op::InduceSubgraph => {
+                let m = want_matrix(inputs[0], "induce_subgraph")?;
+                let nodes = want_nodes(inputs[1], "induce_subgraph")?;
+                Ok(Value::Matrix(m.induce_subgraph(nodes)?))
+            }
+            Op::IndividualSample { k, replace } => {
+                let m = want_matrix(inputs[0], "individual_sample")?;
+                let probs = match inputs.get(1) {
+                    Some(v) => Some(want_matrix(v, "individual_sample probs")?),
+                    None => None,
+                };
+                let out = if *replace {
+                    let data = individual_sample_with_replacement(
+                        &m.data,
+                        *k,
+                        probs.map(|p| &p.data),
+                        rng,
+                    )?;
+                    with_data(m, data)
+                } else {
+                    m.individual_sample(*k, probs, rng)?
+                };
+                Ok(Value::Matrix(out))
+            }
+            Op::CollectiveSample { k } => {
+                let m = want_matrix(inputs[0], "collective_sample")?;
+                let probs = match inputs.get(1) {
+                    Some(v) => Some(want_vector(v, "collective_sample probs")?),
+                    None => None,
+                };
+                superbatch::segmented_collective_sample(m, *k, probs, ctx, rng)
+            }
+            Op::FusedExtractSelect { k, replace } => {
+                let m = want_matrix(inputs[0], "fused_extract_select")?;
+                fused_extract_select(m, *k, *replace, ctx, rng)
+            }
+            Op::Convert(fmt) => {
+                let m = want_matrix(inputs[0], "convert")?;
+                let mut out = m.clone();
+                out.data = out.data.to_format(*fmt);
+                Ok(Value::Matrix(out))
+            }
+            Op::CompactRows => {
+                let m = want_matrix(inputs[0], "compact_rows")?;
+                Ok(Value::Matrix(m.compact_rows()))
+            }
+            Op::CompactCols => {
+                let m = want_matrix(inputs[0], "compact_cols")?;
+                Ok(Value::Matrix(m.compact_cols()))
+            }
+            Op::RowNodes => {
+                let m = want_matrix(inputs[0], "row_nodes")?;
+                Ok(Value::Nodes(m.row_nodes()))
+            }
+            Op::ColNodes => {
+                let m = want_matrix(inputs[0], "col_nodes")?;
+                Ok(Value::Nodes(m.col_nodes()))
+            }
+            Op::AllRowIds => {
+                let m = want_matrix(inputs[0], "all_row_ids")?;
+                Ok(Value::Nodes(m.global_row_ids()))
+            }
+            other => Err(Error::Execution(format!(
+                "slice_sample kernel cannot evaluate {other:?}"
+            ))),
+        }
+    }
+}

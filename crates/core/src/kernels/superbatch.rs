@@ -1,0 +1,210 @@
+//! Super-batch (block-diagonal) execution support — paper §4.4.
+//!
+//! When `S` frontier groups are sampled together, the extract step builds
+//! a block-diagonal matrix: group `b`'s rows live in ID range
+//! `[b·N, (b+1)·N)`, so the groups cannot interfere. The segmented kernels
+//! here are thin wrappers over the same base selection primitives the
+//! plain path uses (`weighted_sample_without_replacement` etc.) — they
+//! consume RNG draws in exactly the per-group order the plain kernels
+//! would, which is what keeps seeded outputs bit-identical across batch
+//! modes. [`split_outputs`] undoes the blocking at program exit.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+
+use gsampler_matrix::sample::weighted_sample_without_replacement;
+use gsampler_matrix::{slice, Csc, GraphMatrix, NodeId, SparseMatrix};
+
+use crate::error::Result;
+use crate::value::Value;
+
+use super::eltwise::fit_row_vector;
+use super::ExecCtx;
+
+/// Segmented (block-diagonal) column extraction from a base-space matrix.
+pub fn segmented_slice_cols(m: &GraphMatrix, ctx: &ExecCtx<'_>) -> Result<Value> {
+    let n = ctx.n;
+    let csc = m.data.to_csc();
+    let total_cols = ctx.concat_frontiers.len();
+    let mut indptr = Vec::with_capacity(total_cols + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<NodeId> = Vec::new();
+    let mut values: Option<Vec<f32>> = csc.values.as_ref().map(|_| Vec::new());
+    for (b, group) in ctx.frontier_groups.iter().enumerate() {
+        let offset = (b * n) as NodeId;
+        for &f in group {
+            if (f as usize) >= csc.ncols {
+                return Err(gsampler_matrix::Error::IndexOutOfBounds {
+                    op: "segmented_slice_cols",
+                    index: f as usize,
+                    bound: csc.ncols,
+                }
+                .into());
+            }
+            let range = csc.col_range(f as usize);
+            for pos in range.clone() {
+                indices.push(csc.indices[pos] + offset);
+            }
+            if let (Some(out), Some(src)) = (values.as_mut(), csc.values.as_ref()) {
+                out.extend_from_slice(&src[range]);
+            }
+            indptr.push(indices.len());
+        }
+    }
+    let block = Csc {
+        nrows: n * ctx.s,
+        ncols: total_cols,
+        indptr,
+        indices,
+        values,
+    };
+    let fmt = m.data.format();
+    Ok(Value::Matrix(GraphMatrix {
+        data: SparseMatrix::Csc(block).to_format(fmt),
+        row_ids: None,
+        col_ids: Some(std::sync::Arc::new(ctx.concat_frontiers.to_vec())),
+    }))
+}
+
+/// Collective (layer-wise) sampling, segmented per super-batch group: `k`
+/// distinct rows are selected inside each group's row range.
+// Node-id indexing across the weight/segment arrays reads better than
+// zipped iterators here.
+#[allow(clippy::needless_range_loop)]
+pub fn segmented_collective_sample(
+    m: &GraphMatrix,
+    k: usize,
+    probs: Option<&[f32]>,
+    ctx: &ExecCtx<'_>,
+    rng: &mut StdRng,
+) -> Result<Value> {
+    let nrows = m.shape().0;
+    let weights: Vec<f32> = match probs {
+        Some(p) => fit_row_vector(m, p),
+        None => m.data.row_degrees().into_iter().map(|d| d as f32).collect(),
+    };
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(gsampler_matrix::Error::InvalidProbability { index: i, value: w }.into());
+        }
+    }
+
+    // Partition candidate rows into segments by their global (block) ID.
+    let segments = ctx.s.max(1);
+    let period = ctx.n;
+    let mut per_segment: Vec<Vec<NodeId>> = vec![Vec::new(); segments];
+    for r in 0..nrows {
+        if weights[r] > 0.0 {
+            let seg = if segments > 1 {
+                (m.global_row(r) as usize / period).min(segments - 1)
+            } else {
+                0
+            };
+            per_segment[seg].push(r as NodeId);
+        }
+    }
+
+    let mut selected: Vec<NodeId> = Vec::new();
+    for cands in &per_segment {
+        if cands.len() <= k {
+            selected.extend_from_slice(cands);
+        } else {
+            let w: Vec<f32> = cands.iter().map(|&r| weights[r as usize]).collect();
+            let picks = weighted_sample_without_replacement(&w, k, rng);
+            selected.extend(picks.into_iter().map(|i| cands[i]));
+        }
+    }
+    selected.sort_unstable();
+
+    let data = slice::slice_rows(&m.data, &selected)?;
+    let globals: Vec<NodeId> = selected.iter().map(|&r| m.global_row(r as usize)).collect();
+    Ok(Value::Matrix(GraphMatrix {
+        data,
+        row_ids: Some(std::sync::Arc::new(globals)),
+        col_ids: m.col_ids.clone(),
+    }))
+}
+
+/// Split super-batched output values back into per-group values.
+pub fn split_outputs(outputs: &[Rc<Value>], ctx: &ExecCtx<'_>) -> Result<Vec<Vec<Value>>> {
+    let s = ctx.s;
+    if s <= 1 {
+        return Ok(vec![outputs.iter().map(|v| (**v).clone()).collect()]);
+    }
+    let n = ctx.n;
+    let mut per_group: Vec<Vec<Value>> = vec![Vec::new(); s];
+    for value in outputs {
+        match &**value {
+            Value::Matrix(m) => {
+                for (b, group) in per_group.iter_mut().enumerate() {
+                    group.push(Value::Matrix(split_matrix(m, b, n, ctx.col_offsets)?));
+                }
+            }
+            Value::Nodes(ids) => {
+                // Block-row IDs split by period; IDs below N (true graph
+                // IDs, e.g. from column space) go to every group.
+                let block = ids.iter().any(|&i| (i as usize) >= n);
+                for (b, group) in per_group.iter_mut().enumerate() {
+                    let list: Vec<NodeId> = if block {
+                        ids.iter()
+                            .filter(|&&i| (i as usize) / n == b)
+                            .map(|&i| (i as usize % n) as NodeId)
+                            .collect()
+                    } else {
+                        // Without block offsets we cannot attribute IDs;
+                        // give each group the full list.
+                        ids.clone()
+                    };
+                    group.push(Value::Nodes(list));
+                }
+            }
+            Value::Vector(v) => {
+                let total_cols = *ctx.col_offsets.last().unwrap();
+                for (b, group) in per_group.iter_mut().enumerate() {
+                    let piece = if v.len() == n * s {
+                        v[b * n..(b + 1) * n].to_vec()
+                    } else if v.len() == total_cols {
+                        v[ctx.col_offsets[b]..ctx.col_offsets[b + 1]].to_vec()
+                    } else {
+                        v.clone()
+                    };
+                    group.push(Value::Vector(piece));
+                }
+            }
+            other => {
+                for group in per_group.iter_mut() {
+                    group.push(other.clone());
+                }
+            }
+        }
+    }
+    Ok(per_group)
+}
+
+/// Slice group `b`'s columns out of a block-diagonal matrix and translate
+/// its block-row IDs back to original node IDs.
+fn split_matrix(m: &GraphMatrix, b: usize, n: usize, col_offsets: &[usize]) -> Result<GraphMatrix> {
+    let cols: Vec<NodeId> = (col_offsets[b]..col_offsets[b + 1])
+        .map(|c| c as NodeId)
+        .collect();
+    let data = slice::slice_cols(&m.data, &cols)?;
+    let col_ids: Vec<NodeId> = cols.iter().map(|&c| m.global_col(c as usize)).collect();
+    let piece = GraphMatrix {
+        data,
+        row_ids: m.row_ids.clone(),
+        col_ids: Some(std::sync::Arc::new(col_ids)),
+    };
+    // Drop the other groups' (isolated) rows, then unwrap the block offset.
+    let compacted = piece.compact_rows();
+    let fixed: Vec<NodeId> = compacted
+        .global_row_ids()
+        .into_iter()
+        .map(|g| (g as usize % n) as NodeId)
+        .collect();
+    Ok(GraphMatrix {
+        data: compacted.data,
+        row_ids: Some(std::sync::Arc::new(fixed)),
+        col_ids: compacted.col_ids,
+    })
+}

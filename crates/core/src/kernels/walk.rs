@@ -1,0 +1,123 @@
+//! Random-walk kernels: per-walker frontier advancement and the
+//! second-order Node2Vec transition bias.
+
+use rand::rngs::StdRng;
+
+use gsampler_ir::Op;
+use gsampler_matrix::{GraphMatrix, NodeId};
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+use super::eltwise::{want_matrix, want_nodes, with_data};
+use super::{ExecCtx, Kernel};
+
+/// Per-walker finalize: each column's sampled row becomes that walker's
+/// next node; dead-end walkers stay where they are. Under super-batching,
+/// stay-in-place nodes are lifted into the column's block row range so
+/// the output splits per group like any other row-space node list.
+pub fn next_walk_frontier(m: &GraphMatrix, ctx: &ExecCtx<'_>) -> Result<Value> {
+    let csc = m.data.to_csc();
+    let mut out: Vec<NodeId> = Vec::with_capacity(csc.ncols);
+    for c in 0..csc.ncols {
+        let range = csc.col_range(c);
+        if let Some(&row) = csc
+            .indices
+            .get(range.start..range.end)
+            .and_then(|s| s.first())
+        {
+            out.push(m.global_row(row as usize));
+        } else {
+            // Dead end: keep the walker at its current node; under
+            // super-batching, lift it into this column's block.
+            let node = m.global_col(c);
+            if ctx.s > 1 {
+                let b = ctx
+                    .col_offsets
+                    .iter()
+                    .position(|&off| off > c)
+                    .unwrap_or(ctx.s)
+                    .saturating_sub(1);
+                out.push((b * ctx.n) as NodeId + node);
+            } else {
+                out.push(node);
+            }
+        }
+    }
+    Ok(Value::Nodes(out))
+}
+
+/// Second-order Node2Vec bias: candidate `r` for walker `c` is weighted
+/// `1/p` when returning to the previous node, `1` when staying in its
+/// neighbourhood, `1/q` otherwise.
+pub fn node2vec_bias(
+    m: &GraphMatrix,
+    prev: &[NodeId],
+    graph: &GraphMatrix,
+    p: f32,
+    q: f32,
+    ctx: &ExecCtx<'_>,
+) -> Result<Value> {
+    if prev.len() != m.shape().1 {
+        return Err(Error::Execution(format!(
+            "node2vec_bias: prev length {} != columns {}",
+            prev.len(),
+            m.shape().1
+        )));
+    }
+    let gcsc = graph.data.to_csc();
+    let n = ctx.n.max(1);
+    let biases: Vec<f32> = m
+        .data
+        .iter_edges()
+        .map(|(r, c, _)| {
+            let cand = (m.global_row(r as usize) as usize % n) as NodeId;
+            let prev_node = prev[c as usize];
+            if cand == prev_node {
+                1.0 / p
+            } else if gcsc.contains_edge(cand, prev_node as usize)
+                || gcsc.contains_edge(prev_node, cand as usize)
+            {
+                1.0
+            } else {
+                1.0 / q
+            }
+        })
+        .collect();
+    let mut data = m.data.clone();
+    data.set_values(biases);
+    Ok(Value::Matrix(with_data(m, data)))
+}
+
+/// Random-walk operator family.
+pub struct WalkKernels;
+
+impl Kernel for WalkKernels {
+    fn name(&self) -> &'static str {
+        "walk"
+    }
+
+    fn run(
+        &self,
+        op: &Op,
+        inputs: &[&Value],
+        ctx: &ExecCtx<'_>,
+        _rng: &mut StdRng,
+    ) -> Result<Value> {
+        match op {
+            Op::NextWalkFrontier => {
+                let m = want_matrix(inputs[0], "next_walk_frontier")?;
+                next_walk_frontier(m, ctx)
+            }
+            Op::Node2VecBias { p, q } => {
+                let m = want_matrix(inputs[0], "node2vec_bias")?;
+                let prev = want_nodes(inputs[1], "node2vec_bias")?;
+                let g = want_matrix(inputs[2], "node2vec_bias")?;
+                node2vec_bias(m, prev, g, *p, *q, ctx)
+            }
+            other => Err(Error::Execution(format!(
+                "walk kernel cannot evaluate {other:?}"
+            ))),
+        }
+    }
+}

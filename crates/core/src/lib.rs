@@ -50,6 +50,7 @@ pub mod exec;
 pub mod export;
 pub mod graph;
 pub mod hetero;
+pub mod kernels;
 pub mod multi_gpu;
 pub mod value;
 

@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use gsampler_engine::ExecStats;
 use gsampler_matrix::NodeId;
 
 use crate::builder::Layer;
@@ -37,6 +38,10 @@ pub struct MultiGpuReport {
     pub pcie_time: f64,
     /// Mini-batches each device processed.
     pub per_device_batches: Vec<usize>,
+    /// All shards' dispatcher records merged into one session view
+    /// (per-kernel aggregates survive the merge, so `stats.profile()`
+    /// breaks the whole fleet's work down by kernel).
+    pub stats: ExecStats,
 }
 
 impl MultiGpuSampler {
@@ -90,6 +95,7 @@ impl MultiGpuSampler {
         let mut per_device_compute = Vec::with_capacity(n);
         let mut per_device_batches = Vec::with_capacity(n);
         let mut pcie_time = 0.0;
+        let mut stats = ExecStats::default();
         for (shard, shard_seeds) in self.shards.iter().zip(&per_shard_seeds) {
             if shard_seeds.is_empty() {
                 per_device_compute.push(0.0);
@@ -102,6 +108,7 @@ impl MultiGpuSampler {
             pcie_time += pcie;
             per_device_compute.push((report.modeled_time - pcie).max(0.0));
             per_device_batches.push(report.batches);
+            stats.merge(&report.stats);
         }
         let max_compute = per_device_compute.iter().copied().fold(0.0, f64::max);
         Ok(MultiGpuReport {
@@ -109,6 +116,7 @@ impl MultiGpuSampler {
             per_device_compute,
             pcie_time,
             per_device_batches,
+            stats,
         })
     }
 }
@@ -166,7 +174,10 @@ mod tests {
             .unwrap()
             .run_epoch(&seeds, &Bindings::new(), 0)
             .unwrap();
-        assert_eq!(t4.per_device_batches.iter().sum::<usize>(), t1.per_device_batches[0]);
+        assert_eq!(
+            t4.per_device_batches.iter().sum::<usize>(),
+            t1.per_device_batches[0]
+        );
         let speedup = t1.modeled_time / t4.modeled_time;
         assert!(speedup > 2.5, "4-GPU speedup only {speedup:.2}x");
     }
@@ -206,5 +217,15 @@ mod tests {
         b.sort_unstable();
         assert_eq!(b, vec![5, 5, 6]);
         assert!(report.pcie_time.abs() < 1e-12);
+        // The merged fleet session carries every shard's dispatcher
+        // records: launches equal the shard totals, and the per-kernel
+        // profile is available fleet-wide.
+        let shard_launches: u64 = fleet
+            .shards()
+            .iter()
+            .map(|s| s.device().stats().kernel_launches)
+            .sum();
+        assert_eq!(report.stats.kernel_launches, shard_launches);
+        assert!(!report.stats.profile().is_empty());
     }
 }

@@ -103,12 +103,7 @@ fn fanout_larger_than_any_degree_keeps_everything() {
 #[test]
 fn weighted_individual_sampling_follows_bias() {
     // A star: node 0 has 4 in-neighbours with weights 1, 1, 1, 17.
-    let edges = vec![
-        (1u32, 0u32, 1.0f32),
-        (2, 0, 1.0),
-        (3, 0, 1.0),
-        (4, 0, 17.0),
-    ];
+    let edges = vec![(1u32, 0u32, 1.0f32), (2, 0, 1.0), (3, 0, 1.0), (4, 0, 17.0)];
     let graph = Arc::new(Graph::from_edges("star", 5, &edges, true).unwrap());
     let b = LayerBuilder::new();
     let a = b.graph();

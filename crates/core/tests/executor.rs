@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use gsampler_core::builder::{Layer, LayerBuilder, Mat};
-use gsampler_core::{
-    compile, Axis, Bindings, Graph, LayoutMode, OptConfig, SamplerConfig, Value,
-};
+use gsampler_core::{compile, Axis, Bindings, Graph, LayoutMode, OptConfig, SamplerConfig, Value};
 use gsampler_matrix::{Dense, NodeId};
 
 /// A deterministic 64-node ring-of-cliques graph: 8 cliques of 8 nodes,
@@ -80,8 +78,12 @@ fn config(opt: OptConfig) -> SamplerConfig {
 #[test]
 fn graphsage_sample_is_valid_subgraph() {
     let graph = test_graph();
-    let sampler = compile(graph.clone(), vec![graphsage_layer(3)], config(OptConfig::all()))
-        .unwrap();
+    let sampler = compile(
+        graph.clone(),
+        vec![graphsage_layer(3)],
+        config(OptConfig::all()),
+    )
+    .unwrap();
     let frontiers = vec![0, 9, 17, 33];
     let out = sampler.sample_batch(&frontiers, &Bindings::new()).unwrap();
     let m = out.layers[0][0].as_matrix().unwrap();
@@ -128,16 +130,14 @@ fn multi_layer_chaining_expands_frontier() {
 fn ladies_weights_normalize_per_frontier() {
     let graph = test_graph();
     let sampler = compile(graph, vec![ladies_layer(6)], config(OptConfig::all())).unwrap();
-    let out = sampler.sample_batch(&[1, 10, 20], &Bindings::new()).unwrap();
+    let out = sampler
+        .sample_batch(&[1, 10, 20], &Bindings::new())
+        .unwrap();
     let m = out.layers[0][0].as_matrix().unwrap();
     // At most 6 distinct rows selected across the layer.
     assert!(m.row_nodes().len() <= 6);
     // Finalize normalized edge weights per column (LADIES line 7).
-    let sums = gsampler_matrix::reduce::reduce(
-        &m.data,
-        gsampler_matrix::ReduceOp::Sum,
-        Axis::Col,
-    );
+    let sums = gsampler_matrix::reduce::reduce(&m.data, gsampler_matrix::ReduceOp::Sum, Axis::Col);
     for (c, s) in sums.into_iter().enumerate() {
         if s != 0.0 {
             assert!((s - 1.0).abs() < 1e-4, "column {c} sums to {s}");
@@ -153,7 +153,10 @@ fn passes_preserve_deterministic_results() {
         let a = b.graph();
         let f = b.frontiers();
         let sub = a.slice_cols(&f);
-        let probs = sub.pow(2.0).scalar(gsampler_core::EltOp::Mul, 0.5).sum(Axis::Row);
+        let probs = sub
+            .pow(2.0)
+            .scalar(gsampler_core::EltOp::Mul, 0.5)
+            .sum(Axis::Row);
         let norm = probs.normalize();
         b.output(&norm);
         b.build()
@@ -247,7 +250,10 @@ fn super_batch_groups_are_independent_and_valid() {
     for (b, s) in samples.iter().enumerate() {
         let m = s.layers[0][0].as_matrix().unwrap();
         // Each group's columns are exactly its 4 seeds.
-        assert_eq!(m.global_col_ids(), (b as u32 * 4..b as u32 * 4 + 4).collect::<Vec<_>>());
+        assert_eq!(
+            m.global_col_ids(),
+            (b as u32 * 4..b as u32 * 4 + 4).collect::<Vec<_>>()
+        );
         for (r, c, _) in m.global_edges() {
             assert!(base.contains(&(r, c)), "group {b}: edge ({r},{c}) invalid");
         }
@@ -277,11 +283,8 @@ fn super_batch_ladies_selects_k_rows_per_group() {
         let m = s.layers[0][0].as_matrix().unwrap();
         assert!(m.row_nodes().len() <= 5, "more than k rows in a group");
         // Normalization held per group as well.
-        let sums = gsampler_matrix::reduce::reduce(
-            &m.data,
-            gsampler_matrix::ReduceOp::Sum,
-            Axis::Col,
-        );
+        let sums =
+            gsampler_matrix::reduce::reduce(&m.data, gsampler_matrix::ReduceOp::Sum, Axis::Col);
         for v in sums {
             if v != 0.0 {
                 assert!((v - 1.0).abs() < 1e-4);

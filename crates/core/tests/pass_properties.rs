@@ -80,12 +80,7 @@ fn build_program(steps: &[Step]) -> gsampler_core::builder::Layer {
     b.build()
 }
 
-fn run_with(
-    graph: &Arc<Graph>,
-    steps: &[Step],
-    opt: OptConfig,
-    frontiers: &[u32],
-) -> Vec<f32> {
+fn run_with(graph: &Arc<Graph>, steps: &[Step], opt: OptConfig, frontiers: &[u32]) -> Vec<f32> {
     let sampler = compile(
         graph.clone(),
         vec![build_program(steps)],

@@ -123,7 +123,9 @@ mod tests {
     fn descending_order_beats_random_subset() {
         // Sanity: the planned hit rate is at least the byte-proportional
         // baseline of a random subset.
-        let degrees: Vec<usize> = (0..500).map(|i| if i % 50 == 0 { 100 } else { 2 }).collect();
+        let degrees: Vec<usize> = (0..500)
+            .map(|i| if i % 50 == 0 { 100 } else { 2 })
+            .collect();
         let total_bytes: u64 = degrees.iter().map(|&d| list_bytes(d)).sum();
         let budget = total_bytes / 4;
         let planned = degree_cache_hit_rate(&degrees, budget);

@@ -39,7 +39,7 @@ pub use cost::CostModel;
 pub use device::{DeviceProfile, Residency};
 pub use memory::MemoryTracker;
 pub use rng::RngPool;
-pub use stats::{ExecStats, KernelRecord};
+pub use stats::{ExecStats, KernelAgg, KernelRecord};
 pub use workload::KernelDesc;
 
 use parking_lot::Mutex;
@@ -87,16 +87,23 @@ impl Device {
     /// time", because `f` runs on host silicon while `desc` describes the
     /// device execution.
     pub fn run<T>(&self, desc: KernelDesc, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
         let out = f();
-        self.charge(desc);
+        self.charge_timed(desc, start.elapsed().as_secs_f64());
         out
     }
 
     /// Charge a kernel's modeled cost without executing anything (used
     /// when the work already happened inside a fused neighbour kernel).
     pub fn charge(&self, desc: KernelDesc) {
+        self.charge_timed(desc, 0.0);
+    }
+
+    /// Charge a kernel's modeled cost together with the host wall-clock
+    /// seconds its emulation took — the dispatcher's entry point.
+    pub fn charge_timed(&self, desc: KernelDesc, wall_time: f64) {
         let (time, util) = self.cost.time_and_utilization(&desc);
-        self.stats.lock().record(desc, time, util);
+        self.stats.lock().record_timed(desc, time, util, wall_time);
     }
 
     /// Register an allocation of `bytes` live device memory.

@@ -34,7 +34,10 @@ impl RngPool {
     /// independent of this pool's.
     pub fn subpool(&self, index: u64) -> RngPool {
         RngPool {
-            seed: splitmix64(self.seed.wrapping_add(splitmix64(index ^ 0x9E37_79B9_7F4A_7C15))),
+            seed: splitmix64(
+                self.seed
+                    .wrapping_add(splitmix64(index ^ 0x9E37_79B9_7F4A_7C15)),
+            ),
         }
     }
 }

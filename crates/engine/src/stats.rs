@@ -1,4 +1,9 @@
 //! Execution statistics: modeled time, launches, bytes, SM utilization.
+//!
+//! Every kernel invocation that flows through the dispatcher is recorded
+//! here twice: as an individual [`KernelRecord`] (kept until
+//! [`ExecStats::compact_records`]) and folded into the per-kernel-name
+//! [`KernelAgg`] aggregates that back the op-level profile reports.
 
 use std::collections::BTreeMap;
 
@@ -11,6 +16,9 @@ pub struct KernelRecord {
     pub name: String,
     /// Modeled execution time in seconds.
     pub time: f64,
+    /// Host wall-clock seconds spent emulating this kernel (0 when the
+    /// cost was charged without running anything).
+    pub wall_time: f64,
     /// Modeled SM utilization in `(0, 1]` during this kernel.
     pub utilization: f64,
     /// Device bytes moved.
@@ -18,6 +26,23 @@ pub struct KernelRecord {
     /// PCIe bytes moved.
     pub bytes_pcie: u64,
     /// FLOPs executed.
+    pub flops: u64,
+}
+
+/// Per-kernel-name aggregate — one row of the `--profile` breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelAgg {
+    /// Number of invocations.
+    pub count: u64,
+    /// Total modeled device time in seconds.
+    pub time: f64,
+    /// Total host wall-clock seconds spent emulating.
+    pub wall_time: f64,
+    /// Total device bytes moved.
+    pub bytes: u64,
+    /// Total PCIe bytes moved.
+    pub bytes_pcie: u64,
+    /// Total FLOPs executed.
     pub flops: u64,
 }
 
@@ -29,6 +54,8 @@ pub struct KernelRecord {
 pub struct ExecStats {
     /// Total modeled device time in seconds.
     pub total_time: f64,
+    /// Total host wall-clock seconds spent emulating kernels.
+    pub total_wall_time: f64,
     /// Total kernel launches.
     pub kernel_launches: u64,
     /// Total device bytes moved.
@@ -39,28 +66,41 @@ pub struct ExecStats {
     pub total_flops: u64,
     /// Sum of `time × utilization` (for the weighted average).
     pub util_time_product: f64,
-    /// Per-kernel-name aggregation: `(count, total_time)`.
-    pub per_kernel: BTreeMap<String, (u64, f64)>,
+    /// Per-kernel-name aggregation.
+    pub per_kernel: BTreeMap<String, KernelAgg>,
     /// Individual records (kept for breakdown reporting; cleared by
     /// `compact_records` when only aggregates are needed).
     pub records: Vec<KernelRecord>,
 }
 
 impl ExecStats {
-    /// Record one kernel execution with its modeled time and utilization.
+    /// Record one kernel execution with its modeled time and utilization
+    /// (no wall-clock measurement).
     pub fn record(&mut self, desc: KernelDesc, time: f64, utilization: f64) {
+        self.record_timed(desc, time, utilization, 0.0);
+    }
+
+    /// Record one kernel execution, including the host wall-clock seconds
+    /// the emulation took.
+    pub fn record_timed(&mut self, desc: KernelDesc, time: f64, utilization: f64, wall_time: f64) {
         self.total_time += time;
+        self.total_wall_time += wall_time;
         self.kernel_launches += desc.launches as u64;
         self.total_bytes += desc.bytes;
         self.total_bytes_pcie += desc.bytes_pcie;
         self.total_flops += desc.flops;
         self.util_time_product += time * utilization;
-        let entry = self.per_kernel.entry(desc.name.clone()).or_insert((0, 0.0));
-        entry.0 += 1;
-        entry.1 += time;
+        let agg = self.per_kernel.entry(desc.name.clone()).or_default();
+        agg.count += 1;
+        agg.time += time;
+        agg.wall_time += wall_time;
+        agg.bytes += desc.bytes;
+        agg.bytes_pcie += desc.bytes_pcie;
+        agg.flops += desc.flops;
         self.records.push(KernelRecord {
             name: desc.name,
             time,
+            wall_time,
             utilization,
             bytes: desc.bytes,
             bytes_pcie: desc.bytes_pcie,
@@ -77,18 +117,24 @@ impl ExecStats {
         }
     }
 
-    /// Merge another session's stats into this one.
+    /// Merge another session's stats into this one (multi-GPU shard
+    /// aggregation, epoch roll-ups).
     pub fn merge(&mut self, other: &ExecStats) {
         self.total_time += other.total_time;
+        self.total_wall_time += other.total_wall_time;
         self.kernel_launches += other.kernel_launches;
         self.total_bytes += other.total_bytes;
         self.total_bytes_pcie += other.total_bytes_pcie;
         self.total_flops += other.total_flops;
         self.util_time_product += other.util_time_product;
-        for (name, (count, time)) in &other.per_kernel {
-            let entry = self.per_kernel.entry(name.clone()).or_insert((0, 0.0));
-            entry.0 += count;
-            entry.1 += time;
+        for (name, a) in &other.per_kernel {
+            let agg = self.per_kernel.entry(name.clone()).or_default();
+            agg.count += a.count;
+            agg.time += a.time;
+            agg.wall_time += a.wall_time;
+            agg.bytes += a.bytes;
+            agg.bytes_pcie += a.bytes_pcie;
+            agg.flops += a.flops;
         }
         self.records.extend(other.records.iter().cloned());
     }
@@ -105,10 +151,26 @@ impl ExecStats {
         let mut v: Vec<(String, u64, f64)> = self
             .per_kernel
             .iter()
-            .map(|(k, &(c, t))| (k.clone(), c, t))
+            .map(|(k, a)| (k.clone(), a.count, a.time))
             .collect();
         v.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         v.truncate(n);
+        v
+    }
+
+    /// The full per-kernel profile, sorted by descending modeled time —
+    /// what `--profile` prints.
+    pub fn profile(&self) -> Vec<(String, KernelAgg)> {
+        let mut v: Vec<(String, KernelAgg)> = self
+            .per_kernel
+            .iter()
+            .map(|(k, a)| (k.clone(), *a))
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.time
+                .partial_cmp(&a.1.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         v
     }
 }
@@ -133,20 +195,53 @@ mod tests {
         assert!((s.total_time - 4.0).abs() < 1e-12);
         // Weighted util: (1*0.5 + 1*1.0 + 2*0.25) / 4 = 0.5
         assert!((s.sm_utilization() - 0.5).abs() < 1e-12);
-        assert_eq!(s.per_kernel["a"], (2, 2.0));
+        let a = s.per_kernel["a"];
+        assert_eq!((a.count, a.time), (2, 2.0));
+        assert_eq!(a.bytes, 200);
+        assert_eq!(a.flops, 20);
+    }
+
+    #[test]
+    fn record_timed_tracks_wall_clock() {
+        let mut s = ExecStats::default();
+        s.record_timed(desc("k"), 1.0, 1.0, 0.25);
+        s.record_timed(desc("k"), 1.0, 1.0, 0.5);
+        assert!((s.total_wall_time - 0.75).abs() < 1e-12);
+        assert!((s.per_kernel["k"].wall_time - 0.75).abs() < 1e-12);
+        assert!((s.records[0].wall_time - 0.25).abs() < 1e-12);
+        // Plain `record` contributes zero wall time.
+        s.record(desc("k"), 1.0, 1.0);
+        assert!((s.total_wall_time - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn merge_combines_sessions() {
         let mut a = ExecStats::default();
-        a.record(desc("x"), 1.0, 1.0);
+        a.record_timed(desc("x"), 1.0, 1.0, 0.1);
         let mut b = ExecStats::default();
-        b.record(desc("x"), 3.0, 0.5);
+        b.record_timed(desc("x"), 3.0, 0.5, 0.2);
         b.record(desc("y"), 1.0, 1.0);
         a.merge(&b);
         assert_eq!(a.kernel_launches, 3);
-        assert_eq!(a.per_kernel["x"], (2, 4.0));
+        let x = a.per_kernel["x"];
+        assert_eq!((x.count, x.time), (2, 4.0));
+        assert!((x.wall_time - 0.3).abs() < 1e-12);
+        assert_eq!(x.bytes, 200);
+        assert!((a.total_wall_time - 0.3).abs() < 1e-12);
         assert_eq!(a.records.len(), 3);
+    }
+
+    #[test]
+    fn merge_into_empty_equals_source() {
+        let mut src = ExecStats::default();
+        src.record_timed(desc("only"), 2.0, 0.5, 0.1);
+        let mut dst = ExecStats::default();
+        dst.merge(&src);
+        assert_eq!(dst.kernel_launches, src.kernel_launches);
+        assert_eq!(dst.total_bytes, src.total_bytes);
+        assert_eq!(dst.per_kernel["only"], src.per_kernel["only"]);
+        assert_eq!(dst.records, src.records);
+        assert!((dst.sm_utilization() - src.sm_utilization()).abs() < 1e-12);
     }
 
     #[test]
@@ -162,6 +257,20 @@ mod tests {
     }
 
     #[test]
+    fn profile_sorted_with_full_aggregates() {
+        let mut s = ExecStats::default();
+        s.record(desc("small"), 0.1, 1.0);
+        s.record(desc("big"), 5.0, 1.0);
+        s.record(desc("big"), 1.0, 1.0);
+        let p = s.profile();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].0, "big");
+        assert_eq!(p[0].1.count, 2);
+        assert_eq!(p[0].1.bytes, 200);
+        assert_eq!(p[1].0, "small");
+    }
+
+    #[test]
     fn idle_utilization_is_zero() {
         let s = ExecStats::default();
         assert_eq!(s.sm_utilization(), 0.0);
@@ -170,10 +279,26 @@ mod tests {
     #[test]
     fn compact_records_keeps_aggregates() {
         let mut s = ExecStats::default();
-        s.record(desc("a"), 1.0, 1.0);
+        s.record_timed(desc("a"), 1.0, 1.0, 0.5);
         s.compact_records();
         assert!(s.records.is_empty());
         assert_eq!(s.kernel_launches, 1);
         assert!((s.total_time - 1.0).abs() < 1e-12);
+        assert!((s.total_wall_time - 0.5).abs() < 1e-12);
+        assert_eq!(s.per_kernel["a"].count, 1);
+    }
+
+    #[test]
+    fn compact_then_merge_keeps_aggregate_consistency() {
+        let mut a = ExecStats::default();
+        a.record(desc("k"), 1.0, 1.0);
+        a.compact_records();
+        let mut b = ExecStats::default();
+        b.record(desc("k"), 2.0, 0.5);
+        a.merge(&b);
+        // Aggregates survive the compaction; only b's record remains.
+        assert_eq!(a.per_kernel["k"].count, 2);
+        assert!((a.total_time - 3.0).abs() < 1e-12);
+        assert_eq!(a.records.len(), 1);
     }
 }

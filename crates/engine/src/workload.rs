@@ -226,10 +226,7 @@ pub fn reduce(fmt: Format, input: MatShape, axis: Axis) -> KernelDesc {
 pub fn broadcast(fmt: Format, input: MatShape) -> KernelDesc {
     KernelDesc::new(format!("broadcast[{fmt}]"))
         .with_flops(input.nnz as u64)
-        .with_bytes(
-            input.nnz as u64 * EDGE_BYTES,
-            input.nnz as u64 * NODE_BYTES,
-        )
+        .with_bytes(input.nnz as u64 * EDGE_BYTES, input.nnz as u64 * NODE_BYTES)
         .with_parallelism(input.nnz as u64)
 }
 
@@ -237,10 +234,7 @@ pub fn broadcast(fmt: Format, input: MatShape) -> KernelDesc {
 pub fn eltwise(fmt: Format, input: MatShape) -> KernelDesc {
     KernelDesc::new(format!("eltwise[{fmt}]"))
         .with_flops(input.nnz as u64)
-        .with_bytes(
-            input.nnz as u64 * NODE_BYTES,
-            input.nnz as u64 * NODE_BYTES,
-        )
+        .with_bytes(input.nnz as u64 * NODE_BYTES, input.nnz as u64 * NODE_BYTES)
         .with_parallelism(input.nnz as u64)
 }
 
@@ -446,21 +440,13 @@ pub fn fused_extract_select(
 pub fn fused_edge_map(fmt: Format, input: MatShape, steps: usize) -> KernelDesc {
     KernelDesc::new(format!("fused_edge_map[{fmt}]"))
         .with_flops(input.nnz as u64 * steps as u64)
-        .with_bytes(
-            input.nnz as u64 * EDGE_BYTES,
-            input.nnz as u64 * NODE_BYTES,
-        )
+        .with_bytes(input.nnz as u64 * EDGE_BYTES, input.nnz as u64 * NODE_BYTES)
         .with_parallelism(input.nnz as u64)
 }
 
 /// Fused edge-map + reduction: mapped values are consumed in registers and
 /// never written back (paper Fig. 5c).
-pub fn fused_edge_map_reduce(
-    fmt: Format,
-    input: MatShape,
-    axis: Axis,
-    steps: usize,
-) -> KernelDesc {
+pub fn fused_edge_map_reduce(fmt: Format, input: MatShape, axis: Axis, steps: usize) -> KernelDesc {
     let out_len = match axis {
         Axis::Row => input.nrows,
         Axis::Col => input.ncols,
@@ -545,9 +531,27 @@ mod tests {
     #[test]
     fn collective_sample_prefers_csr() {
         let sub = MatShape::new(400_000, 512, 25_600);
-        let csr = modeled_ms(&collective_sample(Format::Csr, sub, 512, 5000, Residency::Device));
-        let coo = modeled_ms(&collective_sample(Format::Coo, sub, 512, 5000, Residency::Device));
-        let csc = modeled_ms(&collective_sample(Format::Csc, sub, 512, 5000, Residency::Device));
+        let csr = modeled_ms(&collective_sample(
+            Format::Csr,
+            sub,
+            512,
+            5000,
+            Residency::Device,
+        ));
+        let coo = modeled_ms(&collective_sample(
+            Format::Coo,
+            sub,
+            512,
+            5000,
+            Residency::Device,
+        ));
+        let csc = modeled_ms(&collective_sample(
+            Format::Csc,
+            sub,
+            512,
+            5000,
+            Residency::Device,
+        ));
         assert!(csr < coo && coo < csc, "csr={csr} coo={coo} csc={csc}");
     }
 

@@ -161,9 +161,7 @@ impl Dataset {
         // which super-batching and occupancy effects depend on, matters
         // more than preserving the literal fraction.
         let frontiers: Vec<NodeId> = match kind {
-            DatasetKind::Friendster => {
-                (0..nodes).step_by(10).map(|v| v as NodeId).collect()
-            }
+            DatasetKind::Friendster => (0..nodes).step_by(10).map(|v| v as NodeId).collect(),
             _ => (0..nodes as NodeId).collect(),
         };
 
@@ -210,10 +208,7 @@ mod tests {
     #[test]
     fn large_presets_are_uva_resident() {
         let pp = Dataset::generate(DatasetKind::OgbnPapers, 0.02, 3);
-        assert!(matches!(
-            pp.graph.residency,
-            Residency::HostUva { .. }
-        ));
+        assert!(matches!(pp.graph.residency, Residency::HostUva { .. }));
         let lj = Dataset::generate(DatasetKind::LiveJournal, 0.02, 3);
         assert!(matches!(lj.graph.residency, Residency::Device));
     }
@@ -230,10 +225,7 @@ mod tests {
         let a = Dataset::generate(DatasetKind::LiveJournal, 0.02, 9);
         let b = Dataset::generate(DatasetKind::LiveJournal, 0.02, 9);
         assert_eq!(a.graph.num_edges(), b.graph.num_edges());
-        assert_eq!(
-            a.graph.matrix.global_edges(),
-            b.graph.matrix.global_edges()
-        );
+        assert_eq!(a.graph.matrix.global_edges(), b.graph.matrix.global_edges());
     }
 
     #[test]

@@ -76,7 +76,12 @@ pub fn load_graph(path: impl AsRef<Path>) -> std::io::Result<Graph> {
 /// Write a graph as an edge list (weights included when present).
 pub fn save_graph(graph: &Graph, path: impl AsRef<Path>) -> std::io::Result<()> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(out, "# {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        out,
+        "# {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     let weighted = graph.matrix.data.is_weighted();
     for (r, c, v) in graph.matrix.global_edges() {
         if weighted {
@@ -121,13 +126,8 @@ mod tests {
         let dir = std::env::temp_dir().join("gsampler_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("toy.txt");
-        let g = Graph::from_edges(
-            "toy",
-            4,
-            &[(0, 1, 0.5), (2, 3, 1.5), (3, 0, 2.0)],
-            true,
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges("toy", 4, &[(0, 1, 0.5), (2, 3, 1.5), (3, 0, 2.0)], true).unwrap();
         save_graph(&g, &path).unwrap();
         let loaded = load_graph(&path).unwrap();
         assert_eq!(loaded.num_nodes(), 4);

@@ -128,9 +128,7 @@ pub fn kernel_desc(
             let weighted = in_shapes.len() > 1;
             workload::individual_sample(fmt0, in0, *k, weighted, res0)
         }
-        Op::CollectiveSample { k } => {
-            workload::collective_sample(fmt0, in0, *k, out_mat.nnz, res0)
-        }
+        Op::CollectiveSample { k } => workload::collective_sample(fmt0, in0, *k, out_mat.nnz, res0),
         Op::Node2VecBias { .. } => {
             let graph = mat(&in_shapes[2]);
             let avg_deg = if graph.ncols > 0 {
@@ -258,11 +256,23 @@ mod tests {
         let g = p.add(Op::InputGraph, vec![]);
         let f = p.add(Op::InputFrontiers, vec![]);
         if fused {
-            let s = p.add(Op::FusedExtractSelect { k: 10, replace: false }, vec![g, f]);
+            let s = p.add(
+                Op::FusedExtractSelect {
+                    k: 10,
+                    replace: false,
+                },
+                vec![g, f],
+            );
             p.mark_output(s);
         } else {
             let sub = p.add(Op::SliceCols, vec![g, f]);
-            let s = p.add(Op::IndividualSample { k: 10, replace: false }, vec![sub]);
+            let s = p.add(
+                Op::IndividualSample {
+                    k: 10,
+                    replace: false,
+                },
+                vec![sub],
+            );
             p.mark_output(s);
         }
         p
@@ -313,7 +323,9 @@ mod tests {
             &fmts,
             &shapes,
             &model,
-            Residency::HostUva { cache_hit_rate: 0.5 },
+            Residency::HostUva {
+                cache_hit_rate: 0.5,
+            },
         );
         assert!(uva > on_device);
     }

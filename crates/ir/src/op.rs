@@ -203,15 +203,15 @@ pub enum Op {
 impl Op {
     /// True for pure per-edge value updates (fusable as edge-map steps).
     pub fn is_edge_map(&self) -> bool {
-        matches!(
-            self,
-            Op::ScalarOp(..) | Op::UnaryOp(..) | Op::Broadcast(..)
-        )
+        matches!(self, Op::ScalarOp(..) | Op::UnaryOp(..) | Op::Broadcast(..))
     }
 
     /// True for reductions from edges to nodes (edge-reduce).
     pub fn is_edge_reduce(&self) -> bool {
-        matches!(self, Op::Reduce(..) | Op::ReduceAll(..) | Op::Spmm | Op::SpmmT)
+        matches!(
+            self,
+            Op::Reduce(..) | Op::ReduceAll(..) | Op::Spmm | Op::SpmmT
+        )
     }
 
     /// True for operators that create or reshape sparse structure — the
@@ -305,7 +305,11 @@ impl Op {
                 format!("fused_extract_select(k={k}, replace={replace})")
             }
             Op::FusedEdgeMap { steps } => format!("fused_edge_map({} steps)", steps.len()),
-            Op::FusedEdgeMapReduce { steps, reduce, axis } => format!(
+            Op::FusedEdgeMapReduce {
+                steps,
+                reduce,
+                axis,
+            } => format!(
                 "fused_edge_map_reduce({} steps, {}[{axis:?}])",
                 steps.len(),
                 reduce.name()
@@ -327,8 +331,16 @@ mod tests {
         assert!(Op::Reduce(ReduceOp::Sum, Axis::Row).is_edge_reduce());
         assert!(Op::Spmm.is_edge_reduce());
         assert!(Op::SliceCols.is_structure());
-        assert!(Op::IndividualSample { k: 5, replace: false }.is_structure());
-        assert!(Op::IndividualSample { k: 5, replace: false }.is_random());
+        assert!(Op::IndividualSample {
+            k: 5,
+            replace: false
+        }
+        .is_structure());
+        assert!(Op::IndividualSample {
+            k: 5,
+            replace: false
+        }
+        .is_random());
         assert!(!Op::SliceCols.is_random());
         assert!(Op::InputGraph.is_input());
     }

@@ -34,22 +34,16 @@ pub struct FusionResult {
 /// View an edge-map-like node as `(matrix_input, vector_inputs, steps)`.
 fn map_steps(node: &Node) -> Option<(OpId, Vec<OpId>, Vec<EdgeMapStep>)> {
     match &node.op {
-        Op::ScalarOp(op, s) => Some((
-            node.inputs[0],
-            vec![],
-            vec![EdgeMapStep::Scalar(*op, *s)],
-        )),
+        Op::ScalarOp(op, s) => Some((node.inputs[0], vec![], vec![EdgeMapStep::Scalar(*op, *s)])),
         Op::UnaryOp(op) => Some((node.inputs[0], vec![], vec![EdgeMapStep::Unary(*op)])),
         Op::Broadcast(op, axis) => Some((
             node.inputs[0],
             vec![node.inputs[1]],
             vec![EdgeMapStep::Broadcast(*op, *axis, 1)],
         )),
-        Op::FusedEdgeMap { steps } => Some((
-            node.inputs[0],
-            node.inputs[1..].to_vec(),
-            steps.clone(),
-        )),
+        Op::FusedEdgeMap { steps } => {
+            Some((node.inputs[0], node.inputs[1..].to_vec(), steps.clone()))
+        }
         _ => None,
     }
 }
@@ -156,7 +150,15 @@ pub fn run(program: &Program) -> FusionResult {
                 let (src, vecs, steps) = map_steps(prog.node(map_id)).expect("checked");
                 let mut inputs = vec![src];
                 inputs.extend(vecs);
-                prog.replace(id, Op::FusedEdgeMapReduce { steps, reduce, axis }, inputs);
+                prog.replace(
+                    id,
+                    Op::FusedEdgeMapReduce {
+                        steps,
+                        reduce,
+                        axis,
+                    },
+                    inputs,
+                );
                 result.edge_map_reduce += 1;
             }
             None => break,
@@ -180,7 +182,13 @@ mod tests {
         let g = p.add(Op::InputGraph, vec![]);
         let f = p.add(Op::InputFrontiers, vec![]);
         let sub = p.add(Op::SliceCols, vec![g, f]);
-        let samp = p.add(Op::IndividualSample { k: 10, replace: false }, vec![sub]);
+        let samp = p.add(
+            Op::IndividualSample {
+                k: 10,
+                replace: false,
+            },
+            vec![sub],
+        );
         let next = p.add(Op::RowNodes, vec![samp]);
         p.mark_output(samp);
         p.mark_output(next);
@@ -211,7 +219,10 @@ mod tests {
         let sub = p.add(Op::SliceCols, vec![g, f]);
         let probs = p.add(Op::ScalarOp(EltOp::Pow, 2.0), vec![sub]);
         let samp = p.add(
-            Op::IndividualSample { k: 10, replace: false },
+            Op::IndividualSample {
+                k: 10,
+                replace: false,
+            },
             vec![sub, probs],
         );
         p.mark_output(samp);
@@ -225,7 +236,13 @@ mod tests {
         let g = p.add(Op::InputGraph, vec![]);
         let f = p.add(Op::InputFrontiers, vec![]);
         let sub = p.add(Op::SliceCols, vec![g, f]);
-        let samp = p.add(Op::IndividualSample { k: 10, replace: false }, vec![sub]);
+        let samp = p.add(
+            Op::IndividualSample {
+                k: 10,
+                replace: false,
+            },
+            vec![sub],
+        );
         let deg = p.add(Op::Reduce(ReduceOp::Count, Axis::Col), vec![sub]);
         p.mark_output(samp);
         p.mark_output(deg);
@@ -311,10 +328,7 @@ mod tests {
         // norm1 survives (norm2 still needs it).
         let (prog, removed) = dce::run(&r.program);
         assert_eq!(removed, 0);
-        assert_eq!(
-            prog.count_ops(|op| matches!(op, Op::Broadcast(..))),
-            2
-        );
+        assert_eq!(prog.count_ops(|op| matches!(op, Op::Broadcast(..))), 2);
     }
 
     #[test]

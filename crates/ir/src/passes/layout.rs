@@ -154,10 +154,7 @@ fn price(
 }
 
 /// Insert `CompactRows` / `Convert` nodes realizing an assignment.
-fn apply_assignment(
-    program: &Program,
-    assignment: &HashMap<OpId, (Format, bool)>,
-) -> Program {
+fn apply_assignment(program: &Program, assignment: &HashMap<OpId, (Format, bool)>) -> Program {
     let mut out = Program::new();
     let mut map: Vec<OpId> = Vec::with_capacity(program.len());
     let mut fmts: Vec<Option<Format>> = Vec::new();
@@ -405,7 +402,9 @@ mod tests {
             &big_stats(),
             512,
             &model(),
-            Residency::HostUva { cache_hit_rate: 0.7 },
+            Residency::HostUva {
+                cache_hit_rate: 0.7,
+            },
         );
         out.validate().unwrap();
         assert!(
@@ -440,7 +439,9 @@ mod tests {
             &big_stats(),
             512,
             &model(),
-            Residency::HostUva { cache_hit_rate: 0.7 },
+            Residency::HostUva {
+                cache_hit_rate: 0.7,
+            },
         );
         let (greedy_prog, _) = run(
             &p,
@@ -448,14 +449,18 @@ mod tests {
             &big_stats(),
             512,
             &model(),
-            Residency::HostUva { cache_hit_rate: 0.7 },
+            Residency::HostUva {
+                cache_hit_rate: 0.7,
+            },
         );
         let greedy_time = price(
             &greedy_prog,
             &big_stats(),
             512,
             &model(),
-            Residency::HostUva { cache_hit_rate: 0.7 },
+            Residency::HostUva {
+                cache_hit_rate: 0.7,
+            },
         );
         assert!(
             aware.est_time <= greedy_time,

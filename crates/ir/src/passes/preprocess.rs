@@ -147,9 +147,8 @@ fn hoist(program: &Program) -> PreprocessResult {
             continue;
         }
         // Copy a static node if it is hoistable or feeds one.
-        let needed = hoistable.contains(&id)
-            || consumers[id].iter().any(|&c| stat[c])
-            || node.op.is_input();
+        let needed =
+            hoistable.contains(&id) || consumers[id].iter().any(|&c| stat[c]) || node.op.is_input();
         if !needed {
             continue;
         }
@@ -217,10 +216,7 @@ mod tests {
             0
         );
         assert_eq!(main.count_ops(|op| matches!(op, Op::SliceCols)), 2);
-        assert_eq!(
-            main.count_ops(|op| matches!(op, Op::Precomputed { .. })),
-            1
-        );
+        assert_eq!(main.count_ops(|op| matches!(op, Op::Precomputed { .. })), 1);
         main.validate().unwrap();
         r.precompute.validate().unwrap();
     }
@@ -261,7 +257,13 @@ mod tests {
         let g = p.add(Op::InputGraph, vec![]);
         let f = p.add(Op::InputFrontiers, vec![]);
         let sub = p.add(Op::SliceCols, vec![g, f]);
-        let samp = p.add(Op::IndividualSample { k: 5, replace: false }, vec![sub]);
+        let samp = p.add(
+            Op::IndividualSample {
+                k: 5,
+                replace: false,
+            },
+            vec![sub],
+        );
         p.mark_output(samp);
         let r = run(&p);
         assert_eq!(r.hoisted, 0);
@@ -296,8 +298,7 @@ mod tests {
         let r = run_with_sinking(&p);
         // Both edge-maps end up in the precompute program.
         assert_eq!(
-            r.precompute
-                .count_ops(|op| matches!(op, Op::ScalarOp(..))),
+            r.precompute.count_ops(|op| matches!(op, Op::ScalarOp(..))),
             2
         );
         let (main, _) = dce::run(&r.program);

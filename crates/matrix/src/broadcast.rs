@@ -111,7 +111,9 @@ mod tests {
     fn broadcast_format_independent() {
         let m = sample();
         let v = vec![2.0, 4.0, 8.0];
-        let reference = broadcast(&m, &v, EltOp::Mul, Axis::Col).unwrap().sorted_edges();
+        let reference = broadcast(&m, &v, EltOp::Mul, Axis::Col)
+            .unwrap()
+            .sorted_edges();
         for fmt in Format::ALL {
             let out = broadcast(&m.to_format(fmt), &v, EltOp::Mul, Axis::Col).unwrap();
             assert_eq!(out.sorted_edges(), reference);

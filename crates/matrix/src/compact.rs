@@ -157,9 +157,7 @@ mod tests {
     #[test]
     fn compact_cols_drops_isolated() {
         // 2x4 with edges only in columns 0 and 3.
-        let m = SparseMatrix::Csc(
-            Csc::new(2, 4, vec![0, 1, 1, 1, 2], vec![0, 1], None).unwrap(),
-        );
+        let m = SparseMatrix::Csc(Csc::new(2, 4, vec![0, 1, 1, 1, 2], vec![0, 1], None).unwrap());
         let c = compact_cols(&m);
         assert_eq!(c.kept, vec![0, 3]);
         assert_eq!(c.matrix.shape(), (2, 2));

@@ -90,9 +90,8 @@ impl Coo {
     /// True if edges are sorted by `(col, row)` — the canonical order that
     /// makes CSC conversion a single counting scan.
     pub fn is_col_sorted(&self) -> bool {
-        (1..self.nnz()).all(|i| {
-            (self.cols[i - 1], self.rows[i - 1]) <= (self.cols[i], self.rows[i])
-        })
+        (1..self.nnz())
+            .all(|i| (self.cols[i - 1], self.rows[i - 1]) <= (self.cols[i], self.rows[i]))
     }
 
     /// Sort edges in-place into canonical `(col, row)` order.

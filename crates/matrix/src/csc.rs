@@ -243,13 +243,8 @@ impl Csc {
     /// Iterate over all stored edges as `(row, col, value)` triples.
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
         (0..self.ncols).flat_map(move |c| {
-            self.col_range(c).map(move |pos| {
-                (
-                    self.indices[pos],
-                    c as NodeId,
-                    self.value_at(pos),
-                )
-            })
+            self.col_range(c)
+                .map(move |pos| (self.indices[pos], c as NodeId, self.value_at(pos)))
         })
     }
 

@@ -339,7 +339,10 @@ impl Dense {
         Dense {
             rows: self.rows,
             cols: self.cols,
-            data: exps.into_iter().map(|e| e / sum.max(f32::MIN_POSITIVE)).collect(),
+            data: exps
+                .into_iter()
+                .map(|e| e / sum.max(f32::MIN_POSITIVE))
+                .collect(),
         }
     }
 

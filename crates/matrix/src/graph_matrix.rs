@@ -159,7 +159,8 @@ impl GraphMatrix {
     ///
     /// Used by the finalize step of SEAL / ShaDow / GraphSAINT.
     pub fn induce_subgraph(&self, nodes: &[NodeId]) -> Result<GraphMatrix> {
-        self.slice_rows_global(nodes)?.slice_cols_global_local_ok(nodes)
+        self.slice_rows_global(nodes)?
+            .slice_cols_global_local_ok(nodes)
     }
 
     /// Like [`GraphMatrix::slice_cols_global`] but tolerates a non-identity
@@ -195,7 +196,11 @@ impl GraphMatrix {
         rng: &mut impl Rng,
     ) -> Result<GraphMatrix> {
         let out = sample::collective_sample(&self.data, k, node_probs, rng)?;
-        let globals: Vec<NodeId> = out.rows.iter().map(|&r| self.global_row(r as usize)).collect();
+        let globals: Vec<NodeId> = out
+            .rows
+            .iter()
+            .map(|&r| self.global_row(r as usize))
+            .collect();
         Ok(GraphMatrix {
             data: out.matrix,
             row_ids: Some(Arc::new(globals)),
@@ -206,7 +211,11 @@ impl GraphMatrix {
     /// Compaction: drop isolated rows, composing the ID mapping.
     pub fn compact_rows(&self) -> GraphMatrix {
         let c = compact::compact_rows(&self.data);
-        let globals: Vec<NodeId> = c.kept.iter().map(|&r| self.global_row(r as usize)).collect();
+        let globals: Vec<NodeId> = c
+            .kept
+            .iter()
+            .map(|&r| self.global_row(r as usize))
+            .collect();
         GraphMatrix {
             data: c.matrix,
             row_ids: Some(Arc::new(globals)),
@@ -217,7 +226,11 @@ impl GraphMatrix {
     /// Compaction: drop isolated columns, composing the ID mapping.
     pub fn compact_cols(&self) -> GraphMatrix {
         let c = compact::compact_cols(&self.data);
-        let globals: Vec<NodeId> = c.kept.iter().map(|&c| self.global_col(c as usize)).collect();
+        let globals: Vec<NodeId> = c
+            .kept
+            .iter()
+            .map(|&c| self.global_col(c as usize))
+            .collect();
         GraphMatrix {
             data: c.matrix,
             row_ids: self.row_ids.clone(),
@@ -233,7 +246,11 @@ impl GraphMatrix {
             .iter_edges()
             .map(|(r, c, v)| (self.global_row(r as usize), self.global_col(c as usize), v))
             .collect();
-        out.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal)));
+        out.sort_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        });
         out
     }
 

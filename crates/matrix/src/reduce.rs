@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn sum_rows_and_cols() {
         let m = sample();
-        assert_eq!(reduce(&m, ReduceOp::Sum, Axis::Row), vec![5.0, 8.0, 2.0, 6.0]);
+        assert_eq!(
+            reduce(&m, ReduceOp::Sum, Axis::Row),
+            vec![5.0, 8.0, 2.0, 6.0]
+        );
         assert_eq!(reduce(&m, ReduceOp::Sum, Axis::Col), vec![3.0, 3.0, 15.0]);
     }
 

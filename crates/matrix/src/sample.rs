@@ -398,8 +398,11 @@ mod tests {
         assert_eq!(out.shape(), m.shape());
         assert_eq!(out.col_degrees(), vec![2, 2, 0]);
         // Selected edges are a subset of the input's.
-        let input: std::collections::HashSet<_> =
-            m.sorted_edges().into_iter().map(|(r, c, _)| (r, c)).collect();
+        let input: std::collections::HashSet<_> = m
+            .sorted_edges()
+            .into_iter()
+            .map(|(r, c, _)| (r, c))
+            .collect();
         for (r, c, _) in out.iter_edges() {
             assert!(input.contains(&(r, c)));
         }
@@ -425,9 +428,7 @@ mod tests {
     fn individual_biased_prefers_heavy_edges() {
         // Column 0 with one overwhelmingly heavy edge: it must virtually
         // always be selected.
-        let m = SparseMatrix::Csc(
-            Csc::new(4, 1, vec![0, 4], vec![0, 1, 2, 3], None).unwrap(),
-        );
+        let m = SparseMatrix::Csc(Csc::new(4, 1, vec![0, 4], vec![0, 1, 2, 3], None).unwrap());
         let mut probs = m.clone();
         probs.set_values(vec![1e-6, 1e-6, 1e-6, 1.0]);
         let mut r = rng();

@@ -64,10 +64,7 @@ fn check_bounds(ids: &[NodeId], bound: usize, op: &'static str) -> Result<()> {
 fn slice_cols_csc(m: &Csc, cols: &[NodeId]) -> Csc {
     let mut indptr = Vec::with_capacity(cols.len() + 1);
     indptr.push(0usize);
-    let est: usize = cols
-        .iter()
-        .map(|&c| m.col_degree(c as usize))
-        .sum();
+    let est: usize = cols.iter().map(|&c| m.col_degree(c as usize)).sum();
     let mut indices = Vec::with_capacity(est);
     let mut values = m.values.as_ref().map(|_| Vec::with_capacity(est));
     for &c in cols {
@@ -156,10 +153,7 @@ fn slice_cols_coo(m: &Coo, cols: &[NodeId]) -> Coo {
 fn slice_rows_csr(m: &Csr, rows: &[NodeId]) -> Csr {
     let mut indptr = Vec::with_capacity(rows.len() + 1);
     indptr.push(0usize);
-    let est: usize = rows
-        .iter()
-        .map(|&r| m.row_degree(r as usize))
-        .sum();
+    let est: usize = rows.iter().map(|&r| m.row_degree(r as usize)).sum();
     let mut indices = Vec::with_capacity(est);
     let mut values = m.values.as_ref().map(|_| Vec::with_capacity(est));
     for &r in rows {

@@ -224,9 +224,7 @@ impl SparseMatrix {
     /// In-degree of every column node (length `ncols`).
     pub fn col_degrees(&self) -> Vec<usize> {
         match self {
-            SparseMatrix::Csc(m) => {
-                (0..m.ncols).map(|c| m.col_degree(c)).collect()
-            }
+            SparseMatrix::Csc(m) => (0..m.ncols).map(|c| m.col_degree(c)).collect(),
             other => {
                 let mut deg = vec![0usize; other.ncols()];
                 for (_, c, _) in other.iter_edges() {
@@ -240,9 +238,7 @@ impl SparseMatrix {
     /// Out-degree of every row node (length `nrows`).
     pub fn row_degrees(&self) -> Vec<usize> {
         match self {
-            SparseMatrix::Csr(m) => {
-                (0..m.nrows).map(|r| m.row_degree(r)).collect()
-            }
+            SparseMatrix::Csr(m) => (0..m.nrows).map(|r| m.row_degree(r)).collect(),
             other => {
                 let mut deg = vec![0usize; other.nrows()];
                 for (r, _, _) in other.iter_edges() {

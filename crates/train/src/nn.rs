@@ -67,7 +67,8 @@ impl Linear {
 
     /// Apply one Adam step and clear gradients.
     pub fn step(&mut self, lr: f32) {
-        self.adam_w.step(self.w.as_mut_slice(), self.grad_w.as_slice(), lr);
+        self.adam_w
+            .step(self.w.as_mut_slice(), self.grad_w.as_slice(), lr);
         self.adam_b.step(&mut self.b, &self.grad_b, lr);
         self.grad_w = Dense::zeros(self.w.nrows(), self.w.ncols());
         self.grad_b.iter_mut().for_each(|g| *g = 0.0);

@@ -240,7 +240,11 @@ impl GnnModel {
         for (li, layer) in self.layers.iter().enumerate() {
             let agg = spmm::spmm_t(&norm, &h).expect("square adj");
             let z = layer.forward(&agg);
-            h = if li + 1 == self.layers.len() { z } else { z.relu() };
+            h = if li + 1 == self.layers.len() {
+                z
+            } else {
+                z.relu()
+            };
         }
         h
     }
@@ -276,8 +280,7 @@ mod tests {
     #[test]
     fn forward_aggregates_means() {
         let b = toy_block();
-        let features =
-            Dense::from_vec(3, 2, vec![2.0, 0.0, 4.0, 0.0, 6.0, 6.0]).unwrap();
+        let features = Dense::from_vec(3, 2, vec![2.0, 0.0, 4.0, 0.0, 6.0, 6.0]).unwrap();
         let model = GnnModel::new(&[2, 2], 1);
         let trace = model.forward(&[b], &features);
         // Aggregated dst 0 = mean of rows 0,1 = [3, 0]; dst 1 = [6, 6].
@@ -290,22 +293,11 @@ mod tests {
     fn training_blocks_learn_separable_task() {
         // One-block "GNN" on a bipartite toy task: destinations whose
         // sources have positive features are class 0, negative class 1.
-        let csc = Csc::new(
-            4,
-            4,
-            vec![0, 1, 2, 3, 4],
-            vec![0, 1, 2, 3],
-            None,
-        )
-        .unwrap();
+        let csc = Csc::new(4, 4, vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3], None).unwrap();
         let gm = GraphMatrix::from_sparse(SparseMatrix::Csc(csc));
         let block = Block::from_matrix(&gm);
-        let features = Dense::from_vec(
-            4,
-            2,
-            vec![1.0, 0.5, -1.0, -0.5, 0.8, 0.4, -0.9, -0.6],
-        )
-        .unwrap();
+        let features =
+            Dense::from_vec(4, 2, vec![1.0, 0.5, -1.0, -0.5, 0.8, 0.4, -0.9, -0.6]).unwrap();
         let labels = vec![0usize, 1, 0, 1];
         let mut model = GnnModel::new(&[2, 2], 3);
         let mut acc = 0.0;

@@ -182,11 +182,7 @@ pub fn train_gnn(
         let eval_acc = if (epoch + 1) % config.eval_every.max(1) == 0 {
             let logits = model.infer_full(&graph.matrix.data, features);
             let preds = logits.argmax_rows();
-            let right = preds
-                .iter()
-                .zip(labels)
-                .filter(|(p, l)| p == l)
-                .count();
+            let right = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
             let acc = right as f32 / labels.len().max(1) as f32;
             final_accuracy = acc;
             Some(acc)
@@ -222,8 +218,7 @@ mod tests {
         let n = 600;
         let classes = 4;
         let edges = planted_partition(n, classes, 8, 1, 11);
-        let weighted: Vec<(u32, u32, f32)> =
-            edges.into_iter().map(|(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(u32, u32, f32)> = edges.into_iter().map(|(u, v)| (u, v, 1.0)).collect();
         let labels = community_labels(n, classes);
         let features = community_features(&labels, classes, 16, 0.8, 12);
         let graph = Arc::new(
@@ -259,8 +254,8 @@ mod tests {
             eval_every: 2,
             ..TrainConfig::default()
         };
-        let report = train_gnn(&sampler, &graph, &labels, &seeds, &Bindings::new(), &config)
-            .unwrap();
+        let report =
+            train_gnn(&sampler, &graph, &labels, &seeds, &Bindings::new(), &config).unwrap();
         assert!(
             report.final_accuracy > 0.7,
             "LADIES-trained accuracy {} too low",
@@ -291,8 +286,8 @@ mod tests {
             eval_every: 2,
             ..TrainConfig::default()
         };
-        let report = train_gnn(&sampler, &graph, &labels, &seeds, &Bindings::new(), &config)
-            .unwrap();
+        let report =
+            train_gnn(&sampler, &graph, &labels, &seeds, &Bindings::new(), &config).unwrap();
         assert!(
             report.final_accuracy > 0.8,
             "accuracy {} too low; losses {:?}",

@@ -72,11 +72,17 @@ fn main() {
         SamplerConfig::new(),
     )
     .expect("compile ladies");
-    let out = ladies.sample_batch(&seeds, &Bindings::new()).expect("sample");
+    let out = ladies
+        .sample_batch(&seeds, &Bindings::new())
+        .expect("sample");
     println!("LADIES: per-layer node counts (layer-wise control — bounded, not exponential):");
     for (i, layer) in out.layers.iter().enumerate() {
         let m = layer[0].as_matrix().unwrap();
-        println!("  layer {i}: {} nodes, {} edges", m.row_nodes().len(), m.nnz());
+        println!(
+            "  layer {i}: {} nodes, {} edges",
+            m.row_nodes().len(),
+            m.nnz()
+        );
     }
 
     // The annealed variant: uniform-ish at the first hop, sharp at depth.
@@ -90,7 +96,9 @@ fn main() {
         SamplerConfig::new(),
     )
     .expect("compile annealed");
-    let out = annealed.sample_batch(&seeds, &Bindings::new()).expect("sample");
+    let out = annealed
+        .sample_batch(&seeds, &Bindings::new())
+        .expect("sample");
     println!("\nAnnealed variant (temperature 4.0 -> 0.25):");
     for (i, layer) in out.layers.iter().enumerate() {
         let m = layer[0].as_matrix().unwrap();

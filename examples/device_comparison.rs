@@ -37,9 +37,17 @@ fn main() {
     println!("LADIES epoch ({} seeds) on the same graph:\n", seeds.len());
     println!("device          | modeled epoch | SM util");
     let (v100, u1) = epoch_time(&graph, DeviceProfile::v100(), &seeds);
-    println!("V100 (device)   | {:>10.1} µs | {:>5.1}%", v100 * 1e6, u1 * 100.0);
+    println!(
+        "V100 (device)   | {:>10.1} µs | {:>5.1}%",
+        v100 * 1e6,
+        u1 * 100.0
+    );
     let (t4, u2) = epoch_time(&graph, DeviceProfile::t4(), &seeds);
-    println!("T4   (device)   | {:>10.1} µs | {:>5.1}%", t4 * 1e6, u2 * 100.0);
+    println!(
+        "T4   (device)   | {:>10.1} µs | {:>5.1}%",
+        t4 * 1e6,
+        u2 * 100.0
+    );
     let (cpu, _) = epoch_time(&graph, DeviceProfile::cpu(), &seeds);
     println!("CPU  (host)     | {:>10.1} µs |     -", cpu * 1e6);
 

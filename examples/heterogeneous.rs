@@ -32,23 +32,22 @@ fn main() {
         }
     }
     h.add_relation("bought", 0, 1, &bought, false).unwrap();
-    h.add_relation("bought_by", 1, 0, &bought_by, false).unwrap();
+    h.add_relation("bought_by", 1, 0, &bought_by, false)
+        .unwrap();
     println!(
         "hetero graph: {} nodes ({} users, {} items), relations: {:?}",
         h.num_nodes(),
         users,
         items,
-        h.relations().iter().map(|r| r.name.as_str()).collect::<Vec<_>>()
+        h.relations()
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // PinSAGE-style meta-path from items: item <-bought- user <-bought_by- item.
-    let walker = MetaPathWalker::compile(
-        &h,
-        1,
-        &["bought", "bought_by"],
-        SamplerConfig::new(),
-    )
-    .expect("type-checked meta-path");
+    let walker = MetaPathWalker::compile(&h, 1, &["bought", "bought_by"], SamplerConfig::new())
+        .expect("type-checked meta-path");
     let seeds: Vec<u32> = (users..users + 6).collect();
     let positions = walker.walk(&seeds, 4, 7).expect("walk");
     println!("\nmeta-path walk (item -> user -> item ...), first walker:");

@@ -57,7 +57,9 @@ fn main() {
 
     // 4. Sample a mini-batch of 512 seeds.
     let seeds: Vec<u32> = (0..512).collect();
-    let out = sampler.sample_batch(&seeds, &Bindings::new()).expect("sample");
+    let out = sampler
+        .sample_batch(&seeds, &Bindings::new())
+        .expect("sample");
     for (i, layer) in out.layers.iter().enumerate() {
         let m = layer[0].as_matrix().expect("sampled matrix");
         println!(

@@ -52,8 +52,8 @@ fn main() {
         eval_every: 1,
         ..TrainConfig::default()
     };
-    let report = train_gnn(&sampler, &graph, &labels, &seeds, &Bindings::new(), &config)
-        .expect("training");
+    let report =
+        train_gnn(&sampler, &graph, &labels, &seeds, &Bindings::new(), &config).expect("training");
 
     println!("\nepoch | loss   | train acc | full-graph acc | sampling | training");
     for (i, e) in report.epochs.iter().enumerate() {

@@ -26,8 +26,7 @@ fn config(h: &Hyper) -> SamplerConfig {
 }
 
 fn compile_spec(graph: &Arc<Graph>, spec: AlgoSpec, h: &Hyper) -> Sampler {
-    compile(graph.clone(), spec.layers, config(h))
-        .unwrap_or_else(|e| panic!("compile failed: {e}"))
+    compile(graph.clone(), spec.layers, config(h)).unwrap_or_else(|e| panic!("compile failed: {e}"))
 }
 
 /// Check a sampled adjacency is a genuine subgraph of `graph`.
@@ -203,7 +202,6 @@ fn node2vec_bias_prefers_return_with_small_p() {
     );
 }
 
-
 #[test]
 fn ladies_multi_layer_bounds_growth() {
     // Node-wise sampling grows the frontier; layer-wise caps it at the
@@ -214,29 +212,36 @@ fn ladies_multi_layer_bounds_growth() {
         graph.clone(),
         gsampler::algos::layerwise::ladies(12, 3),
         gsampler::core::SamplerConfig {
-        opt: OptConfig::all(),
-        batch_size: 16,
-        ..gsampler::core::SamplerConfig::new()
-    },
+            opt: OptConfig::all(),
+            batch_size: 16,
+            ..gsampler::core::SamplerConfig::new()
+        },
     )
     .unwrap();
     let frontiers: Vec<u32> = (0..16).collect();
-    let out = ladies.sample_batch(&frontiers, &gsampler::core::Bindings::new()).unwrap();
+    let out = ladies
+        .sample_batch(&frontiers, &gsampler::core::Bindings::new())
+        .unwrap();
     for layer in &out.layers {
         let m = layer[0].as_matrix().unwrap();
         assert!(m.row_nodes().len() <= 12);
     }
-    let sage = gsampler::core::compile(graph, gsampler::algos::nodewise::graphsage(&[8, 8, 8]), gsampler::core::SamplerConfig {
-        opt: OptConfig::all(),
-        batch_size: 16,
-        ..gsampler::core::SamplerConfig::new()
-    })
+    let sage = gsampler::core::compile(
+        graph,
+        gsampler::algos::nodewise::graphsage(&[8, 8, 8]),
+        gsampler::core::SamplerConfig {
+            opt: OptConfig::all(),
+            batch_size: 16,
+            ..gsampler::core::SamplerConfig::new()
+        },
+    )
+    .unwrap();
+    let out = sage
+        .sample_batch(&frontiers, &gsampler::core::Bindings::new())
         .unwrap();
-    let out = sage.sample_batch(&frontiers, &gsampler::core::Bindings::new()).unwrap();
     let last = out.layers.last().unwrap()[0].as_matrix().unwrap();
     assert!(
         last.row_nodes().len() > 12,
         "node-wise sampling should have grown past the layer-wise cap"
     );
 }
-
