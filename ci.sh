@@ -6,3 +6,7 @@ cd "$(dirname "$0")"
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
+# The suite must also hold at a fixed multi-worker pool width.
+GSAMPLER_THREADS=2 cargo test -q
+# Benches (incl. the parallel-runtime speedup harness) must keep compiling.
+cargo bench --workspace --no-run

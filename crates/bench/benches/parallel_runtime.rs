@@ -1,0 +1,149 @@
+//! Sequential vs pooled wall-clock for the hot host kernels — the
+//! worker-pool runtime's speedup measurement (SpMM and frontier
+//! sampling on the PD preset).
+//!
+//! Besides the criterion groups, `cargo bench --bench parallel_runtime`
+//! writes `results/BENCH_parallel.json` with median wall times per
+//! `GSAMPLER_THREADS` setting and the host's available parallelism, so
+//! the artifact records honestly what the measuring machine could show:
+//! on a single-core host every width collapses to ~1× and the JSON says
+//! so via `host_parallelism`.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gsampler_engine::RngPool;
+use gsampler_graphs::{Dataset, DatasetKind};
+use gsampler_matrix::sample::individual_sample_seeded;
+use gsampler_matrix::{spmm, Dense, SparseMatrix};
+
+/// PD preset scaled down so one kernel invocation is milliseconds, not
+/// seconds; still far above every parallel size gate.
+fn workload() -> (SparseMatrix, Dense) {
+    let d = Dataset::generate(DatasetKind::OgbnProducts, 0.05, 42);
+    let feats = d.graph.features.clone().expect("preset has features");
+    (d.graph.matrix.data.clone(), feats)
+}
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let saved = std::env::var("GSAMPLER_THREADS").ok();
+    std::env::set_var("GSAMPLER_THREADS", threads.to_string());
+    let out = f();
+    match saved {
+        Some(v) => std::env::set_var("GSAMPLER_THREADS", v),
+        None => std::env::remove_var("GSAMPLER_THREADS"),
+    }
+    out
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let (m, feats) = workload();
+    let mut group = c.benchmark_group("pool_spmm");
+    for threads in [1usize, 8] {
+        let label = if threads == 1 {
+            "sequential"
+        } else {
+            "pooled_8"
+        };
+        group.bench_function(label, |b| {
+            with_threads(threads, || {
+                b.iter(|| spmm::spmm(black_box(&m), black_box(&feats)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontier_sampling(c: &mut Criterion) {
+    let (m, _) = workload();
+    let pool = RngPool::new(7);
+    let mut group = c.benchmark_group("pool_frontier_sample");
+    for threads in [1usize, 8] {
+        let label = if threads == 1 {
+            "sequential"
+        } else {
+            "pooled_8"
+        };
+        group.bench_function(label, |b| {
+            with_threads(threads, || {
+                b.iter(|| individual_sample_seeded(black_box(&m), 10, None, &pool).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Median wall seconds of `f` over `reps` runs.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Measure both kernels at 1/2/4/8 threads and write the JSON artifact.
+fn write_artifact() {
+    let (m, feats) = workload();
+    let pool = RngPool::new(7);
+    let widths = [1usize, 2, 4, 8];
+    let reps = 5;
+
+    let mut sections = Vec::new();
+    for (name, run) in [
+        (
+            "spmm",
+            Box::new(|| {
+                black_box(spmm::spmm(&m, &feats).unwrap());
+            }) as Box<dyn FnMut()>,
+        ),
+        (
+            "frontier_sample",
+            Box::new(|| {
+                black_box(individual_sample_seeded(&m, 10, None, &pool).unwrap());
+            }),
+        ),
+    ] {
+        let mut run = run;
+        let times: Vec<(usize, f64)> = widths
+            .iter()
+            .map(|&t| (t, with_threads(t, || median_secs(reps, &mut run))))
+            .collect();
+        let t1 = times[0].1;
+        let t8 = times.last().unwrap().1;
+        let entries: Vec<String> = times
+            .iter()
+            .map(|(t, s)| format!("      \"{t}\": {:.6}", s * 1e3))
+            .collect();
+        sections.push(format!(
+            "  \"{name}\": {{\n    \"median_wall_ms_by_threads\": {{\n{}\n    }},\n    \"speedup_at_8\": {:.3}\n  }}",
+            entries.join(",\n"),
+            t1 / t8.max(f64::MIN_POSITIVE)
+        ));
+    }
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_runtime\",\n  \"dataset\": \"OgbnProducts preset (PD), scale 0.05\",\n  \"host_parallelism\": {host},\n  \"reps_per_point\": {reps},\n  \"note\": \"median wall times as measured on this host; speedup_at_8 can only exceed 1.0 when host_parallelism > 1\",\n{}\n}}\n",
+        sections.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_parallel.json"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_spmm, bench_frontier_sampling);
+criterion_main!(write_artifact, benches);

@@ -402,26 +402,39 @@ pub fn fmt_bytes(bytes: u64) -> String {
 
 /// Print the dispatcher's per-op profile of an execution session: one row
 /// per kernel name with invocation count, modeled device time (and its
-/// share of the session total), and device bytes moved. This is the
-/// `--profile` view of the bench binaries.
+/// share of the session total), device bytes moved, and the host worker
+/// pool's average thread count and parallel efficiency for the kernel.
+/// This is the `--profile` view of the bench binaries.
 pub fn print_profile(title: &str, stats: &ExecStats) {
     let total = stats.total_time.max(f64::MIN_POSITIVE);
     let rows: Vec<Vec<String>> = stats
         .profile()
         .into_iter()
         .map(|(name, a)| {
+            let threads = format!("{:.1}", a.avg_threads());
+            let eff = format!("{:5.1}%", a.parallel_efficiency() * 100.0);
             vec![
                 name,
                 a.count.to_string(),
                 fmt_time(a.time),
                 format!("{:5.1}%", a.time / total * 100.0),
                 fmt_bytes(a.bytes),
+                threads,
+                eff,
             ]
         })
         .collect();
     print_table(
         title,
-        &["kernel", "count", "modeled time", "share", "bytes"],
+        &[
+            "kernel",
+            "count",
+            "modeled time",
+            "share",
+            "bytes",
+            "threads",
+            "par eff",
+        ],
         &rows,
     );
 }

@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 
-use gsampler_engine::{Device, KernelDesc, Residency};
+use gsampler_engine::{pool_metrics, Device, KernelDesc, Residency};
 use gsampler_ir::{costing, Op, ShapeEst};
 use gsampler_matrix::{Format, NodeId};
 
@@ -174,6 +174,19 @@ static MATMUL: matmul::MatmulKernels = matmul::MatmulKernels;
 static ELTWISE: eltwise::EltwiseKernels = eltwise::EltwiseKernels;
 static WALK: walk::WalkKernels = walk::WalkKernels;
 
+/// Work-size gate for pool dispatch, mirroring the matrix crate's: maps an
+/// estimated work size to the `min_chunk`/`min_items` argument of the
+/// parallel helpers — 1 (parallelize freely) for large work, `usize::MAX`
+/// (force inline) for small. Derived from the input only, never from the
+/// thread count, so decompositions are reproducible.
+pub(crate) fn par_gate(work: usize) -> usize {
+    if work >= (1 << 12) {
+        1
+    } else {
+        usize::MAX
+    }
+}
+
 /// Resolve the kernel implementing `op` — the dispatch table every
 /// execution path shares.
 pub fn kernel_for(op: &Op) -> &'static dyn Kernel {
@@ -238,7 +251,8 @@ pub fn registry() -> [&'static dyn Kernel; 5] {
 
 /// Run one operator through the registry with full instrumentation:
 /// evaluate, derive the workload from actual shapes, and charge modeled
-/// time, SM utilization, and host wall-clock time to `device`.
+/// time, SM utilization, host wall-clock time, and the worker-pool
+/// occupancy delta (threads used, parallel efficiency) to `device`.
 pub fn dispatch(
     op: &Op,
     inputs: &[&Value],
@@ -254,9 +268,11 @@ pub fn dispatch(
         .collect();
     let in_shapes: Vec<ShapeEst> = inputs.iter().map(|v| v.shape_est()).collect();
 
+    let pool_before = pool_metrics();
     let start = Instant::now();
     let value = kernel.run(op, inputs, ctx, rng)?;
     let wall = start.elapsed().as_secs_f64();
+    let pool = pool_metrics().since(&pool_before);
 
     let args = WorkloadArgs {
         op,
@@ -267,7 +283,7 @@ pub fn dispatch(
         graph_input: graph_input_resident,
     };
     if let Some(desc) = kernel.workload(&args) {
-        device.charge_timed(desc, wall);
+        device.charge_timed_par(desc, wall, pool);
     }
     Ok(value)
 }

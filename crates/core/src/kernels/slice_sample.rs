@@ -3,7 +3,10 @@
 //! format conversion, and compaction.
 
 use rand::rngs::StdRng;
+use rand::Rng;
 
+use gsampler_engine::parallel::{parallel_map, parallel_scatter, parallel_scatter2};
+use gsampler_engine::RngPool;
 use gsampler_ir::Op;
 use gsampler_matrix::sample::individual_sample_with_replacement;
 use gsampler_matrix::{Csc, GraphMatrix, NodeId, SparseMatrix};
@@ -12,11 +15,17 @@ use crate::error::{Error, Result};
 use crate::value::Value;
 
 use super::eltwise::{want_matrix, want_nodes, want_vector, with_data};
-use super::{superbatch, ExecCtx, Kernel};
+use super::{par_gate, superbatch, ExecCtx, Kernel};
 
 /// Fused extract + node-wise select: sample `k` in-neighbours per frontier
 /// directly from the source matrix's columns, with block-diagonal row
 /// offsets under super-batching.
+///
+/// Frontier-parallel on the worker pool: column `c` of the output always
+/// draws from RNG stream `c` of a pool seeded once from the session RNG,
+/// so the result is bit-identical at any thread count. A count pass picks
+/// neighbour offsets per frontier, a prefix sum sizes the output, and a
+/// fill pass writes each frontier's segment.
 pub fn fused_extract_select(
     m: &GraphMatrix,
     k: usize,
@@ -27,10 +36,12 @@ pub fn fused_extract_select(
     let n = ctx.n;
     let csc = m.data.to_csc();
     let total_cols = ctx.concat_frontiers.len();
-    let mut indptr = Vec::with_capacity(total_cols + 1);
-    indptr.push(0usize);
-    let mut indices: Vec<NodeId> = Vec::new();
-    let mut values: Option<Vec<f32>> = csc.values.as_ref().map(|_| Vec::new());
+
+    // Flatten the groups into (frontier, block-row offset) per output
+    // column, validating bounds up front so the parallel passes cannot
+    // fail.
+    let mut cols_f: Vec<NodeId> = Vec::with_capacity(total_cols);
+    let mut row_off: Vec<NodeId> = Vec::with_capacity(total_cols);
     for (b, group) in ctx.frontier_groups.iter().enumerate() {
         let offset = if ctx.s > 1 { (b * n) as NodeId } else { 0 };
         for &f in group {
@@ -42,31 +53,68 @@ pub fn fused_extract_select(
                 }
                 .into());
             }
-            let range = csc.col_range(f as usize);
-            let deg = range.len();
+            cols_f.push(f);
+            row_off.push(offset);
+        }
+    }
+
+    let pool = RngPool::new(rng.gen::<u64>());
+    let picks: Vec<Vec<usize>> = parallel_map(
+        cols_f.len(),
+        par_gate(cols_f.len().saturating_mul(k.max(1))),
+        |c| {
+            let deg = csc.col_range(cols_f[c] as usize).len();
             let mut picked: Vec<usize> = if deg == 0 {
                 Vec::new()
             } else if replace {
-                let mut p: Vec<usize> = (0..k).map(|_| rand::Rng::gen_range(rng, 0..deg)).collect();
+                let mut stream = pool.stream(c as u64);
+                let mut p: Vec<usize> = (0..k).map(|_| stream.gen_range(0..deg)).collect();
                 p.sort_unstable();
                 p.dedup();
                 p
             } else if deg <= k {
                 (0..deg).collect()
             } else {
-                gsampler_matrix::sample::uniform_sample_without_replacement(deg, k, rng)
+                let mut stream = pool.stream(c as u64);
+                gsampler_matrix::sample::uniform_sample_without_replacement(deg, k, &mut stream)
             };
             picked.sort_unstable();
-            for off in picked {
-                let pos = range.start + off;
-                indices.push(csc.indices[pos] + offset);
-                if let (Some(out), Some(src)) = (values.as_mut(), csc.values.as_ref()) {
-                    out.push(src[pos]);
-                }
-            }
-            indptr.push(indices.len());
-        }
+            picked
+        },
+    );
+
+    let mut indptr = vec![0usize; cols_f.len() + 1];
+    for (c, p) in picks.iter().enumerate() {
+        indptr[c + 1] = indptr[c] + p.len();
     }
+    let out_nnz = *indptr.last().unwrap();
+    let mut indices = vec![0 as NodeId; out_nnz];
+    let gate = par_gate(out_nnz);
+    let fill_idx = |c: usize, seg_i: &mut [NodeId]| {
+        let range = csc.col_range(cols_f[c] as usize);
+        let offset = row_off[c];
+        for (j, &off) in picks[c].iter().enumerate() {
+            seg_i[j] = csc.indices[range.start + off] + offset;
+        }
+    };
+    let values = match csc.values.as_ref() {
+        Some(src) => {
+            let mut vals = vec![0f32; out_nnz];
+            parallel_scatter2(&mut indices, &mut vals, &indptr, gate, |c, seg_i, seg_v| {
+                fill_idx(c, seg_i);
+                let range = csc.col_range(cols_f[c] as usize);
+                for (j, &off) in picks[c].iter().enumerate() {
+                    seg_v[j] = src[range.start + off];
+                }
+            });
+            Some(vals)
+        }
+        None => {
+            parallel_scatter(&mut indices, &indptr, gate, |c, seg_i| fill_idx(c, seg_i));
+            None
+        }
+    };
+
     let nrows = if ctx.s > 1 { n * ctx.s } else { csc.nrows };
     let block = Csc {
         nrows,

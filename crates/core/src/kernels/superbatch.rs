@@ -4,33 +4,40 @@
 //! a block-diagonal matrix: group `b`'s rows live in ID range
 //! `[b·N, (b+1)·N)`, so the groups cannot interfere. The segmented kernels
 //! here are thin wrappers over the same base selection primitives the
-//! plain path uses (`weighted_sample_without_replacement` etc.) — they
-//! consume RNG draws in exactly the per-group order the plain kernels
-//! would, which is what keeps seeded outputs bit-identical across batch
-//! modes. [`split_outputs`] undoes the blocking at program exit.
+//! plain path uses (`weighted_sample_without_replacement_seeded` etc.) —
+//! each group draws from its own RNG subpool derived from one session-RNG
+//! draw, which is what keeps seeded outputs bit-identical across batch
+//! modes and thread counts. [`split_outputs`] undoes the blocking at
+//! program exit.
 
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
+use rand::Rng;
 
-use gsampler_matrix::sample::weighted_sample_without_replacement;
+use gsampler_engine::parallel::{parallel_scatter, parallel_scatter2};
+use gsampler_engine::RngPool;
+use gsampler_matrix::sample::weighted_sample_without_replacement_seeded;
 use gsampler_matrix::{slice, Csc, GraphMatrix, NodeId, SparseMatrix};
 
 use crate::error::Result;
 use crate::value::Value;
 
 use super::eltwise::fit_row_vector;
-use super::ExecCtx;
+use super::{par_gate, ExecCtx};
 
 /// Segmented (block-diagonal) column extraction from a base-space matrix.
+///
+/// Frontier-parallel: output degrees come straight from the source indptr,
+/// so a prefix sum sizes the output exactly and each frontier's segment is
+/// copied independently on the worker pool.
 pub fn segmented_slice_cols(m: &GraphMatrix, ctx: &ExecCtx<'_>) -> Result<Value> {
     let n = ctx.n;
     let csc = m.data.to_csc();
     let total_cols = ctx.concat_frontiers.len();
-    let mut indptr = Vec::with_capacity(total_cols + 1);
-    indptr.push(0usize);
-    let mut indices: Vec<NodeId> = Vec::new();
-    let mut values: Option<Vec<f32>> = csc.values.as_ref().map(|_| Vec::new());
+
+    let mut cols_f: Vec<NodeId> = Vec::with_capacity(total_cols);
+    let mut row_off: Vec<NodeId> = Vec::with_capacity(total_cols);
     for (b, group) in ctx.frontier_groups.iter().enumerate() {
         let offset = (b * n) as NodeId;
         for &f in group {
@@ -42,16 +49,41 @@ pub fn segmented_slice_cols(m: &GraphMatrix, ctx: &ExecCtx<'_>) -> Result<Value>
                 }
                 .into());
             }
-            let range = csc.col_range(f as usize);
-            for pos in range.clone() {
-                indices.push(csc.indices[pos] + offset);
-            }
-            if let (Some(out), Some(src)) = (values.as_mut(), csc.values.as_ref()) {
-                out.extend_from_slice(&src[range]);
-            }
-            indptr.push(indices.len());
+            cols_f.push(f);
+            row_off.push(offset);
         }
     }
+
+    let mut indptr = vec![0usize; cols_f.len() + 1];
+    for (c, &f) in cols_f.iter().enumerate() {
+        indptr[c + 1] = indptr[c] + csc.col_range(f as usize).len();
+    }
+    let out_nnz = *indptr.last().unwrap();
+    let mut indices = vec![0 as NodeId; out_nnz];
+    let gate = par_gate(out_nnz);
+    let fill_idx = |c: usize, seg_i: &mut [NodeId]| {
+        let range = csc.col_range(cols_f[c] as usize);
+        let offset = row_off[c];
+        for (j, pos) in range.enumerate() {
+            seg_i[j] = csc.indices[pos] + offset;
+        }
+    };
+    let values = match csc.values.as_ref() {
+        Some(src) => {
+            let mut vals = vec![0f32; out_nnz];
+            parallel_scatter2(&mut indices, &mut vals, &indptr, gate, |c, seg_i, seg_v| {
+                fill_idx(c, seg_i);
+                let range = csc.col_range(cols_f[c] as usize);
+                seg_v.copy_from_slice(&src[range]);
+            });
+            Some(vals)
+        }
+        None => {
+            parallel_scatter(&mut indices, &indptr, gate, |c, seg_i| fill_idx(c, seg_i));
+            None
+        }
+    };
+
     let block = Csc {
         nrows: n * ctx.s,
         ncols: total_cols,
@@ -105,13 +137,19 @@ pub fn segmented_collective_sample(
         }
     }
 
+    // One RNG subpool per segment, derived from a single session-RNG draw:
+    // segment `b` always samples from subpool `b`, and the seeded sampler
+    // assigns candidate `i` to stream `i` within it — bit-identical output
+    // at any thread count.
+    let pool = RngPool::new(rng.gen::<u64>());
     let mut selected: Vec<NodeId> = Vec::new();
-    for cands in &per_segment {
+    for (seg, cands) in per_segment.iter().enumerate() {
         if cands.len() <= k {
             selected.extend_from_slice(cands);
         } else {
             let w: Vec<f32> = cands.iter().map(|&r| weights[r as usize]).collect();
-            let picks = weighted_sample_without_replacement(&w, k, rng);
+            let picks =
+                weighted_sample_without_replacement_seeded(&w, k, &pool.subpool(seg as u64));
             selected.extend(picks.into_iter().map(|i| cands[i]));
         }
     }

@@ -21,7 +21,8 @@
 //! - [`Device`]: a recording session — every kernel executed through it
 //!   accumulates modeled time, launches, bytes, memory high-water mark and
 //!   SM utilization into [`ExecStats`].
-//! - [`parallel`]: crossbeam-based `parallel_for` used by heavy kernels.
+//! - [`parallel`]: the persistent worker-pool runtime (re-exported from
+//!   `gsampler-runtime`) used by heavy kernels.
 
 #![warn(missing_docs)]
 
@@ -37,6 +38,7 @@ pub mod workload;
 pub use cache::{degree_cache_hit_rate, plan_cache, CachePlan};
 pub use cost::CostModel;
 pub use device::{DeviceProfile, Residency};
+pub use gsampler_runtime::{pool_metrics, PoolMetrics};
 pub use memory::MemoryTracker;
 pub use rng::RngPool;
 pub use stats::{ExecStats, KernelAgg, KernelRecord};
@@ -102,8 +104,17 @@ impl Device {
     /// Charge a kernel's modeled cost together with the host wall-clock
     /// seconds its emulation took — the dispatcher's entry point.
     pub fn charge_timed(&self, desc: KernelDesc, wall_time: f64) {
+        self.charge_timed_par(desc, wall_time, PoolMetrics::default());
+    }
+
+    /// Charge a kernel's modeled cost together with its host wall-clock
+    /// seconds and the worker-pool activity (a [`pool_metrics`] snapshot
+    /// delta) its emulation caused.
+    pub fn charge_timed_par(&self, desc: KernelDesc, wall_time: f64, pool: PoolMetrics) {
         let (time, util) = self.cost.time_and_utilization(&desc);
-        self.stats.lock().record_timed(desc, time, util, wall_time);
+        self.stats
+            .lock()
+            .record_timed_par(desc, time, util, wall_time, pool);
     }
 
     /// Register an allocation of `bytes` live device memory.

@@ -1,164 +1,9 @@
-//! Minimal data-parallel runtime built on crossbeam scoped threads.
+//! Re-export of the shared parallel runtime.
 //!
-//! Heavy kernels (SpMM over large batches, per-column sampling across many
-//! frontiers) split their index range into chunks processed by a fixed
-//! thread pool. We deliberately avoid work stealing: sampling kernels are
-//! uniform enough that static chunking wins, and determinism is easier to
-//! reason about (each chunk gets its own seeded RNG from [`crate::RngPool`]).
+//! The persistent worker pool lives in [`gsampler_runtime`] (below
+//! `gsampler-matrix` in the dependency graph, so matrix kernels can use it
+//! directly); this module keeps the historical
+//! `gsampler_engine::parallel::*` paths working for the engine's
+//! dependents.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads to use: the host's available parallelism,
-/// capped to keep test environments well-behaved.
-pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(16)
-}
-
-/// Run `f(start, end)` over disjoint chunks of `0..len` on multiple
-/// threads. `f` must be safe to call concurrently on disjoint ranges.
-///
-/// Falls back to a single inline call for small inputs where thread spawn
-/// overhead would dominate.
-pub fn parallel_for_chunks<F>(len: usize, min_chunk: usize, f: F)
-where
-    F: Fn(usize, usize) + Sync,
-{
-    let threads = num_threads();
-    if len == 0 {
-        return;
-    }
-    if threads <= 1 || len <= min_chunk {
-        f(0, len);
-        return;
-    }
-    let chunk = len.div_ceil(threads).max(min_chunk);
-    crossbeam::scope(|s| {
-        let mut start = 0;
-        while start < len {
-            let end = (start + chunk).min(len);
-            let f = &f;
-            s.spawn(move |_| f(start, end));
-            start = end;
-        }
-    })
-    .expect("parallel worker panicked");
-}
-
-/// Map `0..len` through `f` into a vector, in parallel, preserving order.
-pub fn parallel_map<T, F>(len: usize, min_chunk: usize, f: F) -> Vec<T>
-where
-    T: Send + Default + Clone,
-    F: Fn(usize) -> T + Sync,
-{
-    let mut out = vec![T::default(); len];
-    {
-        let out_ptr = SendPtr(out.as_mut_ptr());
-        parallel_for_chunks(len, min_chunk, |start, end| {
-            let ptr = out_ptr;
-            for i in start..end {
-                // SAFETY: each chunk writes a disjoint index range of a
-                // buffer that outlives the scoped threads, so no two
-                // threads alias the same element.
-                unsafe {
-                    *ptr.0.add(i) = f(i);
-                }
-            }
-        });
-    }
-    out
-}
-
-/// Wrapper making a raw pointer `Send + Copy` for disjoint-range writes.
-struct SendPtr<T>(*mut T);
-
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-
-impl<T> Copy for SendPtr<T> {}
-
-// SAFETY: `SendPtr` is only used by `parallel_map`, which guarantees each
-// thread writes a disjoint index range.
-unsafe impl<T> Send for SendPtr<T> {}
-// SAFETY: see above — shared access is never to overlapping elements.
-unsafe impl<T> Sync for SendPtr<T> {}
-
-/// A simple atomic work counter for dynamic chunk claiming in loops whose
-/// per-item cost is skewed (e.g. power-law degree distributions).
-#[derive(Debug, Default)]
-pub struct WorkQueue {
-    next: AtomicUsize,
-}
-
-impl WorkQueue {
-    /// Create a queue starting at item 0.
-    pub fn new() -> WorkQueue {
-        WorkQueue {
-            next: AtomicUsize::new(0),
-        }
-    }
-
-    /// Claim the next chunk of up to `chunk` items below `len`, returning
-    /// the claimed range or `None` when exhausted.
-    pub fn claim(&self, len: usize, chunk: usize) -> Option<(usize, usize)> {
-        let start = self.next.fetch_add(chunk, Ordering::Relaxed);
-        if start >= len {
-            None
-        } else {
-            Some((start, (start + chunk).min(len)))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::AtomicU64;
-
-    #[test]
-    #[allow(clippy::needless_range_loop)] // index range mirrors the API
-    fn parallel_for_covers_every_index_once() {
-        let hits: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
-        parallel_for_chunks(hits.len(), 64, |start, end| {
-            for i in start..end {
-                hits[i].fetch_add(1, Ordering::Relaxed);
-            }
-        });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(5000, 16, |i| i * 2);
-        assert_eq!(out.len(), 5000);
-        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
-    }
-
-    #[test]
-    fn small_input_runs_inline() {
-        let out = parallel_map(3, 1000, |i| i + 1);
-        assert_eq!(out, vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<usize> = parallel_map(0, 16, |i| i);
-        assert!(out.is_empty());
-        parallel_for_chunks(0, 16, |_, _| panic!("must not run"));
-    }
-
-    #[test]
-    fn work_queue_partitions() {
-        let q = WorkQueue::new();
-        let mut total = 0;
-        while let Some((s, e)) = q.claim(100, 7) {
-            total += e - s;
-        }
-        assert_eq!(total, 100);
-    }
-}
+pub use gsampler_runtime::parallel::*;

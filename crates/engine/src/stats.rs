@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use crate::workload::KernelDesc;
+use gsampler_runtime::PoolMetrics;
 
 /// One recorded kernel execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +28,9 @@ pub struct KernelRecord {
     pub bytes_pcie: u64,
     /// FLOPs executed.
     pub flops: u64,
+    /// Worker-pool activity attributed to this invocation (regions
+    /// dispatched, participant counts, busy/capacity nanoseconds).
+    pub pool: PoolMetrics,
 }
 
 /// Per-kernel-name aggregate — one row of the `--profile` breakdown.
@@ -44,6 +48,22 @@ pub struct KernelAgg {
     pub bytes_pcie: u64,
     /// Total FLOPs executed.
     pub flops: u64,
+    /// Accumulated worker-pool activity across all invocations.
+    pub pool: PoolMetrics,
+}
+
+impl KernelAgg {
+    /// Average pool participants per parallel region of this kernel
+    /// (1.0 when the kernel ran sequentially — no regions dispatched).
+    pub fn avg_threads(&self) -> f64 {
+        self.pool.avg_threads()
+    }
+
+    /// Parallel efficiency: busy worker time over occupied capacity, in
+    /// `(0, 1]` (1.0 for sequential kernels, which waste no worker time).
+    pub fn parallel_efficiency(&self) -> f64 {
+        self.pool.efficiency()
+    }
 }
 
 /// Aggregated statistics of an execution session.
@@ -66,6 +86,8 @@ pub struct ExecStats {
     pub total_flops: u64,
     /// Sum of `time × utilization` (for the weighted average).
     pub util_time_product: f64,
+    /// Worker-pool activity accumulated across all kernels.
+    pub pool: PoolMetrics,
     /// Per-kernel-name aggregation.
     pub per_kernel: BTreeMap<String, KernelAgg>,
     /// Individual records (kept for breakdown reporting; cleared by
@@ -83,6 +105,19 @@ impl ExecStats {
     /// Record one kernel execution, including the host wall-clock seconds
     /// the emulation took.
     pub fn record_timed(&mut self, desc: KernelDesc, time: f64, utilization: f64, wall_time: f64) {
+        self.record_timed_par(desc, time, utilization, wall_time, PoolMetrics::default());
+    }
+
+    /// Record one kernel execution together with the worker-pool activity
+    /// (a [`PoolMetrics`] delta captured around the kernel) it caused.
+    pub fn record_timed_par(
+        &mut self,
+        desc: KernelDesc,
+        time: f64,
+        utilization: f64,
+        wall_time: f64,
+        pool: PoolMetrics,
+    ) {
         self.total_time += time;
         self.total_wall_time += wall_time;
         self.kernel_launches += desc.launches as u64;
@@ -90,6 +125,7 @@ impl ExecStats {
         self.total_bytes_pcie += desc.bytes_pcie;
         self.total_flops += desc.flops;
         self.util_time_product += time * utilization;
+        self.pool.accumulate(&pool);
         let agg = self.per_kernel.entry(desc.name.clone()).or_default();
         agg.count += 1;
         agg.time += time;
@@ -97,6 +133,7 @@ impl ExecStats {
         agg.bytes += desc.bytes;
         agg.bytes_pcie += desc.bytes_pcie;
         agg.flops += desc.flops;
+        agg.pool.accumulate(&pool);
         self.records.push(KernelRecord {
             name: desc.name,
             time,
@@ -105,6 +142,7 @@ impl ExecStats {
             bytes: desc.bytes,
             bytes_pcie: desc.bytes_pcie,
             flops: desc.flops,
+            pool,
         });
     }
 
@@ -127,6 +165,7 @@ impl ExecStats {
         self.total_bytes_pcie += other.total_bytes_pcie;
         self.total_flops += other.total_flops;
         self.util_time_product += other.util_time_product;
+        self.pool.accumulate(&other.pool);
         for (name, a) in &other.per_kernel {
             let agg = self.per_kernel.entry(name.clone()).or_default();
             agg.count += a.count;
@@ -135,6 +174,7 @@ impl ExecStats {
             agg.bytes += a.bytes;
             agg.bytes_pcie += a.bytes_pcie;
             agg.flops += a.flops;
+            agg.pool.accumulate(&a.pool);
         }
         self.records.extend(other.records.iter().cloned());
     }
@@ -212,6 +252,37 @@ mod tests {
         // Plain `record` contributes zero wall time.
         s.record(desc("k"), 1.0, 1.0);
         assert!((s.total_wall_time - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_timed_par_aggregates_pool_metrics() {
+        let mut s = ExecStats::default();
+        let region = PoolMetrics {
+            regions: 2,
+            threads_sum: 8,
+            busy_ns: 900,
+            capacity_ns: 1000,
+        };
+        s.record_timed_par(desc("k"), 1.0, 1.0, 0.1, region);
+        s.record_timed(desc("k"), 1.0, 1.0, 0.1); // sequential invocation
+        let k = s.per_kernel["k"];
+        assert_eq!(k.pool.regions, 2);
+        assert!((k.avg_threads() - 4.0).abs() < 1e-12);
+        assert!((k.parallel_efficiency() - 0.9).abs() < 1e-12);
+        assert_eq!(s.pool.regions, 2);
+        assert_eq!(s.records[0].pool.threads_sum, 8);
+        assert_eq!(s.records[1].pool, PoolMetrics::default());
+        // Merging carries pool activity along.
+        let mut other = ExecStats::default();
+        other.record_timed_par(desc("k"), 1.0, 1.0, 0.1, region);
+        s.merge(&other);
+        assert_eq!(s.per_kernel["k"].pool.regions, 4);
+        assert_eq!(s.pool.busy_ns, 1800);
+        // A kernel with no regions reports the sequential identity.
+        let mut seq = ExecStats::default();
+        seq.record(desc("s"), 1.0, 1.0);
+        assert!((seq.per_kernel["s"].avg_threads() - 1.0).abs() < 1e-12);
+        assert!((seq.per_kernel["s"].parallel_efficiency() - 1.0).abs() < 1e-12);
     }
 
     #[test]

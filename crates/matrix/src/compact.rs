@@ -6,9 +6,31 @@
 //! these kernels do the actual work and report the kept-node mapping so
 //! that global IDs survive.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use gsampler_runtime::{parallel_for_chunks, parallel_map, parallel_scatter, parallel_scatter2};
+
 use crate::coo::Coo;
+use crate::par_gate;
 use crate::sparse::SparseMatrix;
-use crate::NodeId;
+use crate::{NodeId, PAR_GRAIN};
+
+/// Fixed decomposition unit for the relabel two-pass filter. A compile-time
+/// constant (never derived from the thread count) so the output layout is
+/// identical no matter how many workers execute the passes.
+const RELABEL_CHUNK: usize = 4096;
+
+/// Mark which of `n` ids occur in `ids`. Edge-parallel with relaxed atomic
+/// stores: all writes are `true`, so the result is order-independent.
+fn mark_hits(n: usize, ids: &[NodeId]) -> Vec<bool> {
+    let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    parallel_for_chunks(ids.len(), PAR_GRAIN, |start, end| {
+        for &id in &ids[start..end] {
+            flags[id as usize].store(true, Ordering::Relaxed);
+        }
+    });
+    flags.into_iter().map(AtomicBool::into_inner).collect()
+}
 
 /// Result of a compaction: the smaller matrix plus the mapping from new
 /// (local) indices to the old indices they came from.
@@ -21,12 +43,18 @@ pub struct Compacted {
 }
 
 /// Drop rows with no stored edges, relabelling the survivors `0..n`.
+///
+/// Occupancy detection is format-aware: CSR answers from its indptr with a
+/// per-row scan, the other formats mark row hits edge-parallel.
 pub fn compact_rows(m: &SparseMatrix) -> Compacted {
     let nrows = m.nrows();
-    let mut has_edge = vec![false; nrows];
-    for (r, _, _) in m.iter_edges() {
-        has_edge[r as usize] = true;
-    }
+    let has_edge: Vec<bool> = match m {
+        SparseMatrix::Csr(csr) => {
+            parallel_map(nrows, PAR_GRAIN, |r| csr.indptr[r + 1] > csr.indptr[r])
+        }
+        SparseMatrix::Csc(csc) => mark_hits(nrows, &csc.indices),
+        SparseMatrix::Coo(coo) => mark_hits(nrows, &coo.rows),
+    };
     let kept: Vec<NodeId> = (0..nrows as NodeId)
         .filter(|&r| has_edge[r as usize])
         .collect();
@@ -35,12 +63,18 @@ pub fn compact_rows(m: &SparseMatrix) -> Compacted {
 }
 
 /// Drop columns with no stored edges, relabelling the survivors `0..n`.
+///
+/// Mirror of [`compact_rows`]: CSC answers from its indptr, the other
+/// formats mark column hits edge-parallel.
 pub fn compact_cols(m: &SparseMatrix) -> Compacted {
     let ncols = m.ncols();
-    let mut has_edge = vec![false; ncols];
-    for (_, c, _) in m.iter_edges() {
-        has_edge[c as usize] = true;
-    }
+    let has_edge: Vec<bool> = match m {
+        SparseMatrix::Csc(csc) => {
+            parallel_map(ncols, PAR_GRAIN, |c| csc.indptr[c + 1] > csc.indptr[c])
+        }
+        SparseMatrix::Csr(csr) => mark_hits(ncols, &csr.indices),
+        SparseMatrix::Coo(coo) => mark_hits(ncols, &coo.cols),
+    };
     let kept: Vec<NodeId> = (0..ncols as NodeId)
         .filter(|&c| has_edge[c as usize])
         .collect();
@@ -48,69 +82,140 @@ pub fn compact_cols(m: &SparseMatrix) -> Compacted {
     Compacted { matrix, kept }
 }
 
+/// Count filter survivors per [`RELABEL_CHUNK`]-sized chunk of the edge
+/// list and prefix-sum the counts into per-chunk output offsets.
+fn survivor_offsets<P: Fn(usize) -> bool + Sync>(nnz: usize, keep: P) -> Vec<usize> {
+    let nchunks = nnz.div_ceil(RELABEL_CHUNK);
+    let counts: Vec<usize> = parallel_map(nchunks, 1, |ch| {
+        let start = ch * RELABEL_CHUNK;
+        let end = (start + RELABEL_CHUNK).min(nnz);
+        (start..end).filter(|&i| keep(i)).count()
+    });
+    let mut offsets = vec![0usize; nchunks + 1];
+    for (i, c) in counts.into_iter().enumerate() {
+        offsets[i + 1] = offsets[i] + c;
+    }
+    offsets
+}
+
+/// Gather `values[i]` for surviving edges into the chunked output layout.
+fn gather_values<P: Fn(usize) -> bool + Sync>(src: &[f32], offsets: &[usize], keep: P) -> Vec<f32> {
+    let nnz = src.len();
+    let mut vals = vec![0f32; *offsets.last().unwrap()];
+    parallel_scatter(&mut vals, offsets, par_gate(nnz), |ch, seg_v| {
+        let start = ch * RELABEL_CHUNK;
+        let end = (start + RELABEL_CHUNK).min(nnz);
+        let mut k = 0;
+        for (i, &v) in src.iter().enumerate().take(end).skip(start) {
+            if keep(i) {
+                seg_v[k] = v;
+                k += 1;
+            }
+        }
+    });
+    vals
+}
+
 /// Relabel rows so that old row `kept[i]` becomes new row `i`; rows not in
 /// `kept` are dropped with their edges. `kept` must be ascending.
+///
+/// Runs as a two-pass chunked filter over the COO edge view: a parallel
+/// count pass sizes each fixed chunk's output range, then parallel fill
+/// passes write survivors. The output edge order equals the sequential
+/// filter order regardless of thread count.
 pub fn relabel_rows(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
     let mut old_to_new = vec![u32::MAX; m.nrows()];
     for (new, &old) in kept.iter().enumerate() {
         old_to_new[old as usize] = new as u32;
     }
-    let mut rows = Vec::new();
-    let mut cols = Vec::new();
-    let weighted = m.is_weighted();
-    let mut values = if weighted { Some(Vec::new()) } else { None };
-    for (r, c, v) in m.iter_edges() {
-        let nr = old_to_new[r as usize];
-        if nr == u32::MAX {
-            continue;
-        }
-        rows.push(nr);
-        cols.push(c);
-        if let Some(out) = values.as_mut() {
-            out.push(v);
-        }
-    }
-    let coo = Coo {
+    let coo = m.to_coo();
+    let nnz = coo.nnz();
+    let keep = |i: usize| old_to_new[coo.rows[i] as usize] != u32::MAX;
+    let offsets = survivor_offsets(nnz, keep);
+    let total = *offsets.last().unwrap();
+    let mut rows = vec![0 as NodeId; total];
+    let mut cols = vec![0 as NodeId; total];
+    parallel_scatter2(
+        &mut rows,
+        &mut cols,
+        &offsets,
+        par_gate(nnz),
+        |ch, seg_r, seg_c| {
+            let start = ch * RELABEL_CHUNK;
+            let end = (start + RELABEL_CHUNK).min(nnz);
+            let mut k = 0;
+            for i in start..end {
+                let nr = old_to_new[coo.rows[i] as usize];
+                if nr == u32::MAX {
+                    continue;
+                }
+                seg_r[k] = nr;
+                seg_c[k] = coo.cols[i];
+                k += 1;
+            }
+        },
+    );
+    let values = coo
+        .values
+        .as_ref()
+        .map(|src| gather_values(src, &offsets, keep));
+    let out = Coo {
         nrows: kept.len(),
         ncols: m.ncols(),
         rows,
         cols,
         values,
     };
-    SparseMatrix::Coo(coo).to_format(m.format())
+    SparseMatrix::Coo(out).to_format(m.format())
 }
 
 /// Relabel columns so that old column `kept[i]` becomes new column `i`;
 /// columns not in `kept` are dropped with their edges. `kept` must be
-/// ascending.
+/// ascending. Mirror of [`relabel_rows`].
 pub fn relabel_cols(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
     let mut old_to_new = vec![u32::MAX; m.ncols()];
     for (new, &old) in kept.iter().enumerate() {
         old_to_new[old as usize] = new as u32;
     }
-    let mut rows = Vec::new();
-    let mut cols = Vec::new();
-    let weighted = m.is_weighted();
-    let mut values = if weighted { Some(Vec::new()) } else { None };
-    for (r, c, v) in m.iter_edges() {
-        let nc = old_to_new[c as usize];
-        if nc == u32::MAX {
-            continue;
-        }
-        rows.push(r);
-        cols.push(nc);
-        if let Some(out) = values.as_mut() {
-            out.push(v);
-        }
-    }
-    let coo = Coo {
+    let coo = m.to_coo();
+    let nnz = coo.nnz();
+    let keep = |i: usize| old_to_new[coo.cols[i] as usize] != u32::MAX;
+    let offsets = survivor_offsets(nnz, keep);
+    let total = *offsets.last().unwrap();
+    let mut rows = vec![0 as NodeId; total];
+    let mut cols = vec![0 as NodeId; total];
+    parallel_scatter2(
+        &mut rows,
+        &mut cols,
+        &offsets,
+        par_gate(nnz),
+        |ch, seg_r, seg_c| {
+            let start = ch * RELABEL_CHUNK;
+            let end = (start + RELABEL_CHUNK).min(nnz);
+            let mut k = 0;
+            for i in start..end {
+                let nc = old_to_new[coo.cols[i] as usize];
+                if nc == u32::MAX {
+                    continue;
+                }
+                seg_r[k] = coo.rows[i];
+                seg_c[k] = nc;
+                k += 1;
+            }
+        },
+    );
+    let values = coo
+        .values
+        .as_ref()
+        .map(|src| gather_values(src, &offsets, keep));
+    let out = Coo {
         nrows: m.nrows(),
         ncols: kept.len(),
         rows,
         cols,
         values,
     };
-    SparseMatrix::Coo(coo).to_format(m.format())
+    SparseMatrix::Coo(out).to_format(m.format())
 }
 
 #[cfg(test)]

@@ -6,22 +6,24 @@
 //! functions here implement the conversions; the engine layer accounts
 //! their cost.
 
+use gsampler_runtime::{parallel_scatter, parallel_scatter2};
+
 use crate::coo::Coo;
 use crate::csc::Csc;
 use crate::csr::Csr;
+use crate::par_gate;
 use crate::NodeId;
 
-/// Expand a CSC matrix into column-sorted COO (cheap: one scan).
+/// Expand a CSC matrix into column-sorted COO (cheap: the row side is a
+/// straight copy and the column side is a segment fill over the indptr,
+/// run on the worker pool).
 pub fn csc_to_coo(m: &Csc) -> Coo {
     let nnz = m.nnz();
-    let mut rows = Vec::with_capacity(nnz);
-    let mut cols = Vec::with_capacity(nnz);
-    for c in 0..m.ncols {
-        for pos in m.col_range(c) {
-            rows.push(m.indices[pos]);
-            cols.push(c as NodeId);
-        }
-    }
+    let rows = m.indices.clone();
+    let mut cols = vec![0 as NodeId; nnz];
+    parallel_scatter(&mut cols, &m.indptr, par_gate(nnz), |c, seg| {
+        seg.fill(c as NodeId);
+    });
     Coo {
         nrows: m.nrows,
         ncols: m.ncols,
@@ -31,17 +33,14 @@ pub fn csc_to_coo(m: &Csc) -> Coo {
     }
 }
 
-/// Expand a CSR matrix into row-sorted COO (cheap: one scan).
+/// Expand a CSR matrix into row-sorted COO (cheap; see [`csc_to_coo`]).
 pub fn csr_to_coo(m: &Csr) -> Coo {
     let nnz = m.nnz();
-    let mut rows = Vec::with_capacity(nnz);
-    let mut cols = Vec::with_capacity(nnz);
-    for r in 0..m.nrows {
-        for pos in m.row_range(r) {
-            rows.push(r as NodeId);
-            cols.push(m.indices[pos]);
-        }
-    }
+    let cols = m.indices.clone();
+    let mut rows = vec![0 as NodeId; nnz];
+    parallel_scatter(&mut rows, &m.indptr, par_gate(nnz), |r, seg| {
+        seg.fill(r as NodeId);
+    });
     Coo {
         nrows: m.nrows,
         ncols: m.ncols,
@@ -131,53 +130,61 @@ pub fn csr_to_csc(m: &Csr) -> Csc {
     coo_to_csc(&csr_to_coo(m))
 }
 
-fn sort_within_columns(m: &mut Csc) {
-    for c in 0..m.ncols {
-        let range = m.indptr[c]..m.indptr[c + 1];
-        if range.len() <= 1 {
-            continue;
-        }
-        let already = m.indices[range.clone()].windows(2).all(|w| w[0] < w[1]);
-        if already {
-            continue;
-        }
-        let mut entries: Vec<(NodeId, f32)> = range
-            .clone()
-            .map(|pos| (m.indices[pos], m.value_at(pos)))
-            .collect();
-        entries.sort_by_key(|(r, _)| *r);
-        for (off, (r, v)) in entries.into_iter().enumerate() {
-            let pos = range.start + off;
-            m.indices[pos] = r;
-            if let Some(vals) = m.values.as_mut() {
+/// Sort one column/row segment by index, carrying values along when present.
+/// Stable for the weighted case, matching the previous counting-sort order.
+fn sort_segment(seg_i: &mut [NodeId], seg_v: Option<&mut [f32]>) {
+    if seg_i.len() <= 1 || seg_i.windows(2).all(|w| w[0] < w[1]) {
+        return;
+    }
+    match seg_v {
+        Some(vals) => {
+            let mut entries: Vec<(NodeId, f32)> =
+                seg_i.iter().copied().zip(vals.iter().copied()).collect();
+            entries.sort_by_key(|(idx, _)| *idx);
+            for (pos, (idx, v)) in entries.into_iter().enumerate() {
+                seg_i[pos] = idx;
                 vals[pos] = v;
             }
         }
+        None => seg_i.sort_unstable(),
+    }
+}
+
+fn sort_within_columns(m: &mut Csc) {
+    let min_items = par_gate(m.indices.len());
+    let indptr = &m.indptr;
+    match m.values.as_mut() {
+        Some(vals) => parallel_scatter2(
+            &mut m.indices,
+            vals,
+            indptr,
+            min_items,
+            |_c, seg_i, seg_v| {
+                sort_segment(seg_i, Some(seg_v));
+            },
+        ),
+        None => parallel_scatter(&mut m.indices, indptr, min_items, |_c, seg_i| {
+            sort_segment(seg_i, None);
+        }),
     }
 }
 
 fn sort_within_rows(m: &mut Csr) {
-    for r in 0..m.nrows {
-        let range = m.indptr[r]..m.indptr[r + 1];
-        if range.len() <= 1 {
-            continue;
-        }
-        let already = m.indices[range.clone()].windows(2).all(|w| w[0] < w[1]);
-        if already {
-            continue;
-        }
-        let mut entries: Vec<(NodeId, f32)> = range
-            .clone()
-            .map(|pos| (m.indices[pos], m.value_at(pos)))
-            .collect();
-        entries.sort_by_key(|(c, _)| *c);
-        for (off, (c, v)) in entries.into_iter().enumerate() {
-            let pos = range.start + off;
-            m.indices[pos] = c;
-            if let Some(vals) = m.values.as_mut() {
-                vals[pos] = v;
-            }
-        }
+    let min_items = par_gate(m.indices.len());
+    let indptr = &m.indptr;
+    match m.values.as_mut() {
+        Some(vals) => parallel_scatter2(
+            &mut m.indices,
+            vals,
+            indptr,
+            min_items,
+            |_r, seg_i, seg_v| {
+                sort_segment(seg_i, Some(seg_v));
+            },
+        ),
+        None => parallel_scatter(&mut m.indices, indptr, min_items, |_r, seg_i| {
+            sort_segment(seg_i, None);
+        }),
     }
 }
 

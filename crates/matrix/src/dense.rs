@@ -5,10 +5,13 @@
 //! ReLU. This module provides the dense half: a row-major `f32` matrix with
 //! exactly the operations those algorithms (and the GNN trainer in
 //! `gsampler-train`) need. It deliberately avoids BLAS bindings to stay
-//! within the sanctioned dependency set; the engine layer parallelizes
-//! GEMM over row blocks.
+//! within the sanctioned dependency set; GEMM is partitioned over row
+//! blocks on the shared `gsampler-runtime` worker pool.
+
+use gsampler_runtime::parallel_scatter;
 
 use crate::error::{Error, Result};
+use crate::par_gate;
 
 /// A dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,9 +166,9 @@ impl Dense {
 
     /// Matrix multiplication `self @ rhs`.
     ///
-    /// Row blocks are computed on multiple threads when the product is
-    /// large enough to amortize the spawns (the emulation-side hotspot of
-    /// the model-driven samplers).
+    /// Row blocks are computed on the shared worker pool when the product
+    /// is large enough to amortize a parallel region (the emulation-side
+    /// hotspot of the model-driven samplers).
     pub fn matmul(&self, rhs: &Dense) -> Result<Dense> {
         if self.cols != rhs.rows {
             return Err(Error::ShapeMismatch {
@@ -175,30 +178,12 @@ impl Dense {
             });
         }
         let mut out = Dense::zeros(self.rows, rhs.cols);
-        let flops = self.rows * self.cols * rhs.cols;
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16);
-        if flops < 1 << 20 || threads <= 1 || self.rows < 2 * threads {
-            self.matmul_rows(rhs, 0..self.rows, &mut out.data);
-            return Ok(out);
-        }
-        let chunk = self.rows.div_ceil(threads);
         let out_cols = rhs.cols;
-        crossbeam::scope(|s| {
-            let mut rest: &mut [f32] = &mut out.data;
-            let mut start = 0usize;
-            while start < self.rows {
-                let end = (start + chunk).min(self.rows);
-                let (mine, tail) = rest.split_at_mut((end - start) * out_cols);
-                rest = tail;
-                let range = start..end;
-                s.spawn(move |_| self.matmul_rows(rhs, range, mine));
-                start = end;
-            }
-        })
-        .expect("matmul worker panicked");
+        let flops = self.rows * self.cols * out_cols;
+        let offsets: Vec<usize> = (0..=self.rows).map(|r| r * out_cols).collect();
+        parallel_scatter(&mut out.data, &offsets, par_gate(flops), |r, row| {
+            self.matmul_rows(rhs, r..r + 1, row);
+        });
         Ok(out)
     }
 
@@ -224,7 +209,8 @@ impl Dense {
     /// Matrix multiplication with the transpose of `rhs`: `self @ rhs.T`.
     ///
     /// This is the shape PASS uses: `(B @ W) @ (C @ W).T` produces the
-    /// `nrows × ncols` edge-attention matrix.
+    /// `nrows × ncols` edge-attention matrix. Row-partitioned on the
+    /// shared worker pool like [`Dense::matmul`].
     pub fn matmul_t(&self, rhs: &Dense) -> Result<Dense> {
         if self.cols != rhs.cols {
             return Err(Error::ShapeMismatch {
@@ -234,14 +220,15 @@ impl Dense {
             });
         }
         let mut out = Dense::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
+        let flops = self.rows * self.cols * rhs.rows;
+        let offsets: Vec<usize> = (0..=self.rows).map(|r| r * rhs.rows).collect();
+        parallel_scatter(&mut out.data, &offsets, par_gate(flops), |i, row| {
             let a_row = self.row(i);
-            for j in 0..rhs.rows {
+            for (j, slot) in row.iter_mut().enumerate() {
                 let b_row = rhs.row(j);
-                let dot: f32 = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-                out.data[i * rhs.rows + j] = dot;
+                *slot = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
             }
-        }
+        });
         Ok(out)
     }
 

@@ -20,9 +20,12 @@
 //! - A small dense tensor module ([`dense`]) sufficient for the
 //!   model-driven sampling algorithms (PASS, AS-GCN) and the GNN trainer.
 //!
-//! The kernels here are pure, deterministic (given an RNG) and
-//! single-threaded; parallel execution and device cost accounting live in
-//! `gsampler-engine`.
+//! The kernels here are pure and deterministic (given an RNG or a seeded
+//! [`gsampler_runtime::RngPool`]). Hot kernels — SpMM/SDDMM, dense GEMM,
+//! sampling, slicing, compaction and format conversions — run on the
+//! persistent worker pool of `gsampler-runtime`; decomposition is always a
+//! function of the input alone, so results are bit-identical at any thread
+//! count. Device cost accounting lives in `gsampler-engine`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -50,6 +53,23 @@ pub use dense::Dense;
 pub use error::{Error, Result};
 pub use graph_matrix::GraphMatrix;
 pub use sparse::SparseMatrix;
+
+/// Minimum number of output items (or edge-work units) a kernel must
+/// produce before it dispatches to the worker pool; below this, region
+/// overhead dominates and the kernel stays sequential. Input-size-derived,
+/// never thread-count-derived, so outputs are thread-count independent.
+pub(crate) const PAR_GRAIN: usize = 1 << 12;
+
+/// Translate a work estimate into the `min_items` argument of the runtime
+/// scheduling helpers: parallel when at least [`PAR_GRAIN`] units of work
+/// exist, inline otherwise.
+pub(crate) fn par_gate(work: usize) -> usize {
+    if work >= PAR_GRAIN {
+        1
+    } else {
+        usize::MAX
+    }
+}
 
 /// Node identifier within a graph (or row/column index within a matrix).
 ///

@@ -13,11 +13,18 @@
 //! weighted reservoir selection, Floyd's uniform combination sampling, and
 //! [`AliasTable`] for O(1) weighted draws with replacement (the structure
 //! SkyWalker-style baselines use).
+//!
+//! Each operator has a `_seeded` variant taking an [`RngPool`]: column `c`
+//! (or candidate `i`) always consumes RNG stream `c`, so the sampled output
+//! is bit-identical at any worker-pool thread count. The `&mut impl Rng`
+//! entry points draw one base seed and delegate.
 
+use gsampler_runtime::{parallel_map, parallel_scatter, parallel_scatter2, RngPool};
 use rand::Rng;
 
 use crate::csc::Csc;
 use crate::error::{Error, Result};
+use crate::par_gate;
 use crate::slice;
 use crate::sparse::SparseMatrix;
 use crate::NodeId;
@@ -46,8 +53,24 @@ pub fn individual_sample(
     probs: Option<&SparseMatrix>,
     rng: &mut impl Rng,
 ) -> Result<SparseMatrix> {
+    individual_sample_seeded(m, k, probs, &RngPool::new(rng.gen()))
+}
+
+/// [`individual_sample`] with explicit per-column RNG streams.
+///
+/// Without replacement the output size of column `c` is known upfront
+/// (`min(degree, k)`), so the output indptr is a prefix sum and each
+/// column's segment is filled in parallel on the worker pool. Column `c`
+/// always draws from `pool.stream(c)`, making the result independent of
+/// the thread count.
+pub fn individual_sample_seeded(
+    m: &SparseMatrix,
+    k: usize,
+    probs: Option<&SparseMatrix>,
+    pool: &RngPool,
+) -> Result<SparseMatrix> {
     let csc = m.to_csc();
-    let probs_csc: Option<Csc> = match probs {
+    let probs_vals: Option<Vec<f32>> = match probs {
         Some(p) => {
             if p.shape() != m.shape() || p.nnz() != m.nnz() {
                 return Err(Error::ShapeMismatch {
@@ -56,42 +79,66 @@ pub fn individual_sample(
                     rhs: p.shape(),
                 });
             }
-            Some(p.to_csc())
+            let vals = p.to_csc().values_or_ones();
+            validate_weights(&vals)?;
+            Some(vals)
         }
         None => None,
     };
 
     let mut indptr = Vec::with_capacity(csc.ncols + 1);
     indptr.push(0usize);
-    let mut indices = Vec::new();
-    let mut values = csc.values.as_ref().map(|_| Vec::new());
-
     for c in 0..csc.ncols {
+        indptr.push(indptr[c] + csc.col_degree(c).min(k));
+    }
+    let out_nnz = indptr[csc.ncols];
+
+    let choose = |c: usize| -> Vec<usize> {
         let range = csc.col_range(c);
         let deg = range.len();
-        let chosen: Vec<usize> = if deg <= k {
+        let mut chosen: Vec<usize> = if deg <= k {
             (0..deg).collect()
         } else {
-            match &probs_csc {
-                Some(p) => {
-                    let w = &p.values_or_ones()[range.clone()];
-                    validate_weights(w)?;
-                    weighted_sample_without_replacement(w, k, rng)
-                }
-                None => uniform_sample_without_replacement(deg, k, rng),
+            let mut rng = pool.stream(c as u64);
+            match &probs_vals {
+                Some(w) => weighted_sample_without_replacement(&w[range], k, &mut rng),
+                None => uniform_sample_without_replacement(deg, k, &mut rng),
             }
         };
-        let mut chosen = chosen;
         chosen.sort_unstable();
-        for off in chosen {
-            let pos = range.start + off;
-            indices.push(csc.indices[pos]);
-            if let Some(out) = values.as_mut() {
-                out.push(csc.value_at(pos));
-            }
+        chosen
+    };
+
+    let min_items = par_gate(out_nnz);
+    let mut indices = vec![0 as NodeId; out_nnz];
+    let values = match csc.values.as_ref() {
+        Some(src) => {
+            let mut values = vec![0f32; out_nnz];
+            parallel_scatter2(
+                &mut indices,
+                &mut values,
+                &indptr,
+                min_items,
+                |c, seg_i, seg_v| {
+                    let start = csc.indptr[c];
+                    for (slot, off) in choose(c).into_iter().enumerate() {
+                        seg_i[slot] = csc.indices[start + off];
+                        seg_v[slot] = src[start + off];
+                    }
+                },
+            );
+            Some(values)
         }
-        indptr.push(indices.len());
-    }
+        None => {
+            parallel_scatter(&mut indices, &indptr, min_items, |c, seg| {
+                let start = csc.indptr[c];
+                for (slot, off) in choose(c).into_iter().enumerate() {
+                    seg[slot] = csc.indices[start + off];
+                }
+            });
+            None
+        }
+    };
 
     let out = Csc {
         nrows: csc.nrows,
@@ -112,8 +159,23 @@ pub fn individual_sample_with_replacement(
     probs: Option<&SparseMatrix>,
     rng: &mut impl Rng,
 ) -> Result<SparseMatrix> {
+    individual_sample_with_replacement_seeded(m, k, probs, &RngPool::new(rng.gen()))
+}
+
+/// [`individual_sample_with_replacement`] with explicit per-column RNG
+/// streams.
+///
+/// Deduplication makes per-column output sizes data-dependent, so the
+/// draws run in parallel (column `c` on `pool.stream(c)`) and the output
+/// is assembled sequentially from the per-column pick lists.
+pub fn individual_sample_with_replacement_seeded(
+    m: &SparseMatrix,
+    k: usize,
+    probs: Option<&SparseMatrix>,
+    pool: &RngPool,
+) -> Result<SparseMatrix> {
     let csc = m.to_csc();
-    let probs_csc: Option<Csc> = match probs {
+    let probs_vals: Option<Vec<f32>> = match probs {
         Some(p) => {
             if p.shape() != m.shape() || p.nnz() != m.nnz() {
                 return Err(Error::ShapeMismatch {
@@ -122,46 +184,67 @@ pub fn individual_sample_with_replacement(
                     rhs: p.shape(),
                 });
             }
-            Some(p.to_csc())
+            let vals = p.to_csc().values_or_ones();
+            validate_weights(&vals)?;
+            Some(vals)
         }
         None => None,
     };
+    // Alias-table construction fails on a non-empty all-zero column;
+    // surface that before entering the parallel region, where errors
+    // cannot propagate.
+    if let Some(w) = &probs_vals {
+        for c in 0..csc.ncols {
+            let range = csc.col_range(c);
+            if !range.is_empty() && !w[range].iter().any(|&x| x > 0.0) {
+                return Err(Error::InvalidProbability {
+                    index: 0,
+                    value: 0.0,
+                });
+            }
+        }
+    }
+
+    let picks: Vec<Vec<usize>> = parallel_map(
+        csc.ncols,
+        par_gate(csc.ncols.saturating_mul(k.max(1))),
+        |c| {
+            let range = csc.col_range(c);
+            let deg = range.len();
+            if deg == 0 {
+                return Vec::new();
+            }
+            let mut rng = pool.stream(c as u64);
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            match &probs_vals {
+                Some(w) => {
+                    let table = AliasTable::new(&w[range]).expect("weights validated above");
+                    for _ in 0..k {
+                        picked.push(table.sample(&mut rng));
+                    }
+                }
+                None => {
+                    for _ in 0..k {
+                        picked.push(rng.gen_range(0..deg));
+                    }
+                }
+            }
+            picked.sort_unstable();
+            picked.dedup();
+            picked
+        },
+    );
 
     let mut indptr = Vec::with_capacity(csc.ncols + 1);
     indptr.push(0usize);
     let mut indices = Vec::new();
     let mut values = csc.values.as_ref().map(|_| Vec::new());
-
-    for c in 0..csc.ncols {
-        let range = csc.col_range(c);
-        let deg = range.len();
-        if deg == 0 {
-            indptr.push(indices.len());
-            continue;
-        }
-        let mut picked: Vec<usize> = Vec::with_capacity(k);
-        match &probs_csc {
-            Some(p) => {
-                let w = &p.values_or_ones()[range.clone()];
-                validate_weights(w)?;
-                let table = AliasTable::new(w)?;
-                for _ in 0..k {
-                    picked.push(table.sample(rng));
-                }
-            }
-            None => {
-                for _ in 0..k {
-                    picked.push(rng.gen_range(0..deg));
-                }
-            }
-        }
-        picked.sort_unstable();
-        picked.dedup();
-        for off in picked {
-            let pos = range.start + off;
-            indices.push(csc.indices[pos]);
+    for (c, offs) in picks.iter().enumerate() {
+        let start = csc.indptr[c];
+        for &off in offs {
+            indices.push(csc.indices[start + off]);
             if let Some(out) = values.as_mut() {
-                out.push(csc.value_at(pos));
+                out.push(csc.value_at(start + off));
             }
         }
         indptr.push(indices.len());
@@ -190,6 +273,18 @@ pub fn collective_sample(
     node_probs: Option<&[f32]>,
     rng: &mut impl Rng,
 ) -> Result<CollectiveSample> {
+    collective_sample_seeded(m, k, node_probs, &RngPool::new(rng.gen()))
+}
+
+/// [`collective_sample`] with explicit per-candidate RNG streams: the
+/// Efraimidis–Spirakis keys are computed candidate-parallel on the worker
+/// pool, candidate `i` always drawing from `pool.stream(i)`.
+pub fn collective_sample_seeded(
+    m: &SparseMatrix,
+    k: usize,
+    node_probs: Option<&[f32]>,
+    pool: &RngPool,
+) -> Result<CollectiveSample> {
     let nrows = m.nrows();
     let weights: Vec<f32> = match node_probs {
         Some(p) => {
@@ -211,7 +306,7 @@ pub fn collective_sample(
         candidates.iter().map(|&i| i as NodeId).collect()
     } else {
         let cand_weights: Vec<f32> = candidates.iter().map(|&i| weights[i]).collect();
-        weighted_sample_without_replacement(&cand_weights, k, rng)
+        weighted_sample_without_replacement_seeded(&cand_weights, k, pool)
             .into_iter()
             .map(|off| candidates[off] as NodeId)
             .collect()
@@ -250,6 +345,39 @@ pub fn weighted_sample_without_replacement(
         .collect();
     keys.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     keys.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+/// [`weighted_sample_without_replacement`] with one RNG stream per item:
+/// item `i`'s exponential key is drawn from `pool.stream(i)`, so the key
+/// vector (computed item-parallel on the worker pool) and therefore the
+/// selection are independent of the thread count.
+///
+/// # Panics
+///
+/// Panics if `k > weights.len()`; callers clamp first.
+pub fn weighted_sample_without_replacement_seeded(
+    weights: &[f32],
+    k: usize,
+    pool: &RngPool,
+) -> Vec<usize> {
+    assert!(k <= weights.len(), "k must not exceed the population");
+    let keys: Vec<f64> = parallel_map(weights.len(), par_gate(weights.len()), |i| {
+        if weights[i] > 0.0 {
+            let u: f64 = pool.stream(i as u64).gen_range(f64::MIN_POSITIVE..1.0);
+            -u.ln() / weights[i] as f64
+        } else {
+            f64::INFINITY
+        }
+    });
+    // Stable sort: ties resolve by index, matching the sequential variant.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        keys[a]
+            .partial_cmp(&keys[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order.truncate(k);
+    order
 }
 
 /// Draw `k` distinct indices from `0..n` uniformly, via Floyd's algorithm

@@ -7,10 +7,13 @@
 //! differ only in cost (CSC slices columns with a direct gather, CSR and
 //! COO must scan all edges — the asymmetry behind paper Table 5).
 
+use gsampler_runtime::{parallel_scatter, parallel_scatter2};
+
 use crate::coo::Coo;
 use crate::csc::Csc;
 use crate::csr::Csr;
 use crate::error::{Error, Result};
+use crate::par_gate;
 use crate::sparse::SparseMatrix;
 use crate::NodeId;
 
@@ -60,21 +63,41 @@ fn check_bounds(ids: &[NodeId], bound: usize, op: &'static str) -> Result<()> {
     Ok(())
 }
 
-/// Direct gather: copy each requested column's slice.
+/// Direct gather: degree prefix sums define the output layout, then each
+/// requested column's slice is copied into its (disjoint) segment on the
+/// worker pool.
 fn slice_cols_csc(m: &Csc, cols: &[NodeId]) -> Csc {
     let mut indptr = Vec::with_capacity(cols.len() + 1);
     indptr.push(0usize);
-    let est: usize = cols.iter().map(|&c| m.col_degree(c as usize)).sum();
-    let mut indices = Vec::with_capacity(est);
-    let mut values = m.values.as_ref().map(|_| Vec::with_capacity(est));
-    for &c in cols {
-        let range = m.col_range(c as usize);
-        indices.extend_from_slice(&m.indices[range.clone()]);
-        if let (Some(out), Some(src)) = (values.as_mut(), m.values.as_ref()) {
-            out.extend_from_slice(&src[range]);
-        }
-        indptr.push(indices.len());
+    for (j, &c) in cols.iter().enumerate() {
+        indptr.push(indptr[j] + m.col_degree(c as usize));
     }
+    let nnz = indptr[cols.len()];
+    let min_items = par_gate(nnz);
+    let mut indices = vec![0 as NodeId; nnz];
+    let values = match m.values.as_ref() {
+        Some(src) => {
+            let mut values = vec![0f32; nnz];
+            parallel_scatter2(
+                &mut indices,
+                &mut values,
+                &indptr,
+                min_items,
+                |j, seg_i, seg_v| {
+                    let range = m.col_range(cols[j] as usize);
+                    seg_i.copy_from_slice(&m.indices[range.clone()]);
+                    seg_v.copy_from_slice(&src[range]);
+                },
+            );
+            Some(values)
+        }
+        None => {
+            parallel_scatter(&mut indices, &indptr, min_items, |j, seg| {
+                seg.copy_from_slice(&m.indices[m.col_range(cols[j] as usize)]);
+            });
+            None
+        }
+    };
     Csc {
         nrows: m.nrows,
         ncols: cols.len(),
@@ -150,20 +173,40 @@ fn slice_cols_coo(m: &Coo, cols: &[NodeId]) -> Coo {
     }
 }
 
+/// Direct gather, symmetric to [`slice_cols_csc`]: prefix sums then a
+/// parallel per-row copy.
 fn slice_rows_csr(m: &Csr, rows: &[NodeId]) -> Csr {
     let mut indptr = Vec::with_capacity(rows.len() + 1);
     indptr.push(0usize);
-    let est: usize = rows.iter().map(|&r| m.row_degree(r as usize)).sum();
-    let mut indices = Vec::with_capacity(est);
-    let mut values = m.values.as_ref().map(|_| Vec::with_capacity(est));
-    for &r in rows {
-        let range = m.row_range(r as usize);
-        indices.extend_from_slice(&m.indices[range.clone()]);
-        if let (Some(out), Some(src)) = (values.as_mut(), m.values.as_ref()) {
-            out.extend_from_slice(&src[range]);
-        }
-        indptr.push(indices.len());
+    for (i, &r) in rows.iter().enumerate() {
+        indptr.push(indptr[i] + m.row_degree(r as usize));
     }
+    let nnz = indptr[rows.len()];
+    let min_items = par_gate(nnz);
+    let mut indices = vec![0 as NodeId; nnz];
+    let values = match m.values.as_ref() {
+        Some(src) => {
+            let mut values = vec![0f32; nnz];
+            parallel_scatter2(
+                &mut indices,
+                &mut values,
+                &indptr,
+                min_items,
+                |i, seg_i, seg_v| {
+                    let range = m.row_range(rows[i] as usize);
+                    seg_i.copy_from_slice(&m.indices[range.clone()]);
+                    seg_v.copy_from_slice(&src[range]);
+                },
+            );
+            Some(values)
+        }
+        None => {
+            parallel_scatter(&mut indices, &indptr, min_items, |i, seg| {
+                seg.copy_from_slice(&m.indices[m.row_range(rows[i] as usize)]);
+            });
+            None
+        }
+    };
     Csr {
         nrows: rows.len(),
         ncols: m.ncols,

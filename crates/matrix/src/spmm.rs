@@ -6,8 +6,13 @@
 //! PASS uses to turn feature projections into edge attention without
 //! materializing the full dense `N × T` product.
 
+use gsampler_runtime::{parallel_map, parallel_scatter};
+
+use crate::csc::Csc;
+use crate::csr::Csr;
 use crate::dense::Dense;
 use crate::error::{Error, Result};
+use crate::par_gate;
 use crate::sparse::SparseMatrix;
 
 /// Sparse-matrix × dense-matrix product `A @ D`.
@@ -16,6 +21,10 @@ use crate::sparse::SparseMatrix;
 /// dense. Row `i` of the result aggregates `D`'s rows over `A`'s row-`i`
 /// edges weighted by the edge values — exactly the neighbour-aggregation
 /// primitive of GNNs.
+///
+/// The product is row-partitioned over the worker pool through a canonical
+/// CSR view, which also pins the f32 accumulation order per output row —
+/// results are identical for any input format and any thread count.
 pub fn spmm(a: &SparseMatrix, d: &Dense) -> Result<Dense> {
     if a.ncols() != d.nrows() {
         return Err(Error::ShapeMismatch {
@@ -25,20 +34,36 @@ pub fn spmm(a: &SparseMatrix, d: &Dense) -> Result<Dense> {
         });
     }
     let k = d.ncols();
-    let mut out = Dense::zeros(a.nrows(), k);
-    for (r, c, v) in a.iter_edges() {
-        let src = d.row(c as usize);
-        let dst = out.row_mut(r as usize);
-        for (o, &x) in dst.iter_mut().zip(src) {
-            *o += v * x;
+    let owned: Csr;
+    let csr = match a {
+        SparseMatrix::Csr(m) => m,
+        _ => {
+            owned = a.to_csr();
+            &owned
         }
-    }
+    };
+    let mut out = Dense::zeros(a.nrows(), k);
+    let offsets: Vec<usize> = (0..=csr.nrows).map(|r| r * k).collect();
+    let min_items = par_gate(csr.nnz().saturating_mul(k));
+    parallel_scatter(out.as_mut_slice(), &offsets, min_items, |r, dst| {
+        for pos in csr.row_range(r) {
+            let v = csr.value_at(pos);
+            let src = d.row(csr.indices[pos] as usize);
+            for (o, &x) in dst.iter_mut().zip(src) {
+                *o += v * x;
+            }
+        }
+    });
     Ok(out)
 }
 
 /// Transposed SpMM: `A.T @ D`, aggregating over columns instead of rows.
 ///
 /// `A` is `(N, M)` sparse, `D` is `(N, K)` dense; the result is `(M, K)`.
+///
+/// Column-partitioned through a canonical CSC view (each output row is one
+/// column of `A`), with the same format- and thread-count-independence
+/// guarantee as [`spmm`].
 pub fn spmm_t(a: &SparseMatrix, d: &Dense) -> Result<Dense> {
     if a.nrows() != d.nrows() {
         return Err(Error::ShapeMismatch {
@@ -48,14 +73,26 @@ pub fn spmm_t(a: &SparseMatrix, d: &Dense) -> Result<Dense> {
         });
     }
     let k = d.ncols();
-    let mut out = Dense::zeros(a.ncols(), k);
-    for (r, c, v) in a.iter_edges() {
-        let src = d.row(r as usize);
-        let dst = out.row_mut(c as usize);
-        for (o, &x) in dst.iter_mut().zip(src) {
-            *o += v * x;
+    let owned: Csc;
+    let csc = match a {
+        SparseMatrix::Csc(m) => m,
+        _ => {
+            owned = a.to_csc();
+            &owned
         }
-    }
+    };
+    let mut out = Dense::zeros(a.ncols(), k);
+    let offsets: Vec<usize> = (0..=csc.ncols).map(|c| c * k).collect();
+    let min_items = par_gate(csc.nnz().saturating_mul(k));
+    parallel_scatter(out.as_mut_slice(), &offsets, min_items, |c, dst| {
+        for pos in csc.col_range(c) {
+            let v = csc.value_at(pos);
+            let src = d.row(csc.indices[pos] as usize);
+            for (o, &x) in dst.iter_mut().zip(src) {
+                *o += v * x;
+            }
+        }
+    });
     Ok(out)
 }
 
@@ -87,14 +124,17 @@ pub fn sddmm(pattern: &SparseMatrix, b: &Dense, c: &Dense) -> Result<SparseMatri
             rhs: c.shape(),
         });
     }
-    let dots: Vec<f32> = pattern
-        .iter_edges()
-        .map(|(r, ccol, _)| {
-            let br = b.row(r as usize);
-            let cr = c.row(ccol as usize);
-            br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
-        })
-        .collect();
+    // Materialize the edge list once (storage order), then compute all dot
+    // products edge-parallel on the pool.
+    let edges: Vec<(u32, u32)> = pattern.iter_edges().map(|(r, c, _)| (r, c)).collect();
+    let feat = b.ncols();
+    let min_chunk = par_gate(edges.len().saturating_mul(feat));
+    let dots: Vec<f32> = parallel_map(edges.len(), min_chunk, |e| {
+        let (r, ccol) = edges[e];
+        let br = b.row(r as usize);
+        let cr = c.row(ccol as usize);
+        br.iter().zip(cr).map(|(&x, &y)| x * y).sum()
+    });
     let mut out = pattern.clone();
     out.set_values(dots);
     Ok(out)

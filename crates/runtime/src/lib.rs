@@ -1,0 +1,36 @@
+//! Persistent thread-pool runtime for gsampler-rs.
+//!
+//! The paper's sampling operators are massively data-parallel GPU kernels;
+//! this crate is the CPU stand-in: a pool of **long-lived worker threads**
+//! that park between kernels (no per-call spawn storms), with two
+//! scheduling disciplines layered on top:
+//!
+//! - **static chunking** ([`parallel::parallel_for_chunks`]) for uniform
+//!   loops (SpMM rows, dense GEMM row blocks, format conversions), and
+//! - **dynamic claiming** ([`parallel::parallel_for_dynamic`], built on
+//!   [`parallel::WorkQueue`]) for degree-skewed loops (per-frontier
+//!   sampling, variable-length gathers).
+//!
+//! Determinism is a hard requirement: kernel outputs must be bit-identical
+//! at any thread count. The rule every parallel kernel follows is that
+//! *work decomposition is a function of the input only* — chunk boundaries
+//! that feed RNG or accumulation order never depend on how many threads
+//! happen to run. Randomized kernels draw per-item streams from
+//! [`RngPool`] (SplitMix64-derived independent generators), so the stream
+//! an item consumes is keyed by its index, not by the worker that executes
+//! it.
+//!
+//! The number of workers comes from [`parallel::num_threads`]:
+//! `GSAMPLER_THREADS` overrides (determinism tests, CI reproducibility),
+//! otherwise the host's available parallelism capped at 16.
+
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod rng;
+
+pub use parallel::{
+    num_threads, parallel_for_chunks, parallel_for_dynamic, parallel_map, parallel_scatter,
+    parallel_scatter2, pool_metrics, PoolMetrics, WorkQueue,
+};
+pub use rng::RngPool;

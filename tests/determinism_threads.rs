@@ -1,0 +1,172 @@
+//! Thread-count determinism: every randomized kernel must produce
+//! byte-identical output no matter how many pool workers execute it.
+//!
+//! The worker-pool runtime guarantees that work decomposition and RNG
+//! stream assignment are functions of the input only (column `c` draws
+//! from stream `c`, etc.), so `GSAMPLER_THREADS=1`, `2`, and `8` must
+//! fingerprint identically. The dataset here is large enough (tens of
+//! thousands of edges) that the size gates actually engage the parallel
+//! paths at widths > 1 — on a tiny graph this test would pass vacuously.
+
+use std::sync::Arc;
+
+use gsampler::algos::{all_algorithms, Driver, Hyper};
+use gsampler::core::{compile, Bindings, OptConfig, SamplerConfig, Value};
+use gsampler::engine::RngPool;
+use gsampler::graphs::{Dataset, DatasetKind};
+use gsampler::matrix::sample::{collective_sample_seeded, individual_sample_seeded};
+use gsampler::matrix::{compact, spmm, SparseMatrix};
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0000_01B3;
+
+fn fold(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fold_matrix(h: &mut u64, m: &SparseMatrix) {
+    let (r, c) = m.shape();
+    fold(h, &(r as u64).to_le_bytes());
+    fold(h, &(c as u64).to_le_bytes());
+    // Storage order matters: the parallel kernels promise identical
+    // layout, not just an identical edge set.
+    for (r, c, v) in m.iter_edges() {
+        fold(h, &r.to_le_bytes());
+        fold(h, &c.to_le_bytes());
+        fold(h, &v.to_bits().to_le_bytes());
+    }
+}
+
+fn fold_value(h: &mut u64, v: &Value) {
+    match v {
+        Value::Matrix(m) => {
+            fold(h, b"matrix");
+            fold_matrix(h, &m.data);
+            for id in m.global_row_ids() {
+                fold(h, &id.to_le_bytes());
+            }
+            for id in m.global_col_ids() {
+                fold(h, &id.to_le_bytes());
+            }
+        }
+        Value::Dense(d) => {
+            fold(h, b"dense");
+            for x in d.as_slice() {
+                fold(h, &x.to_bits().to_le_bytes());
+            }
+        }
+        Value::Vector(xs) => {
+            fold(h, b"vector");
+            for x in xs {
+                fold(h, &x.to_bits().to_le_bytes());
+            }
+        }
+        Value::Nodes(ns) => {
+            fold(h, b"nodes");
+            for n in ns {
+                fold(h, &n.to_le_bytes());
+            }
+        }
+        Value::Scalar(s) => {
+            fold(h, b"scalar");
+            fold(h, &s.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Run the whole parallel surface once: raw matrix kernels on a graph
+/// big enough to clear the size gates, then compiled end-to-end sampling
+/// for every chained Table-2 algorithm.
+fn fingerprint_workload() -> u64 {
+    let d = Dataset::generate(DatasetKind::OgbnProducts, 0.02, 7);
+    let graph = Arc::new(d.graph);
+    let m = &graph.matrix.data;
+    let feats = graph.features.as_ref().expect("preset has features");
+
+    let mut h = FNV_OFFSET;
+
+    // Dense aggregation: row-partitioned SpMM over the full graph.
+    let agg = spmm::spmm(m, feats).unwrap();
+    fold(&mut h, b"spmm");
+    for x in agg.as_slice() {
+        fold(&mut h, &x.to_bits().to_le_bytes());
+    }
+
+    // Format conversions (expansion + counting sort + per-segment sorts).
+    fold(&mut h, b"csr");
+    fold_matrix(&mut h, &SparseMatrix::Csr(m.to_csr()));
+    fold(&mut h, b"coo");
+    fold_matrix(&mut h, &SparseMatrix::Coo(m.to_coo()));
+
+    // Seeded samplers with explicit stream pools.
+    let pool = RngPool::new(0xD1CE);
+    let ind = individual_sample_seeded(m, 8, None, &pool.subpool(0)).unwrap();
+    fold(&mut h, b"individual");
+    fold_matrix(&mut h, &ind);
+    let coll = collective_sample_seeded(m, 64, None, &pool.subpool(1)).unwrap();
+    fold(&mut h, b"collective");
+    fold_matrix(&mut h, &coll.matrix);
+    for r in &coll.rows {
+        fold(&mut h, &r.to_le_bytes());
+    }
+
+    // Compaction of the (row-sparse) sampled output.
+    let compacted = compact::compact_rows(&ind);
+    fold(&mut h, b"compact");
+    fold_matrix(&mut h, &compacted.matrix);
+    for id in &compacted.kept {
+        fold(&mut h, &id.to_le_bytes());
+    }
+
+    // End-to-end: compile and run every chained algorithm seeded.
+    let hyper = Hyper::small();
+    let frontiers: Vec<u32> = d.frontiers.iter().take(128).copied().collect();
+    let config = SamplerConfig {
+        opt: OptConfig::all(),
+        batch_size: frontiers.len(),
+        ..SamplerConfig::new()
+    };
+    for spec in all_algorithms(&hyper) {
+        if !matches!(spec.driver, Driver::Chained) {
+            continue;
+        }
+        let sampler = compile(graph.clone(), spec.layers, config.clone())
+            .unwrap_or_else(|e| panic!("{}: compile failed: {e}", spec.name));
+        let out = sampler
+            .sample_batch_seeded(&frontiers, &Bindings::new(), 42)
+            .unwrap_or_else(|e| panic!("{}: sampling failed: {e}", spec.name));
+        fold(&mut h, spec.name.as_bytes());
+        for layer in &out.layers {
+            for v in layer {
+                fold_value(&mut h, v);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn outputs_identical_across_thread_counts() {
+    // This is the only test in this binary, so mutating the process
+    // environment between runs cannot race another test thread.
+    let saved = std::env::var("GSAMPLER_THREADS").ok();
+    let mut prints = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("GSAMPLER_THREADS", threads);
+        prints.push((threads, fingerprint_workload()));
+    }
+    match saved {
+        Some(v) => std::env::set_var("GSAMPLER_THREADS", v),
+        None => std::env::remove_var("GSAMPLER_THREADS"),
+    }
+    let (_, base) = prints[0];
+    for &(threads, got) in &prints {
+        assert_eq!(
+            got, base,
+            "GSAMPLER_THREADS={threads} diverged: 0x{got:016X} vs 0x{base:016X}"
+        );
+    }
+}

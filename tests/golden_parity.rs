@@ -20,26 +20,29 @@ use gsampler::algos::{all_algorithms, Driver, Hyper};
 use gsampler::core::{compile, Bindings, Graph, GraphSample, OptConfig, SamplerConfig, Value};
 use gsampler::graphs::Dataset;
 
-/// Fingerprints captured from the pre-refactor executor (seed 42,
-/// `Dataset::tiny(7)`, `Hyper::small()`). These are self-consistent
-/// within this repository's deterministic RNG; they are not comparable
-/// across RNG implementations.
+/// Fingerprints captured after the worker-pool runtime landed (seed 42,
+/// `Dataset::tiny(7)`, `Hyper::small()`): randomized kernels now derive
+/// per-column/per-segment RNG streams from one session-RNG draw, so these
+/// differ from the pre-pool goldens but are identical at every
+/// `GSAMPLER_THREADS` setting. They are self-consistent within this
+/// repository's deterministic RNG; they are not comparable across RNG
+/// implementations.
 const GOLDEN: &[(&str, u64)] = &[
-    ("DeepWalk", 0x0759DAF74991A660),
-    ("GraphSAINT", 0x90BB0B48E2C450FA),
-    ("PinSAGE", 0xDDC14073AD46EB70),
-    ("HetGNN", 0x6F842858D25B131D),
-    ("GraphSAGE", 0x8CD2B192856101F4),
-    ("VR-GCN", 0x1B45C38D2E3B2C52),
-    ("SEAL", 0x80DA1AE1FAFFC011),
-    ("ShaDow", 0xD78E96095E96B495),
-    ("Node2Vec", 0xEEC2FE996B933AC0),
-    ("GCN-BS", 0x5F013695EF0DBA62),
-    ("Thanos", 0x02CF518D47DC6D03),
-    ("PASS", 0xAEFDE6B50DD9D5A4),
-    ("FastGCN", 0x861BB7CC977F1B2D),
-    ("AS-GCN", 0xC6FA4F5822389551),
-    ("LADIES", 0xE7711D5CC8A3F1EB),
+    ("DeepWalk", 0x4CB202B33902DC4A),
+    ("GraphSAINT", 0x482655762BF6DBFF),
+    ("PinSAGE", 0x248D4524878C26E6),
+    ("HetGNN", 0x4CF8E9E2B9D6EDA5),
+    ("GraphSAGE", 0xF651C9CFCC2BBE61),
+    ("VR-GCN", 0x3E1352C8446CDCE1),
+    ("SEAL", 0x5322A959175AC18D),
+    ("ShaDow", 0x2EC55CD268E1ED93),
+    ("Node2Vec", 0x5BC6B95F8FEB05A3),
+    ("GCN-BS", 0xD4CBB3C470F31665),
+    ("Thanos", 0x460247BD30C8FE56),
+    ("PASS", 0x1EB352C13393E2FA),
+    ("FastGCN", 0xA93BB3328D65949E),
+    ("AS-GCN", 0x87B6D82BE57E3D78),
+    ("LADIES", 0x31E06EA12C3D3C85),
 ];
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
