@@ -8,5 +8,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 # The suite must also hold at a fixed multi-worker pool width.
 GSAMPLER_THREADS=2 cargo test -q
+
+# Differential fuzz smoke: 50 arbitrary graphs, every algorithm, every
+# pass ablation, fixed seed. Failures shrink to minimal repros saved in
+# tests/corpus/ with replay commands printed by the fuzzer.
+cargo run -q --release -p gsampler-testkit --bin gsampler-fuzz -- --cases 50 --seed 7
+
+# Replay committed corpus fixtures (empty/absent corpus passes).
+cargo run -q --release -p gsampler-testkit --bin gsampler-fuzz -- --replay-corpus
+
+# Harness self-test: an injected fault must be caught and shrunk.
+cargo run -q --release -p gsampler-testkit --bin gsampler-fuzz -- \
+    --cases 50 --seed 7 --fault fanout-plus-one --no-save
+
 # Benches (incl. the parallel-runtime speedup harness) must keep compiling.
 cargo bench --workspace --no-run

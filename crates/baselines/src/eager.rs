@@ -349,6 +349,28 @@ impl EagerSampler {
         out
     }
 
+    /// Multi-layer FastGCN batch on an explicit RNG stream, mirroring
+    /// [`Self::graphsage_batch`]/[`Self::ladies_batch`] so differential
+    /// harnesses can drive every eager layer-wise path with the same
+    /// `(seed, stream)` pair the optimized pipeline uses.
+    pub fn fastgcn_batch(
+        &self,
+        frontiers: &[NodeId],
+        width: usize,
+        layers: usize,
+        stream: u64,
+    ) -> Vec<GraphMatrix> {
+        let mut rng = self.pool.stream(stream);
+        let mut cur: Vec<NodeId> = frontiers.to_vec();
+        let mut out = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            let m = self.fastgcn_layer(&cur, width, &mut rng);
+            cur = m.row_nodes();
+            out.push(m);
+        }
+        out
+    }
+
     /// AS-GCN: learned bias `relu(features @ Wg)` computed every batch
     /// over the full feature table, plus LADIES-style selection.
     pub fn asgcn_layer(

@@ -214,6 +214,14 @@ impl Sampler {
         self.config.batch_size.max(1)
     }
 
+    /// The root RNG seed this sampler was compiled with. External drivers
+    /// (the eager baseline, differential test harnesses) seed their own
+    /// [`RngPool`] with this value to share the sampler's RNG streams and
+    /// compare outputs bit-exactly.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
     /// The device session (stats/memory snapshots).
     pub fn device(&self) -> &Device {
         &self.device

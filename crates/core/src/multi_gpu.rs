@@ -83,6 +83,20 @@ impl MultiGpuSampler {
         bindings: &Bindings,
         epoch: u64,
     ) -> Result<MultiGpuReport> {
+        self.run_epoch_with(seeds, bindings, epoch, |_, _, _| {})
+    }
+
+    /// Like [`Self::run_epoch`], but hands every sample to `consume` as
+    /// `(device_index, device_batch_index, sample)` so determinism and
+    /// correctness harnesses can fingerprint the sharded outputs instead
+    /// of only timing them.
+    pub fn run_epoch_with(
+        &self,
+        seeds: &[NodeId],
+        bindings: &Bindings,
+        epoch: u64,
+        mut consume: impl FnMut(usize, usize, crate::compile::GraphSample),
+    ) -> Result<MultiGpuReport> {
         let n = self.shards.len();
         // Shard seeds round-robin in stripes of one mini-batch, using the
         // batch size the shards were compiled for.
@@ -96,13 +110,15 @@ impl MultiGpuSampler {
         let mut per_device_batches = Vec::with_capacity(n);
         let mut pcie_time = 0.0;
         let mut stats = ExecStats::default();
-        for (shard, shard_seeds) in self.shards.iter().zip(&per_shard_seeds) {
+        for (device, (shard, shard_seeds)) in self.shards.iter().zip(&per_shard_seeds).enumerate() {
             if shard_seeds.is_empty() {
                 per_device_compute.push(0.0);
                 per_device_batches.push(0);
                 continue;
             }
-            let report = shard.run_epoch(shard_seeds, bindings, epoch)?;
+            let report = shard.run_epoch_with(shard_seeds, bindings, epoch, |batch, sample| {
+                consume(device, batch, sample)
+            })?;
             let pcie = report.stats.total_bytes_pcie as f64
                 / shard.device().profile().pcie_bandwidth.max(1.0);
             pcie_time += pcie;

@@ -120,6 +120,48 @@ mod tests {
     }
 
     #[test]
+    fn budget_exactly_equal_to_graph_caches_everything() {
+        let degrees = vec![4usize, 2, 7, 1];
+        let exact: u64 = degrees.iter().map(|&d| list_bytes(d)).sum();
+        let p = plan_cache(&degrees, exact);
+        assert_eq!(p.cached_nodes, 4);
+        assert_eq!(p.bytes_used, exact);
+        assert!((p.hit_rate - 1.0).abs() < 1e-12);
+        // One byte short of the full graph must drop exactly the cheapest
+        // (lowest-degree, pinned last) list.
+        let q = plan_cache(&degrees, exact - 1);
+        assert_eq!(q.cached_nodes, 3);
+        assert!(q.hit_rate < 1.0);
+    }
+
+    #[test]
+    fn equal_degrees_fill_budget_without_bias() {
+        // Ties on degree: any subset of equal-degree lists has the same
+        // hit rate, so the plan must simply fill the budget — exactly
+        // budget/list_bytes nodes, hit rate equal to that fraction.
+        let degrees = vec![6usize; 10];
+        let per = list_bytes(6);
+        let p = plan_cache(&degrees, per * 3 + per / 2);
+        assert_eq!(p.cached_nodes, 3);
+        assert_eq!(p.bytes_used, per * 3);
+        assert!((p.hit_rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_degree_lists_carry_no_weight() {
+        // All-zero degrees: nothing to serve, hit rate pinned to zero no
+        // matter what fits in the budget.
+        let p = plan_cache(&[0, 0, 0], 1 << 20);
+        assert_eq!(p.hit_rate, 0.0);
+        assert_eq!(p.cached_nodes, 3);
+        // Mixed: zero-degree lists sort last and never displace real ones.
+        let degrees = vec![0usize, 9, 0, 3];
+        let q = plan_cache(&degrees, list_bytes(9) + list_bytes(3));
+        assert_eq!(q.cached_nodes, 2);
+        assert!((q.hit_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn descending_order_beats_random_subset() {
         // Sanity: the planned hit rate is at least the byte-proportional
         // baseline of a random subset.

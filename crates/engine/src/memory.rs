@@ -75,4 +75,52 @@ mod tests {
         assert_eq!(m.current(), 0);
         assert_eq!(m.peak(), 10);
     }
+
+    #[test]
+    fn zero_byte_traffic_counts_events_but_not_bytes() {
+        let mut m = MemoryTracker::default();
+        m.alloc(0);
+        m.free(0);
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 0);
+        assert_eq!(m.alloc_count(), 1);
+        assert_eq!(m.free_count(), 1);
+    }
+
+    #[test]
+    fn peak_survives_balanced_churn() {
+        // Peak is a high-water mark: dropping back to zero between spikes
+        // must not lower it, and a smaller later spike must not raise it.
+        let mut m = MemoryTracker::default();
+        m.alloc(500);
+        m.free(500);
+        m.alloc(200);
+        m.free(200);
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 500);
+    }
+
+    #[test]
+    fn over_free_does_not_corrupt_later_accounting() {
+        // After a saturating over-free, new allocations start from zero —
+        // the tracker must not "owe" the excess.
+        let mut m = MemoryTracker::default();
+        m.alloc(10);
+        m.free(1000);
+        m.alloc(30);
+        assert_eq!(m.current(), 30);
+        assert_eq!(m.peak(), 30);
+    }
+
+    #[test]
+    fn usize_bytes_accumulate_in_u64() {
+        // 32-bit-usize-sized allocations must accumulate without overflow
+        // in the u64 accounting.
+        let mut m = MemoryTracker::default();
+        let chunk = u32::MAX as usize;
+        m.alloc(chunk);
+        m.alloc(chunk);
+        assert_eq!(m.current(), 2 * (u32::MAX as u64));
+        assert_eq!(m.peak(), m.current());
+    }
 }

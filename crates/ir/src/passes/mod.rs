@@ -77,6 +77,62 @@ impl OptConfig {
         self.super_batch = s.max(1);
         self
     }
+
+    /// Single-pass ablations of the full configuration: every config that
+    /// turns exactly one pass (or pass group) off, plus the all-on
+    /// reference and the fully plain config. Differential testing runs
+    /// each ablation against the reference; optimization passes must
+    /// never change sampling semantics (paper §4.2's correctness claim),
+    /// so for seeded programs the outputs must agree variant-for-variant.
+    pub fn ablations() -> Vec<(&'static str, OptConfig)> {
+        let all = OptConfig::all;
+        vec![
+            ("all", all()),
+            (
+                "no-dce",
+                OptConfig {
+                    dce: false,
+                    ..all()
+                },
+            ),
+            (
+                "no-cse",
+                OptConfig {
+                    cse: false,
+                    ..all()
+                },
+            ),
+            (
+                "no-preprocess",
+                OptConfig {
+                    preprocess: false,
+                    ..all()
+                },
+            ),
+            (
+                "no-fusion",
+                OptConfig {
+                    fusion: false,
+                    ..all()
+                },
+            ),
+            (
+                "layout-greedy",
+                OptConfig {
+                    layout: LayoutMode::Greedy,
+                    ..all()
+                },
+            ),
+            (
+                "layout-none",
+                OptConfig {
+                    layout: LayoutMode::None,
+                    ..all()
+                },
+            ),
+            ("plain", OptConfig::plain()),
+        ]
+    }
 }
 
 impl Default for OptConfig {

@@ -1,0 +1,176 @@
+//! gsampler-fuzz: differential fuzzer for the optimizing pipeline.
+//!
+//! Usage:
+//!   gsampler-fuzz [--cases N] [--seed S] [--algos SUBSTR]
+//!                 [--fault NAME] [--time-budget-secs T]
+//!                 [--corpus DIR | --no-save] [--replay FILE]
+//!                 [--replay-corpus [DIR]] [--stop-on-failure]
+//!
+//! Default mode generates N arbitrary graphs and runs every registered
+//! algorithm through the full pass-ablation differential oracle on each;
+//! failures are shrunk to minimal repros and saved under `tests/corpus/`
+//! with a printed replay command. `--fault` injects a deliberate bug and
+//! *expects* the harness to catch it (exit 0 iff caught) — the harness
+//! self-test CI runs. `--replay` re-runs one fixture; `--replay-corpus`
+//! re-runs every committed fixture as a regression gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gsampler_testkit::corpus::{self, Case};
+use gsampler_testkit::fault::Fault;
+use gsampler_testkit::fuzz::{self, FuzzOptions};
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: gsampler-fuzz [--cases N] [--seed S] [--algos SUBSTR] [--fault NAME]\n\
+         \x20                    [--time-budget-secs T] [--corpus DIR | --no-save]\n\
+         \x20                    [--replay FILE] [--replay-corpus [DIR]] [--stop-on-failure]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = FuzzOptions {
+        corpus_dir: Some(corpus::default_dir()),
+        ..FuzzOptions::default()
+    };
+    let mut replay: Option<PathBuf> = None;
+    let mut replay_corpus: Option<PathBuf> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0usize;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cases" => match value(&mut i).map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) => opts.cases = n,
+                _ => return usage("--cases needs an integer"),
+            },
+            "--seed" => match value(&mut i).map(|v| v.parse::<u64>()) {
+                Ok(Ok(s)) => opts.seed = s,
+                _ => return usage("--seed needs an integer"),
+            },
+            "--algos" => match value(&mut i) {
+                Ok(v) => opts.algos = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--fault" => match value(&mut i) {
+                Ok(v) => match Fault::parse(&v) {
+                    Some(f) => opts.fault = Some(f),
+                    None => return usage(&format!("unknown fault `{v}`")),
+                },
+                Err(e) => return usage(&e),
+            },
+            "--time-budget-secs" => match value(&mut i).map(|v| v.parse::<u64>()) {
+                Ok(Ok(t)) => opts.time_budget = Some(Duration::from_secs(t)),
+                _ => return usage("--time-budget-secs needs an integer"),
+            },
+            "--corpus" => match value(&mut i) {
+                Ok(v) => opts.corpus_dir = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--no-save" => opts.corpus_dir = None,
+            "--stop-on-failure" => opts.stop_on_failure = true,
+            "--replay" => match value(&mut i) {
+                Ok(v) => replay = Some(PathBuf::from(v)),
+                Err(e) => return usage(&e),
+            },
+            "--replay-corpus" => {
+                // Optional directory argument.
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                replay_corpus = Some(match next {
+                    Some(dir) => {
+                        i += 1;
+                        PathBuf::from(dir)
+                    }
+                    None => corpus::default_dir(),
+                });
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = replay {
+        let case = match Case::load(&path) {
+            Ok(c) => c,
+            Err(e) => return usage(&e),
+        };
+        println!("replaying {} ({})", path.display(), case.spec.describe());
+        return match case.replay() {
+            Ok(()) => {
+                println!("replay passed: no divergence (bug fixed or fixture stale)");
+                ExitCode::SUCCESS
+            }
+            Err(d) => {
+                eprintln!("replay still diverges: {d}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(dir) = replay_corpus {
+        println!("replaying corpus fixtures in {}", dir.display());
+        return match corpus::replay_all(&dir) {
+            Ok(failures) if failures.is_empty() => {
+                println!("all corpus fixtures replay clean");
+                ExitCode::SUCCESS
+            }
+            Ok(failures) => {
+                for (path, d) in &failures {
+                    eprintln!("{}: {d}", path.display());
+                    eprintln!(
+                        "  replay with: cargo run -p gsampler-testkit --bin gsampler-fuzz -- \
+                         --replay {}",
+                        path.display()
+                    );
+                }
+                ExitCode::FAILURE
+            }
+            Err(e) => usage(&e),
+        };
+    }
+
+    println!(
+        "fuzzing {} cases (seed {}, algos {}, fault {})",
+        opts.cases,
+        opts.seed,
+        opts.algos.as_deref().unwrap_or("all 15"),
+        opts.fault.map(|f| f.name()).unwrap_or("none"),
+    );
+    let outcome = fuzz::run(&opts, |line| println!("{line}"));
+    println!(
+        "ran {} cases: {} failure(s)",
+        outcome.cases_run,
+        outcome.failures.len()
+    );
+
+    if let Some(f) = opts.fault {
+        // Self-test mode: the injected fault MUST be caught and shrunk.
+        if outcome.failures.is_empty() {
+            eprintln!("injected fault `{}` was NOT caught", f.name());
+            return ExitCode::FAILURE;
+        }
+        let repro = &outcome.failures[0];
+        println!(
+            "injected fault `{}` caught; minimal repro: {} on {}",
+            f.name(),
+            repro.divergence,
+            repro.case.spec.describe()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if outcome.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

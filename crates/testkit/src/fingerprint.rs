@@ -1,0 +1,140 @@
+//! Semantic output fingerprinting.
+//!
+//! The goldens in `tests/golden_parity.rs` pin the *exact* output layout;
+//! the differential oracle needs something slightly looser: two pipeline
+//! variants are semantically equal when they sample the same edges with
+//! the same values, regardless of storage format or whether a layout pass
+//! compacted empty rows away. Matrices therefore fold as sorted global
+//! edge lists (dropping the row-id table, which compaction legitimately
+//! changes), while node lists, vectors, and scalars stay exact: frontier
+//! order feeds RNG stream assignment downstream, so reordering *is* a
+//! semantic difference.
+
+use gsampler_core::{GraphSample, Value};
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_0000_01B3;
+
+/// Incrementally built FNV-1a fingerprint.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint(FNV_OFFSET)
+    }
+}
+
+impl Fingerprint {
+    /// Fresh fingerprint at the FNV offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint::default()
+    }
+
+    /// Fold raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold one u64.
+    pub fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    /// Fold one f32 bit pattern.
+    pub fn f32(&mut self, x: f32) {
+        self.bytes(&x.to_bits().to_le_bytes());
+    }
+
+    /// Fold a value semantically (see module docs).
+    pub fn value(&mut self, v: &Value) {
+        match v {
+            Value::Matrix(m) => {
+                self.bytes(b"matrix");
+                let mut edges = m.global_edges();
+                edges.sort_by_key(|e| (e.0, e.1, e.2.to_bits()));
+                self.u64(edges.len() as u64);
+                for (r, c, w) in edges {
+                    self.u64(r as u64);
+                    self.u64(c as u64);
+                    self.f32(w);
+                }
+            }
+            Value::Dense(d) => {
+                self.bytes(b"dense");
+                self.u64(d.nrows() as u64);
+                self.u64(d.ncols() as u64);
+                for x in d.as_slice() {
+                    self.f32(*x);
+                }
+            }
+            Value::Vector(xs) => {
+                self.bytes(b"vector");
+                for x in xs {
+                    self.f32(*x);
+                }
+            }
+            Value::Nodes(ns) => {
+                self.bytes(b"nodes");
+                for n in ns {
+                    self.u64(*n as u64);
+                }
+            }
+            Value::Scalar(s) => {
+                self.bytes(b"scalar");
+                self.f32(*s);
+            }
+        }
+    }
+
+    /// Fold a whole multi-layer sample.
+    pub fn sample(&mut self, s: &GraphSample) {
+        for layer in &s.layers {
+            self.bytes(b"layer");
+            for v in layer {
+                self.value(v);
+            }
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint a flat list of values.
+pub fn of_values(values: &[Value]) -> u64 {
+    let mut f = Fingerprint::new();
+    for v in values {
+        f.value(v);
+    }
+    f.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsampler_core::Graph;
+
+    #[test]
+    fn compaction_does_not_change_matrix_fingerprint() {
+        let g = Graph::from_edges("t", 6, &[(0, 1, 1.0), (3, 1, 1.0), (3, 4, 1.0)], false).unwrap();
+        let sub = g.matrix.slice_cols_global(&[1, 4]).unwrap();
+        let compacted = sub.compact_rows();
+        assert_eq!(
+            of_values(&[Value::Matrix(sub)]),
+            of_values(&[Value::Matrix(compacted)])
+        );
+    }
+
+    #[test]
+    fn node_order_is_semantic() {
+        let a = of_values(&[Value::Nodes(vec![1, 2, 3])]);
+        let b = of_values(&[Value::Nodes(vec![3, 2, 1])]);
+        assert_ne!(a, b);
+    }
+}

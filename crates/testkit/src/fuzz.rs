@@ -1,0 +1,184 @@
+//! The generate → compile → differential-check fuzz loop.
+//!
+//! Library form of the `gsampler-fuzz` binary so the harness self-tests
+//! (fault detection, shrinking) can run the exact CI code path in-process.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::corpus::Case;
+use crate::fault::Fault;
+use crate::gen::{shrink, GraphSpec};
+use crate::oracle::{Divergence, Oracle};
+
+/// Fuzz-run configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Number of generated cases.
+    pub cases: usize,
+    /// Master seed: drives both graph generation and the oracle seed.
+    pub seed: u64,
+    /// Case-insensitive algorithm name filter (substring).
+    pub algos: Option<String>,
+    /// Injected fault (harness self-test mode: failures are expected).
+    pub fault: Option<Fault>,
+    /// Directory to persist failing cases into; `None` disables saving.
+    pub corpus_dir: Option<PathBuf>,
+    /// Wall-clock budget; the loop stops early (reporting how many cases
+    /// ran) once exceeded.
+    pub time_budget: Option<Duration>,
+    /// Stop after the first failure instead of completing all cases.
+    pub stop_on_failure: bool,
+    /// Frontier count per case.
+    pub frontier_count: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            cases: 50,
+            seed: 7,
+            algos: None,
+            fault: None,
+            corpus_dir: None,
+            time_budget: None,
+            stop_on_failure: false,
+            frontier_count: 8,
+        }
+    }
+}
+
+/// One caught failure: the shrunk repro and where it was persisted.
+#[derive(Debug)]
+pub struct Failure {
+    /// Minimal spec on which the divergence still reproduces.
+    pub case: Case,
+    /// The divergence observed on the shrunk spec.
+    pub divergence: Divergence,
+    /// Fixture path, when a corpus directory was configured.
+    pub saved_to: Option<PathBuf>,
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug, Default)]
+pub struct FuzzOutcome {
+    /// Cases actually executed (== requested unless the budget ran out).
+    pub cases_run: usize,
+    /// All caught (shrunk, optionally persisted) failures.
+    pub failures: Vec<Failure>,
+}
+
+/// Check one spec fully; `Some` is the first divergence.
+fn check_spec(
+    spec: &GraphSpec,
+    seed: u64,
+    frontier_count: usize,
+    filter: Option<&str>,
+    fault: Option<Fault>,
+) -> Option<Divergence> {
+    let graph = spec.build();
+    let frontiers = spec.frontiers(frontier_count);
+    Oracle::new(graph, seed)
+        .check_all(&frontiers, filter, fault)
+        .err()
+}
+
+/// Run the fuzz loop. `log` receives one line per notable event (case
+/// progress, failures, shrink results); pass a closure that prints for
+/// the CLI or collects for tests.
+pub fn run(opts: &FuzzOptions, mut log: impl FnMut(String)) -> FuzzOutcome {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let start = Instant::now();
+    let mut outcome = FuzzOutcome::default();
+    let filter = opts.algos.as_deref();
+
+    for case_idx in 0..opts.cases {
+        if let Some(budget) = opts.time_budget {
+            if start.elapsed() > budget {
+                log(format!(
+                    "time budget exhausted after {} of {} cases",
+                    case_idx, opts.cases
+                ));
+                break;
+            }
+        }
+        let spec = GraphSpec::arbitrary(&mut rng);
+        // Per-case oracle seed: derived from the master seed and index so
+        // every case exercises fresh RNG streams yet stays replayable.
+        let case_seed = opts.seed ^ (case_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        outcome.cases_run += 1;
+
+        let found = check_spec(&spec, case_seed, opts.frontier_count, filter, opts.fault);
+        let Some(divergence) = found else {
+            continue;
+        };
+        log(format!(
+            "case {case_idx}: DIVERGENCE {divergence} on {}",
+            spec.describe()
+        ));
+
+        // Shrink: keep any simpler spec on which the same algorithm still
+        // diverges (any variant — the minimal repro matters more than
+        // matching the original variant label).
+        let algo = divergence.algo.clone();
+        let shrunk = shrink(&spec, |cand| {
+            check_spec(
+                cand,
+                case_seed,
+                opts.frontier_count,
+                Some(&algo),
+                opts.fault,
+            )
+            .is_some()
+        });
+        let final_div = check_spec(
+            &shrunk,
+            case_seed,
+            opts.frontier_count,
+            Some(&algo),
+            opts.fault,
+        )
+        .unwrap_or(divergence);
+        log(format!("  shrunk to {}", shrunk.describe()));
+
+        let case = Case {
+            spec: shrunk,
+            algo: final_div.algo.clone(),
+            seed: case_seed,
+            frontier_count: opts.frontier_count,
+            note: format!("[{}] {}", final_div.variant, final_div.detail),
+        };
+        let saved_to = match (&opts.corpus_dir, opts.fault) {
+            // Injected-fault repros are self-test artifacts, not real
+            // bugs; never persist them into the regression corpus.
+            (Some(dir), None) => match case.save(dir) {
+                Ok(path) => {
+                    log(format!(
+                        "  saved {}; replay with:\n  cargo run -p gsampler-testkit --bin \
+                         gsampler-fuzz -- --replay {}",
+                        path.display(),
+                        path.display()
+                    ));
+                    Some(path)
+                }
+                Err(e) => {
+                    log(format!("  failed to save corpus case: {e}"));
+                    None
+                }
+            },
+            _ => None,
+        };
+        outcome.failures.push(Failure {
+            case,
+            divergence: final_div,
+            saved_to,
+        });
+        if opts.stop_on_failure {
+            break;
+        }
+    }
+    outcome
+}

@@ -1,0 +1,25 @@
+//! Correctness tooling for the gSampler reproduction.
+//!
+//! The optimizing pipeline's core claim (paper §4) is that IR rewrites
+//! never change sampling semantics. This crate makes that claim a
+//! machine-checked invariant with three tiers:
+//!
+//! - [`gen`]: deterministic arbitrary-graph generation with shrinking;
+//! - [`oracle`]: a differential oracle over every registered algorithm ×
+//!   every single-pass ablation × super-batched execution, backed by the
+//!   semantic [`fingerprint`] and structural subgraph validation;
+//! - [`stats`]: chi-squared validators for the paths where engines draw
+//!   from independent RNG streams by design;
+//! - [`fuzz`] / the `gsampler-fuzz` binary: the generate → compile →
+//!   check loop, with failures shrunk and persisted via [`corpus`];
+//! - [`fault`]: deliberate semantic faults proving the harness catches
+//!   real deviations.
+
+pub mod corpus;
+pub mod drive;
+pub mod fault;
+pub mod fingerprint;
+pub mod fuzz;
+pub mod gen;
+pub mod oracle;
+pub mod stats;

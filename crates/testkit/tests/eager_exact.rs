@@ -1,0 +1,78 @@
+//! Exact (bit-level) differential between the optimized pipeline and the
+//! eager DGL-like baseline for the uniform node-wise family.
+//!
+//! Both engines share the kernel registry and the one-draw-per-random-
+//! kernel RNG discipline, so with the same seed and stream GraphSAGE must
+//! produce the *identical* edge selection — a much stronger check than the
+//! statistical equivalence in `tests/baseline_equivalence.rs`.
+
+use gsampler_algos::nodewise;
+use gsampler_baselines::EagerSampler;
+use gsampler_core::{compile, Bindings, DeviceProfile, OptConfig, SamplerConfig, Value};
+use gsampler_matrix::NodeId;
+use gsampler_testkit::gen::{GraphSpec, Topology};
+
+fn sorted_edges(m: &gsampler_matrix::GraphMatrix) -> Vec<(NodeId, NodeId, u32)> {
+    let mut e: Vec<(NodeId, NodeId, u32)> = m
+        .global_edges()
+        .into_iter()
+        .map(|(r, c, w)| (r, c, w.to_bits()))
+        .collect();
+    e.sort_unstable();
+    e
+}
+
+#[test]
+fn graphsage_optimized_and_eager_agree_bit_for_bit() {
+    let spec = GraphSpec {
+        topology: Topology::PowerLaw,
+        nodes: 64,
+        edges: 300,
+        weighted: true,
+        self_loops: true,
+        duplicate_edges: true,
+        dangling: true,
+        seed: 0xBEEF,
+    };
+    let graph = spec.build();
+    let frontiers = spec.frontiers(8);
+    let fanouts = [4usize, 3];
+    let seed = 41u64;
+
+    let eager = EagerSampler::new(graph.clone(), DeviceProfile::v100(), seed);
+
+    for opt in [OptConfig::all(), OptConfig::plain()] {
+        let gs = compile(
+            graph.clone(),
+            nodewise::graphsage(&fanouts),
+            SamplerConfig {
+                opt: opt.clone(),
+                seed,
+                batch_size: frontiers.len(),
+                ..SamplerConfig::new()
+            },
+        )
+        .unwrap();
+        for stream in 0..3u64 {
+            let out = gs
+                .sample_batch_seeded(&frontiers, &Bindings::new(), stream)
+                .unwrap();
+            let eager_layers = eager.graphsage_batch(&frontiers, &fanouts, stream);
+            assert_eq!(out.layers.len(), eager_layers.len());
+            for (li, eager_m) in eager_layers.iter().enumerate() {
+                let gs_m = out.layers[li]
+                    .iter()
+                    .find_map(|v| match v {
+                        Value::Matrix(m) => Some(m),
+                        _ => None,
+                    })
+                    .expect("optimized layer output has a matrix");
+                assert_eq!(
+                    sorted_edges(gs_m),
+                    sorted_edges(eager_m),
+                    "layer {li} stream {stream} diverges under {opt:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Statistical validation of the randomized select kernels against
+//! analytic target distributions — chi-squared for single-pick
+//! frequencies, per-binomial z-bounds for k-per-trial inclusion counts.
+//!
+//! These generalize the star-graph check in `tests/baseline_equivalence.rs`
+//! and add the regression guard for biased (PASS-style) selection without
+//! replacement: the Efraimidis–Spirakis kernel must match the exact
+//! successive-draw inclusion probabilities, not the with-replacement ones.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gsampler_baselines::EagerSampler;
+use gsampler_core::builder::LayerBuilder;
+use gsampler_core::{compile, Bindings, DeviceProfile, Graph, SamplerConfig};
+use gsampler_matrix::sample::{collective_sample, weighted_sample_without_replacement};
+use gsampler_testkit::stats;
+
+/// A star: node 0 has 6 in-neighbours with distinct weights 1..=6.
+fn star() -> Arc<Graph> {
+    let edges: Vec<(u32, u32, f32)> = (1..7u32).map(|r| (r, 0, r as f32)).collect();
+    Arc::new(Graph::from_edges("star", 7, &edges, true).unwrap())
+}
+
+const TRIALS: u64 = 1800;
+
+/// Uniform probabilities over the six spokes (index = node ID).
+fn uniform_spokes() -> Vec<f64> {
+    let mut p = vec![1.0 / 6.0; 7];
+    p[0] = 0.0;
+    p
+}
+
+#[test]
+fn optimized_pipeline_fanout_is_uniform() {
+    let graph = star();
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let s = a.slice_cols(&f).individual_sample(1, None);
+    let next = s.row_nodes();
+    b.output(&s);
+    b.output_next_frontiers(&next);
+    let gs = compile(
+        graph,
+        vec![b.build()],
+        SamplerConfig {
+            batch_size: 1,
+            ..SamplerConfig::new()
+        },
+    )
+    .unwrap();
+    let mut counts = [0u64; 7];
+    for t in 0..TRIALS {
+        let out = gs.sample_batch_seeded(&[0], &Bindings::new(), t).unwrap();
+        let v = out.layers[0][1].as_nodes().unwrap()[0];
+        counts[v as usize] += 1;
+    }
+    stats::assert_fits("optimized fanout-1", &counts, &uniform_spokes(), TRIALS);
+}
+
+#[test]
+fn eager_engine_fanout_is_uniform() {
+    let eager = EagerSampler::new(star(), DeviceProfile::v100(), 3);
+    let mut counts = [0u64; 7];
+    for t in 0..TRIALS {
+        let layers = eager.graphsage_batch(&[0], &[1], t);
+        for v in layers[0].row_nodes() {
+            counts[v as usize] += 1;
+        }
+    }
+    stats::assert_fits("eager fanout-1", &counts, &uniform_spokes(), TRIALS);
+}
+
+#[test]
+fn biased_individual_sample_matches_analytic_inclusion() {
+    // The PASS select path: individual_sample with an edge-bias matrix.
+    // On the star's single frontier column the six candidate edges carry
+    // weights 1..=6; picking k=2 without replacement must match the exact
+    // successive-draw inclusion probabilities (the with-replacement or
+    // squared-bias variants fail this gate decisively).
+    let graph = star();
+    let col = graph.matrix.slice_cols_global(&[0]).unwrap();
+    let weights: Vec<f32> = col.data.to_csc().values_or_ones();
+    assert_eq!(weights.len(), 6);
+    let expected = stats::inclusion_probabilities_without_replacement(&weights, 2);
+
+    let mut counts = vec![0u64; 6];
+    for t in 0..3000u64 {
+        let mut rng = StdRng::seed_from_u64(0x9A55 ^ t);
+        let picked = col.individual_sample(2, Some(&col), &mut rng).unwrap();
+        for (r, _, _) in picked.global_edges() {
+            // Edge for spoke r sits at CSC position r-1 in the column.
+            counts[r as usize - 1] += 1;
+        }
+    }
+    stats::assert_inclusion_fits("biased select k=2", &counts, &expected, 3000);
+}
+
+#[test]
+fn collective_sample_follows_degree_weights() {
+    // Default collective bias is the row degree; with k=1 the pick is a
+    // plain multinomial over deg/sum(deg) — chi-squared applies exactly.
+    let edges: Vec<(u32, u32, f32)> = vec![
+        (0, 1, 1.0),
+        (0, 2, 1.0),
+        (0, 3, 1.0),
+        (1, 2, 1.0),
+        (1, 3, 1.0),
+        (2, 3, 1.0),
+    ];
+    let graph = Graph::from_edges("deg", 4, &edges, false).unwrap();
+    let expected = [3.0 / 6.0, 2.0 / 6.0, 1.0 / 6.0, 0.0];
+    let mut counts = [0u64; 4];
+    for t in 0..TRIALS {
+        let mut rng = StdRng::seed_from_u64(0xC011 ^ t);
+        let out = collective_sample(&graph.matrix.data, 1, None, &mut rng).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        counts[out.rows[0] as usize] += 1;
+    }
+    stats::assert_fits("collective k=1 degree bias", &counts, &expected, TRIALS);
+}
+
+#[test]
+fn weighted_without_replacement_matches_analytic_inclusion() {
+    // Direct kernel-level guard for the Efraimidis-Spirakis implementation
+    // (shared by individual, collective, and PASS selection).
+    let weights = [5.0f32, 3.0, 1.0, 1.0];
+    let k = 2;
+    let expected = stats::inclusion_probabilities_without_replacement(&weights, k);
+    let trials = 4000u64;
+    let mut counts = vec![0u64; weights.len()];
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(0xE5 ^ t.wrapping_mul(0x9E37_79B9));
+        for i in weighted_sample_without_replacement(&weights, k, &mut rng) {
+            counts[i] += 1;
+        }
+    }
+    stats::assert_inclusion_fits("E-S inclusion [5,3,1,1] k=2", &counts, &expected, trials);
+}
+
+#[test]
+fn zero_weight_candidates_are_never_selected() {
+    let weights = [2.0f32, 0.0, 3.0, 0.0, 1.0];
+    for t in 0..500u64 {
+        let mut rng = StdRng::seed_from_u64(t);
+        let picked = weighted_sample_without_replacement(&weights, 3, &mut rng);
+        assert_eq!(picked.len(), 3);
+        assert!(
+            !picked.contains(&1) && !picked.contains(&3),
+            "zero-weight candidate selected at trial {t}: {picked:?}"
+        );
+    }
+}

@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use gsampler::algos::{all_algorithms, Driver, Hyper};
-use gsampler::core::{compile, Bindings, OptConfig, SamplerConfig, Value};
+use gsampler::algos::{all_algorithms, nodewise, Driver, Hyper};
+use gsampler::core::{compile, Bindings, MultiGpuSampler, OptConfig, SamplerConfig, Value};
 use gsampler::engine::RngPool;
 use gsampler::graphs::{Dataset, DatasetKind};
 use gsampler::matrix::sample::{collective_sample_seeded, individual_sample_seeded};
@@ -145,6 +145,55 @@ fn fingerprint_workload() -> u64 {
             }
         }
     }
+
+    // Super-batched epoch execution (block-diagonal grouping): per-segment
+    // subpool keying must keep this thread-count independent as well.
+    let sb = compile(
+        graph.clone(),
+        nodewise::graphsage(&[4, 3]),
+        SamplerConfig {
+            opt: OptConfig::all().with_super_batch(2),
+            batch_size: 32,
+            ..SamplerConfig::new()
+        },
+    )
+    .unwrap();
+    fold(&mut h, b"superbatch-epoch");
+    sb.run_epoch_with(&frontiers, &Bindings::new(), 3, |batch, sample| {
+        fold(&mut h, &(batch as u64).to_le_bytes());
+        for layer in &sample.layers {
+            for v in layer {
+                fold_value(&mut h, v);
+            }
+        }
+    })
+    .unwrap();
+
+    // Multi-GPU sharding: round-robin mini-batches across two modeled
+    // devices, each with its own derived seed; the (device, batch) keyed
+    // samples must be identical at every worker width.
+    let mg = MultiGpuSampler::compile(
+        graph.clone(),
+        nodewise::graphsage(&[4, 3]),
+        SamplerConfig {
+            opt: OptConfig::all(),
+            batch_size: 32,
+            ..SamplerConfig::new()
+        },
+        2,
+    )
+    .unwrap();
+    fold(&mut h, b"multi-gpu-epoch");
+    mg.run_epoch_with(&frontiers, &Bindings::new(), 5, |device, batch, sample| {
+        fold(&mut h, &(device as u64).to_le_bytes());
+        fold(&mut h, &(batch as u64).to_le_bytes());
+        for layer in &sample.layers {
+            for v in layer {
+                fold_value(&mut h, v);
+            }
+        }
+    })
+    .unwrap();
     h
 }
 
