@@ -23,3 +23,34 @@ cargo run -q --release -p gsampler-testkit --bin gsampler-fuzz -- \
 
 # Benches (incl. the parallel-runtime speedup harness) must keep compiling.
 cargo bench --workspace --no-run
+
+# --- Observability smoke -----------------------------------------------
+# A traced run must produce a parseable Chrome-trace file with at least
+# one event from every instrumented layer: IR passes, kernel dispatch,
+# worker-pool regions, and planner decisions. GSAMPLER_THREADS=2 so pool
+# regions actually dispatch on single-core CI hosts.
+cargo build -q --release -p gsampler-bench
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT
+GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 \
+    --trace-out "$TRACE_TMP/trace.json" --metrics-out "$TRACE_TMP/metrics.json" >/dev/null
+./target/release/trace-check "$TRACE_TMP/trace.json" --require pass,kernel,pool,plan
+test -s "$TRACE_TMP/metrics.json"
+
+# --- Perf-regression gate ----------------------------------------------
+# Self-test first: the gate must FAIL on an injected 2x slowdown,
+# otherwise it is not actually gating anything.
+if ./target/release/perf-gate results/BENCH_parallel.json results/BENCH_parallel.json \
+    --inject-slowdown 2.0 --threshold 0.5 >/dev/null 2>&1; then
+    echo "perf-gate self-test FAILED: injected 2x slowdown was not flagged" >&2
+    exit 1
+fi
+# Identity check: a file diffed against itself must pass.
+./target/release/perf-gate results/BENCH_parallel.json results/BENCH_parallel.json >/dev/null
+
+# Re-measure the parallel-runtime bench into a temp file and diff against
+# the committed baseline. The baseline was recorded on different hardware,
+# so the threshold is deliberately loose (2x) — it catches order-of-
+# magnitude regressions, not noise; tighten it on a pinned CI host.
+GS_BENCH_OUT="$TRACE_TMP/bench.json" cargo bench -q -p gsampler-bench --bench parallel_runtime >/dev/null
+./target/release/perf-gate results/BENCH_parallel.json "$TRACE_TMP/bench.json" --threshold 2.0

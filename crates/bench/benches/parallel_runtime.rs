@@ -74,6 +74,30 @@ fn bench_frontier_sampling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Disabled-tracing overhead: the pool's region dispatch is instrumented
+/// with `gsampler_obs` spans, which must be near-free (one relaxed atomic
+/// load) when tracing is off. Benches the off-path span directly and the
+/// instrumented SpMM kernel with tracing explicitly disabled, so the
+/// `perf-gate` diff against the committed baseline catches any creep.
+fn bench_disabled_tracing(c: &mut Criterion) {
+    gsampler_obs::disable();
+    let (m, feats) = workload();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("disabled_span_x1000", |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                drop(black_box(gsampler_obs::span("kernel", "noop")));
+            }
+        })
+    });
+    group.bench_function("spmm_tracing_off", |b| {
+        with_threads(8, || {
+            b.iter(|| spmm::spmm(black_box(&m), black_box(&feats)).unwrap())
+        });
+    });
+    group.finish();
+}
+
 /// Median wall seconds of `f` over `reps` runs.
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..reps)
@@ -134,16 +158,27 @@ fn write_artifact() {
         "{{\n  \"bench\": \"parallel_runtime\",\n  \"dataset\": \"OgbnProducts preset (PD), scale 0.05\",\n  \"host_parallelism\": {host},\n  \"reps_per_point\": {reps},\n  \"note\": \"median wall times as measured on this host; speedup_at_8 can only exceed 1.0 when host_parallelism > 1\",\n{}\n}}\n",
         sections.join(",\n")
     );
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../results/BENCH_parallel.json"
-    );
-    if let Some(dir) = std::path::Path::new(path).parent() {
+    // `GS_BENCH_OUT` redirects the artifact (CI re-measures into a temp
+    // file and diffs it against the committed baseline with `perf-gate`
+    // instead of overwriting it).
+    let path = std::env::var("GS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_parallel.json"
+        )
+        .to_string()
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    std::fs::write(&path, &json).expect("write bench artifact JSON");
     println!("wrote {path}");
 }
 
-criterion_group!(benches, bench_spmm, bench_frontier_sampling);
+criterion_group!(
+    benches,
+    bench_spmm,
+    bench_frontier_sampling,
+    bench_disabled_tracing
+);
 criterion_main!(write_artifact, benches);

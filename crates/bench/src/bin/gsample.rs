@@ -14,12 +14,14 @@
 //!   --epochs N                   epochs to run (default 1)
 //!   --breakdown                  print the per-kernel time breakdown
 //!   --dot                        dump the optimized layer programs as DOT
+//!   --trace-out FILE             write a Chrome-trace/Perfetto timeline
+//!   --metrics-out FILE           write a flat JSON metrics snapshot
 //! ```
 
 use std::sync::Arc;
 
 use gsampler_algos::Hyper;
-use gsampler_bench::{build_gsampler, dataset, fmt_time, gsampler_epoch, Algo};
+use gsampler_bench::{build_gsampler, dataset, fmt_time, gsampler_epoch, Algo, TraceOpts};
 use gsampler_core::{DeviceProfile, Graph, OptConfig};
 use gsampler_graphs::DatasetKind;
 
@@ -27,6 +29,7 @@ fn usage() -> ! {
     eprintln!("usage: gsample <deepwalk|node2vec|graphsage|ladies|asgcn|pass|shadow> [options]");
     eprintln!("  --dataset LJ|PD|PP|FS|tiny   --edges FILE   --scale F");
     eprintln!("  --batch N   --device v100|t4|cpu   --plain   --epochs N");
+    eprintln!("  --trace-out FILE   --metrics-out FILE");
     std::process::exit(2);
 }
 
@@ -58,6 +61,7 @@ fn main() {
     let mut epochs = 1usize;
     let mut breakdown = false;
     let mut dot = false;
+    let trace = TraceOpts::from_args(&args);
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -98,6 +102,10 @@ fn main() {
             "--plain" => plain = true,
             "--breakdown" => breakdown = true,
             "--dot" => dot = true,
+            // Parsed by TraceOpts::from_args; skip the file path here.
+            "--trace-out" | "--metrics-out" => {
+                let _ = value(flag);
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
@@ -183,4 +191,5 @@ fn main() {
             println!("  {:<42} x{count:<6} {}", name, fmt_time(time));
         }
     }
+    trace.export();
 }

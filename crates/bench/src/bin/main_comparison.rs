@@ -7,18 +7,21 @@
 //! SkyWalker-like vertex-centric engine (simple algorithms only).
 //! `N/A` marks architecture gaps, exactly as in the paper's figures.
 //!
-//! Usage: `main_comparison [--simple|--complex] [--profile]`; `--profile`
-//! additionally prints, per dataset × algorithm, the dispatcher's
-//! per-kernel breakdown of the measured gSampler epoch (invocation count,
-//! modeled device time, bytes). `GS_SCALE` shrinks the datasets for smoke
-//! runs.
+//! Usage: `main_comparison [--simple|--complex] [--profile]
+//! [--trace-out FILE] [--metrics-out FILE]`; `--profile` additionally
+//! prints, per dataset × algorithm, the dispatcher's per-kernel breakdown
+//! of the measured gSampler epoch (invocation count, modeled device time,
+//! bytes). `--trace-out` records a Chrome-trace/Perfetto timeline of the
+//! whole run (IR passes, plan decisions, kernel dispatches, worker-pool
+//! regions) and `--metrics-out` a flat JSON counters snapshot. `GS_SCALE`
+//! shrinks the datasets for smoke runs.
 
 use std::sync::Arc;
 
 use gsampler_algos::Hyper;
 use gsampler_bench::{
     build_gsampler, dataset, eager_epoch, env_scale, fmt_time, gsampler_epoch, print_profile,
-    print_table, vertex_centric_epoch, Algo,
+    print_table, vertex_centric_epoch, Algo, TraceOpts,
 };
 use gsampler_core::{DeviceProfile, OptConfig};
 use gsampler_graphs::DatasetKind;
@@ -28,6 +31,7 @@ fn main() {
     let simple_only = args.iter().any(|a| a == "--simple");
     let complex_only = args.iter().any(|a| a == "--complex");
     let profile = args.iter().any(|a| a == "--profile");
+    let trace = TraceOpts::from_args(&args);
     let algos: Vec<Algo> = if simple_only {
         Algo::SIMPLE.to_vec()
     } else if complex_only {
@@ -161,4 +165,5 @@ fn main() {
         speedups.len()
     );
     println!("(paper: 1.14–32.7x, average 6.54x, 19/28 cases above 2x)");
+    trace.export();
 }

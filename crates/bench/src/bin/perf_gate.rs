@@ -1,0 +1,160 @@
+//! `perf-gate` — diff two bench artifact JSON files and fail on
+//! regressions, so a PR cannot silently slow down what
+//! `results/BENCH_parallel.json` records.
+//!
+//! ```text
+//! perf-gate <baseline.json> <current.json> [options]
+//!   --threshold F        allowed relative slowdown (default 0.25 = +25%)
+//!   --min-ms F           ignore absolute deltas below this (default 0.05)
+//!   --inject-slowdown F  multiply current's gated values by F first
+//!                        (the CI self-test: the gate must then fail)
+//! ```
+//!
+//! Gated values are the numeric leaves under any
+//! `median_wall_ms_by_threads` object (lower is better); other fields —
+//! speedups, host parallelism, notes — are informational and not gated,
+//! because their direction or meaning is host-dependent. A leaf present
+//! in only one file is reported but does not fail the gate (benches may
+//! gain or lose sections across PRs).
+//!
+//! Exit codes: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+
+use gsampler_obs::json::Json;
+
+/// A flattened `path → milliseconds` view of the gated leaves.
+fn gated_leaves(v: &Json, path: &str, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Obj(fields) => {
+            for (k, child) in fields {
+                let child_path = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                if k == "median_wall_ms_by_threads" {
+                    if let Json::Obj(entries) = child {
+                        for (threads, val) in entries {
+                            if let Some(ms) = val.as_f64() {
+                                out.push((format!("{child_path}.{threads}"), ms));
+                            }
+                        }
+                    }
+                } else {
+                    gated_leaves(child, &child_path, out);
+                }
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                gated_leaves(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf-gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf-gate: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut min_ms = 0.05f64;
+    let mut inject = 1.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("perf-gate: {name} needs a numeric value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--threshold" => threshold = value("--threshold"),
+            "--min-ms" => min_ms = value("--min-ms"),
+            "--inject-slowdown" => inject = value("--inject-slowdown"),
+            other if other.starts_with("--") => {
+                eprintln!("perf-gate: unknown flag {other}");
+                std::process::exit(2);
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: perf-gate <baseline.json> <current.json> [--threshold F] [--min-ms F] [--inject-slowdown F]");
+        std::process::exit(2);
+    }
+
+    let mut base = Vec::new();
+    gated_leaves(&load(&files[0]), "", &mut base);
+    let mut cur = Vec::new();
+    gated_leaves(&load(&files[1]), "", &mut cur);
+    if inject != 1.0 {
+        for (_, ms) in &mut cur {
+            *ms *= inject;
+        }
+        println!("perf-gate: self-test mode, current values x{inject}");
+    }
+    if base.is_empty() {
+        eprintln!("perf-gate: {} has no gated leaves", files[0]);
+        std::process::exit(2);
+    }
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "leaf", "baseline ms", "current ms", "delta"
+    );
+    for (path, base_ms) in &base {
+        let Some((_, cur_ms)) = cur.iter().find(|(p, _)| p == path) else {
+            println!("{path:<44} {base_ms:>12.4} {:>12} {:>9}", "absent", "-");
+            continue;
+        };
+        compared += 1;
+        let rel = cur_ms / base_ms.max(f64::MIN_POSITIVE) - 1.0;
+        let flag = if *cur_ms > base_ms * (1.0 + threshold) && cur_ms - base_ms > min_ms {
+            regressions.push((path.clone(), *base_ms, *cur_ms, rel));
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        let rel_pct = format!("{:+.1}%", rel * 100.0);
+        println!("{path:<44} {base_ms:>12.4} {cur_ms:>12.4} {rel_pct:>9}{flag}");
+    }
+    for (path, cur_ms) in &cur {
+        if !base.iter().any(|(p, _)| p == path) {
+            println!("{path:<44} {:>12} {cur_ms:>12.4} {:>9}", "absent", "-");
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("perf-gate: no leaf appears in both files; nothing gated");
+        std::process::exit(2);
+    }
+    if regressions.is_empty() {
+        println!(
+            "perf-gate: OK — {compared} leaves within +{:.0}% (min {min_ms} ms)",
+            threshold * 100.0
+        );
+    } else {
+        eprintln!(
+            "perf-gate: FAIL — {} of {compared} leaves regressed past +{:.0}%:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for (path, b, c, rel) in &regressions {
+            eprintln!("  {path}: {b:.4} ms -> {c:.4} ms ({:+.1}%)", rel * 100.0);
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,107 @@
+//! `trace-check` — validate a `--trace-out` Chrome-trace JSON file: it
+//! must parse, every event must carry the fields the viewers expect, and
+//! it must contain at least one span per required instrumentation layer.
+//!
+//! ```text
+//! trace-check <trace.json> [--require cat1,cat2,...]
+//! ```
+//!
+//! Default required categories: `pass` (IR pass timings), `kernel`
+//! (dispatches), `pool` (worker-pool regions). The CI smoke additionally
+//! requires `plan` (super-batch / layout decisions).
+//!
+//! Exit codes: 0 = valid, 1 = missing layer or malformed event,
+//! 2 = usage/IO error.
+
+use std::collections::BTreeMap;
+
+use gsampler_obs::json::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut required = vec!["pass".to_string(), "kernel".to_string(), "pool".to_string()];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--require" => {
+                let list = it.next().unwrap_or_else(|| {
+                    eprintln!("trace-check: --require needs a comma-separated list");
+                    std::process::exit(2);
+                });
+                required = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            other if other.starts_with("--") => {
+                eprintln!("trace-check: unknown flag {other}");
+                std::process::exit(2);
+            }
+            p => path = Some(p.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace-check <trace.json> [--require cat1,cat2,...]");
+        std::process::exit(2);
+    };
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace-check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("trace-check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_arr()) else {
+        eprintln!("trace-check: {path} has no traceEvents array");
+        std::process::exit(1);
+    };
+
+    let mut per_cat: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let cat = ev.get("cat").and_then(|v| v.as_str()).unwrap_or_else(|| {
+            eprintln!("trace-check: event {i} has no cat");
+            std::process::exit(1);
+        });
+        let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap_or_else(|| {
+            eprintln!("trace-check: event {i} has no ph");
+            std::process::exit(1);
+        });
+        for field in ["name", "ts", "pid", "tid"] {
+            if ev.get(field).is_none() {
+                eprintln!("trace-check: event {i} ({cat}) is missing {field}");
+                std::process::exit(1);
+            }
+        }
+        if ph == "X" && ev.get("dur").and_then(|v| v.as_f64()).is_none() {
+            eprintln!("trace-check: complete event {i} ({cat}) has no dur");
+            std::process::exit(1);
+        }
+        let entry = per_cat.entry(cat.to_string()).or_insert((0, 0));
+        if ph == "X" {
+            entry.0 += 1;
+        } else {
+            entry.1 += 1;
+        }
+    }
+
+    println!("trace-check: {path}: {} events", events.len());
+    for (cat, (spans, instants)) in &per_cat {
+        println!("  {cat:<10} {spans:>6} spans  {instants:>6} instants");
+    }
+    let mut missing = Vec::new();
+    for cat in &required {
+        let (spans, instants) = per_cat.get(cat).copied().unwrap_or((0, 0));
+        if spans + instants == 0 {
+            missing.push(cat.clone());
+        }
+    }
+    if missing.is_empty() {
+        println!(
+            "trace-check: OK — all required layers present ({})",
+            required.join(", ")
+        );
+    } else {
+        eprintln!("trace-check: FAIL — no events in: {}", missing.join(", "));
+        std::process::exit(1);
+    }
+}

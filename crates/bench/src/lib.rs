@@ -376,6 +376,75 @@ pub fn vertex_centric_epoch(
     })
 }
 
+/// Trace/metrics export destinations parsed from the command line —
+/// `--trace-out FILE` (Chrome-trace/Perfetto JSON timeline) and
+/// `--metrics-out FILE` (flat counters + span aggregates). Shared by the
+/// harness binaries so every one of them exposes the same observability
+/// surface.
+#[derive(Debug, Clone, Default)]
+pub struct TraceOpts {
+    /// Chrome-trace JSON destination, if requested.
+    pub trace_out: Option<String>,
+    /// Metrics snapshot destination, if requested.
+    pub metrics_out: Option<String>,
+}
+
+impl TraceOpts {
+    /// Parse `--trace-out` / `--metrics-out` from raw args and, if either
+    /// is present, switch the global trace collector on. Returns the
+    /// destinations; call [`TraceOpts::export`] after the workload.
+    pub fn from_args(args: &[String]) -> TraceOpts {
+        let value = |name: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == name)
+                .map(|i| match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => v.clone(),
+                    _ => {
+                        eprintln!("{name} needs a file path");
+                        std::process::exit(2);
+                    }
+                })
+        };
+        let opts = TraceOpts {
+            trace_out: value("--trace-out"),
+            metrics_out: value("--metrics-out"),
+        };
+        if opts.enabled() {
+            gsampler_obs::enable();
+        }
+        opts
+    }
+
+    /// Whether any export destination was requested.
+    pub fn enabled(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Write the requested artifacts (call once, after the workload).
+    pub fn export(&self) {
+        if let Some(path) = &self.trace_out {
+            match gsampler_obs::write_chrome_trace(path) {
+                Ok(()) => println!(
+                    "\nwrote trace to {path} (open in chrome://tracing or https://ui.perfetto.dev)"
+                ),
+                Err(e) => {
+                    eprintln!("failed to write trace {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            match gsampler_obs::write_metrics(path) {
+                Ok(()) => println!("wrote metrics snapshot to {path}"),
+                Err(e) => {
+                    eprintln!("failed to write metrics {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}
+
 /// Format seconds with sensible units.
 pub fn fmt_time(seconds: f64) -> String {
     if seconds >= 1.0 {

@@ -105,6 +105,9 @@ pub struct EpochReport {
 
 /// Compile `layers` for `graph` under `config`.
 pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> Result<Sampler> {
+    let mut compile_span = gsampler_obs::span("compile", "compile");
+    compile_span.arg("layers", layers.len());
+    compile_span.arg("batch_size", config.batch_size);
     let device = Device::new(config.device.clone());
     let stats = graph.stats();
     let graph_value = Rc::new(Value::Matrix(graph.matrix.clone()));
@@ -125,6 +128,7 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
         let precomputed: Vec<Rc<Value>> = if optimized.precompute.is_empty() {
             Vec::new()
         } else {
+            let _span = gsampler_obs::span("compile", "precompute");
             let mut rng = pool.stream(0xF0 + li as u64);
             let groups = vec![Vec::new()];
             let out = exec::execute(
@@ -171,6 +175,8 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
     {
         super_batch = 1;
     }
+    compile_span.arg("super_batch", super_batch);
+    drop(compile_span);
 
     Ok(Sampler {
         graph,
@@ -261,6 +267,8 @@ impl Sampler {
         rng: &mut rand::rngs::StdRng,
     ) -> Result<Vec<GraphSample>> {
         let s = groups.len();
+        let mut exec_span = gsampler_obs::span("exec", "sample_groups");
+        exec_span.arg("groups", s);
         let mut per_group: Vec<GraphSample> =
             (0..s).map(|_| GraphSample { layers: Vec::new() }).collect();
         for layer in &self.layers {
@@ -303,6 +311,10 @@ impl Sampler {
         mut consume: impl FnMut(usize, GraphSample),
     ) -> Result<EpochReport> {
         self.device.reset();
+        let mut epoch_span = gsampler_obs::span("epoch", "run_epoch");
+        epoch_span.arg("epoch", epoch);
+        epoch_span.arg("seeds", seeds.len());
+        epoch_span.arg("super_batch", self.super_batch);
         let wall_start = Instant::now();
         let batch = self.config.batch_size.max(1);
         let pool = self.pool.subpool(epoch);

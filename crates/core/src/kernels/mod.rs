@@ -268,6 +268,14 @@ pub fn dispatch(
         .collect();
     let in_shapes: Vec<ShapeEst> = inputs.iter().map(|v| v.shape_est()).collect();
 
+    // Building the span name formats the op, so gate it on the flag to
+    // keep the disabled path to one atomic load.
+    let mut span = if gsampler_obs::is_enabled() {
+        gsampler_obs::span("kernel", &format!("{}::{}", kernel.name(), op.name()))
+    } else {
+        gsampler_obs::SpanGuard::inert()
+    };
+
     let pool_before = pool_metrics();
     let start = Instant::now();
     let value = kernel.run(op, inputs, ctx, rng)?;
@@ -283,6 +291,12 @@ pub fn dispatch(
         graph_input: graph_input_resident,
     };
     if let Some(desc) = kernel.workload(&args) {
+        span.arg("workload", desc.name.clone());
+        span.arg("pool_regions", pool.regions);
+        span.arg("pool_avg_threads", pool.avg_threads());
+        let (modeled, _) = device.cost_model().time_and_utilization(&desc);
+        span.arg("modeled_s", modeled);
+        gsampler_obs::counter("kernel.dispatches", 1.0);
         device.charge_timed_par(desc, wall, pool);
     }
     Ok(value)

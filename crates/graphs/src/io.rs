@@ -13,28 +13,56 @@ use gsampler_matrix::NodeId;
 /// Result of parsing an edge list: `(num_nodes, edges, any_weighted)`.
 pub type ParsedEdgeList = (usize, Vec<(NodeId, NodeId, f32)>, bool);
 
-/// Parse an edge list from a reader. Node count is
-/// `max(node id) + 1` unless `num_nodes` forces a larger space.
+/// Node-count hint from a `# <N> nodes, <M> edges` header comment (the
+/// header [`save_graph`] writes). Returns `None` for ordinary comments.
+fn header_num_nodes(comment: &str) -> Option<usize> {
+    let mut parts = comment.trim_start_matches('#').split_whitespace();
+    let n = parts.next()?.parse::<usize>().ok()?;
+    let unit = parts.next()?;
+    (unit == "nodes" || unit == "nodes,").then_some(n)
+}
+
+fn bad_line(lineno: usize, what: impl std::fmt::Display) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("line {}: {what}", lineno + 1),
+    )
+}
+
+/// Parse an edge list from a reader. Node count is `max(node id) + 1`,
+/// unless `num_nodes` or a `# <N> nodes, ...` header comment (the form
+/// [`save_graph`] writes) forces a larger space — the header is what
+/// keeps trailing isolated nodes across a save/load round trip.
 pub fn read_edge_list(
     reader: impl BufRead,
     num_nodes: Option<usize>,
 ) -> std::io::Result<ParsedEdgeList> {
     let mut edges = Vec::new();
     let mut max_node = 0usize;
+    let mut header_nodes = 0usize;
     let mut any_weight = false;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
+            if let Some(n) = header_num_nodes(trimmed) {
+                header_nodes = header_nodes.max(n);
+            }
             continue;
         }
         let mut parts = trimmed.split_whitespace();
         let parse = |s: Option<&str>, what: &str| -> std::io::Result<u32> {
-            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("line {}: missing/invalid {what}", lineno + 1),
-                )
+            let s = s.ok_or_else(|| bad_line(lineno, format_args!("missing {what}")))?;
+            s.parse().map_err(|_| {
+                // Distinguish a well-formed but too-large id from garbage.
+                if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+                    bad_line(
+                        lineno,
+                        format_args!("{what} {s} out of range (node ids must be <= {})", u32::MAX),
+                    )
+                } else {
+                    bad_line(lineno, format_args!("invalid {what}"))
+                }
             })
         };
         let u = parse(parts.next(), "source id")?;
@@ -56,6 +84,7 @@ pub fn read_edge_list(
     }
     let n = num_nodes
         .unwrap_or(0)
+        .max(header_nodes)
         .max(if edges.is_empty() { 0 } else { max_node + 1 });
     Ok((n, edges, any_weight))
 }
@@ -119,6 +148,64 @@ mod tests {
     fn num_nodes_override() {
         let (n, _, _) = read_edge_list("0 1\n".as_bytes(), Some(100)).unwrap();
         assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn header_preserves_trailing_isolated_nodes() {
+        // Regression: `save_graph` writes the node count in a header
+        // comment, but `read_edge_list` used to ignore it, so a graph
+        // whose highest-ID nodes have no edges shrank on reload.
+        let text = "# 7 nodes, 2 edges\n0 1\n2 3\n";
+        let (n, edges, _) = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(edges.len(), 2);
+        // An explicit larger override still wins; the header never
+        // shrinks a space the edges require.
+        let (n, _, _) = read_edge_list(text.as_bytes(), Some(10)).unwrap();
+        assert_eq!(n, 10);
+        let (n, _, _) = read_edge_list("# 1 nodes, 1 edges\n0 5\n".as_bytes(), None).unwrap();
+        assert_eq!(n, 6);
+        // Ordinary comments are not headers.
+        let (n, _, _) = read_edge_list("# snap dataset\n0 1\n".as_bytes(), None).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn out_of_range_id_gets_distinct_error() {
+        // Regression: ids above u32::MAX were reported as
+        // "missing/invalid source id", indistinguishable from garbage.
+        let big = (u32::MAX as u64) + 1;
+        let err = read_edge_list(format!("{big} 0\n").as_bytes(), None).unwrap_err();
+        assert!(
+            err.to_string().contains("out of range") && err.to_string().contains("4294967295"),
+            "unexpected message: {err}"
+        );
+        let err = read_edge_list(format!("0 {big}\n").as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Ids far beyond u64 are still "out of range", not garbage.
+        let err =
+            read_edge_list("123456789012345678901234567890 0\n".as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Garbage keeps the invalid message.
+        let err = read_edge_list("x 0\n".as_bytes(), None).unwrap_err();
+        assert!(err.to_string().contains("invalid source id"), "{err}");
+        // In-range boundary still parses.
+        let (n, _, _) = read_edge_list(format!("{} 0\n", u32::MAX).as_bytes(), None).unwrap();
+        assert_eq!(n, u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn roundtrip_keeps_isolated_max_id_node() {
+        let dir = std::env::temp_dir().join("gsampler_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("isolated.txt");
+        // Node 4 (the max ID) has no edges at all.
+        let g = Graph::from_edges("iso", 5, &[(0, 1, 1.0), (2, 3, 1.0)], false).unwrap();
+        save_graph(&g, &path).unwrap();
+        let loaded = load_graph(&path).unwrap();
+        assert_eq!(loaded.num_nodes(), 5);
+        assert_eq!(loaded.matrix.global_edges(), g.matrix.global_edges());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

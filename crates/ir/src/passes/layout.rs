@@ -138,6 +138,30 @@ pub fn run(
         est_time,
         natural_time,
     };
+    if gsampler_obs::is_enabled() {
+        let chosen: Vec<String> = report
+            .choices
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}={:?}{}",
+                    c.op_name,
+                    c.format,
+                    if c.compact { "+compact" } else { "" }
+                )
+            })
+            .collect();
+        gsampler_obs::event(
+            "plan",
+            "layout.assignment",
+            &[
+                ("mode", gsampler_obs::Arg::Str(format!("{mode:?}"))),
+                ("chosen", gsampler_obs::Arg::Str(chosen.join(", "))),
+                ("est_time_s", gsampler_obs::Arg::Num(est_time)),
+                ("natural_time_s", gsampler_obs::Arg::Num(natural_time)),
+            ],
+        );
+    }
     (rewritten, report)
 }
 

@@ -184,38 +184,51 @@ pub fn run_passes(
     cost_model: &CostModel,
     residency: Residency,
 ) -> OptimizedProgram {
+    let mut pipeline_span = gsampler_obs::span("pass", "run_passes");
+    pipeline_span.arg("ops_in", program.nodes().len());
     let mut report = PassReport::default();
     let mut prog = program.clone();
 
     if config.cse {
+        let mut span = gsampler_obs::span("pass", "cse");
         let (p, merged) = cse::run(&prog);
         prog = p;
         report.cse_merged = merged;
+        span.arg("merged", merged);
     }
 
     let mut precompute = Program::new();
     if config.preprocess {
+        let mut span = gsampler_obs::span("pass", "preprocess");
         let r = preprocess::run(&prog);
         prog = r.program;
         precompute = r.precompute;
         report.preprocessed = r.hoisted;
+        span.arg("hoisted", r.hoisted);
     }
 
     if config.fusion {
+        let mut span = gsampler_obs::span("pass", "fusion");
         let r = fusion::run(&prog);
         prog = r.program;
         report.extract_select_fused = r.extract_select;
         report.edge_map_fused = r.edge_map;
         report.edge_map_reduce_fused = r.edge_map_reduce;
+        span.arg("extract_select", r.extract_select);
+        span.arg("edge_map", r.edge_map);
+        span.arg("edge_map_reduce", r.edge_map_reduce);
     }
 
     if config.dce {
+        let mut span = gsampler_obs::span("pass", "dce");
         let (p, removed) = dce::run(&prog);
         prog = p;
         report.dce_removed = removed;
+        span.arg("removed", removed);
     }
 
     if config.layout != LayoutMode::None {
+        let mut span = gsampler_obs::span("pass", "layout");
         let (p, lr) = layout::run(
             &prog,
             config.layout,
@@ -225,8 +238,14 @@ pub fn run_passes(
             residency,
         );
         prog = p;
+        span.arg("mode", format!("{:?}", config.layout));
+        span.arg("conversions", lr.conversions);
+        span.arg("compactions", lr.compactions);
+        span.arg("est_time_s", lr.est_time);
+        span.arg("natural_time_s", lr.natural_time);
         report.layout = Some(lr);
     }
+    pipeline_span.arg("ops_out", prog.nodes().len());
 
     debug_assert!(prog.validate().is_ok(), "pass broke program: {prog:?}");
     OptimizedProgram {

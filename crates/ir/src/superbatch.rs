@@ -22,6 +22,12 @@ pub struct SuperBatchPlan {
     pub est_bytes: f64,
     /// The memory budget used for the search.
     pub budget_bytes: f64,
+    /// Whether `est_bytes` actually fits the budget. The grid search
+    /// never returns a factor below 1, so an unsatisfiable budget
+    /// (even a single batch is estimated over it) still yields
+    /// `factor: 1` — but with `fits: false` so callers can warn or
+    /// reject instead of silently over-committing memory.
+    pub fits: bool,
 }
 
 /// Candidate factors tried by the grid search.
@@ -46,10 +52,33 @@ pub fn plan(
             break;
         }
     }
+    let fits = chosen_bytes <= budget_bytes;
+    if !fits {
+        gsampler_obs::event(
+            "warn",
+            "superbatch.unsatisfiable",
+            &[
+                ("batch_size", gsampler_obs::Arg::Num(batch_size as f64)),
+                ("est_bytes", gsampler_obs::Arg::Num(chosen_bytes)),
+                ("budget_bytes", gsampler_obs::Arg::Num(budget_bytes)),
+            ],
+        );
+    }
+    gsampler_obs::event(
+        "plan",
+        "superbatch",
+        &[
+            ("factor", gsampler_obs::Arg::Num(chosen as f64)),
+            ("est_bytes", gsampler_obs::Arg::Num(chosen_bytes)),
+            ("budget_bytes", gsampler_obs::Arg::Num(budget_bytes)),
+            ("fits", gsampler_obs::Arg::from(fits)),
+        ],
+    );
     SuperBatchPlan {
         factor: chosen,
         est_bytes: chosen_bytes,
         budget_bytes,
+        fits,
     }
 }
 
@@ -95,6 +124,7 @@ mod tests {
         let large = plan(&p, &stats(), 512, 1e9);
         assert!(large.factor > small.factor);
         assert!(large.est_bytes <= 1e9);
+        assert!(large.fits);
     }
 
     #[test]
@@ -102,6 +132,10 @@ mod tests {
         let p = graphsage();
         let tiny = plan(&p, &stats(), 512, 1.0);
         assert_eq!(tiny.factor, 1);
+        // Regression: a factor-1 plan over an unsatisfiable budget used
+        // to be indistinguishable from a fitting one.
+        assert!(!tiny.fits);
+        assert!(tiny.est_bytes > tiny.budget_bytes);
     }
 
     #[test]
@@ -109,6 +143,7 @@ mod tests {
         let p = graphsage();
         let huge = plan(&p, &stats(), 16, 1e15);
         assert_eq!(huge.factor, 128);
+        assert!(huge.fits);
     }
 
     #[test]

@@ -237,6 +237,7 @@ fn run_participant(job: &Job, tid: usize) {
 fn dispatch(extra: usize, f: &(dyn Fn(usize) + Sync)) {
     debug_assert!(extra >= 1, "dispatch needs at least one pool worker");
     let pool = pool();
+    let mut region_span = gsampler_obs::span("pool", "pool.region");
     let region_start = Instant::now();
     // SAFETY: lifetime erasure — `dispatch` does not return until every
     // participant has finished with the closure.
@@ -287,13 +288,19 @@ fn dispatch(extra: usize, f: &(dyn Fn(usize) + Sync)) {
 
     let wall = region_start.elapsed().as_nanos() as u64;
     let threads = (extra + 1) as u64;
+    let busy = caller_busy + job.busy_ns.load(Ordering::Relaxed);
     REGIONS.fetch_add(1, Ordering::Relaxed);
     THREADS_SUM.fetch_add(threads, Ordering::Relaxed);
-    BUSY_NS.fetch_add(
-        caller_busy + job.busy_ns.load(Ordering::Relaxed),
-        Ordering::Relaxed,
-    );
+    BUSY_NS.fetch_add(busy, Ordering::Relaxed);
     CAPACITY_NS.fetch_add(wall.saturating_mul(threads), Ordering::Relaxed);
+
+    region_span.arg("participants", threads);
+    region_span.arg("busy_us", busy as f64 / 1e3);
+    region_span.arg(
+        "occupancy",
+        busy as f64 / wall.saturating_mul(threads).max(1) as f64,
+    );
+    drop(region_span);
 
     match caller_result {
         Err(payload) => resume_unwind(payload),

@@ -1,0 +1,95 @@
+//! Property test: edge-list I/O must be semantics-preserving.
+//!
+//! Any generated graph — weighted or not, with self-loops, duplicate
+//! edges, and (the regression that motivated this file) a dangling tail
+//! of isolated max-ID nodes — must survive `save_graph` → `load_graph`
+//! with an identical node count and an identical semantic fingerprint
+//! (sorted global edge list, so storage layout stays invisible). This
+//! catches any future drift in the text format, including the header
+//! handling that preserves trailing isolated nodes and the id parsing
+//! rules.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gsampler_core::Value;
+use gsampler_graphs::io::{load_graph, save_graph};
+use gsampler_testkit::fingerprint::Fingerprint;
+use gsampler_testkit::gen::GraphSpec;
+
+/// Semantic digest of a graph: node count + sorted global edge list.
+fn graph_fingerprint(g: &gsampler_core::Graph) -> u64 {
+    let mut f = Fingerprint::new();
+    f.u64(g.num_nodes() as u64);
+    f.value(&Value::Matrix(g.matrix.clone()));
+    f.finish()
+}
+
+#[test]
+fn save_load_round_trip_preserves_fingerprint() {
+    let dir = std::env::temp_dir().join(format!("gsampler_io_prop_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x10_5EED);
+    let mut dangling_cases = 0usize;
+    for case in 0..60 {
+        let spec = GraphSpec::arbitrary(&mut rng);
+        if spec.dangling {
+            dangling_cases += 1;
+        }
+        let original = spec.build();
+        let path = dir.join(format!("case{case}.txt"));
+        save_graph(&original, &path).unwrap();
+        let reloaded = load_graph(&path).unwrap();
+        assert_eq!(
+            reloaded.num_nodes(),
+            original.num_nodes(),
+            "node count drifted across save/load for {}",
+            spec.describe()
+        );
+        assert_eq!(
+            graph_fingerprint(&reloaded),
+            graph_fingerprint(&original),
+            "semantic fingerprint drifted across save/load for {}",
+            spec.describe()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    // The generator must actually have exercised the trailing-isolated-
+    // nodes regression, not just easy fully-connected graphs.
+    assert!(
+        dangling_cases >= 5,
+        "only {dangling_cases}/60 cases had a dangling tail; raise the case count"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explicitly_dangling_spec_round_trips() {
+    // A directed pin of the original bug: force the dangling tail on so
+    // the highest-ID nodes are isolated, whatever `arbitrary` drew.
+    let dir = std::env::temp_dir().join(format!("gsampler_io_pin_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..10 {
+        let mut spec = GraphSpec::arbitrary(&mut rng);
+        spec.dangling = true;
+        spec.nodes = spec.nodes.max(16);
+        let original = spec.build();
+        let path = dir.join("pin.txt");
+        save_graph(&original, &path).unwrap();
+        let reloaded = load_graph(&path).unwrap();
+        assert_eq!(
+            reloaded.num_nodes(),
+            original.num_nodes(),
+            "{}",
+            spec.describe()
+        );
+        assert_eq!(
+            graph_fingerprint(&reloaded),
+            graph_fingerprint(&original),
+            "{}",
+            spec.describe()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
