@@ -37,6 +37,31 @@ GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 
 ./target/release/trace-check "$TRACE_TMP/trace.json" --require pass,kernel,pool,plan
 test -s "$TRACE_TMP/metrics.json"
 
+# --- Chaos smoke --------------------------------------------------------
+# One epoch with an injected device-OOM, a transient kernel fault, and a
+# worker panic (on a fixed 2-worker pool) must recover and exit 0, and the
+# trace must contain the fault/* fires plus the degrade/superbatch.factor
+# event proving the memory-pressure recovery actually walked the ladder.
+GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 \
+    --faults "seed=3;oom:at=2;kernel:at=5;worker-panic:at=1" \
+    --trace-out "$TRACE_TMP/chaos.json" >/dev/null
+./target/release/trace-check "$TRACE_TMP/chaos.json" \
+    --require pass,kernel,pool,fault,degrade \
+    --require-event degrade/superbatch.factor \
+    --require-event fault/oom \
+    --require-event fault/kernel \
+    --require-event fault/worker.panic
+
+# Degradation ladder endpoints: an unsatisfiable super-batch budget must
+# be a hard error with recovery disabled, and a degraded-but-successful
+# run with recovery enabled.
+if ./target/release/gsample graphsage --dataset tiny --budget 0.000001 --no-degrade \
+    >/dev/null 2>&1; then
+    echo "gsample accepted an unsatisfiable budget under --no-degrade" >&2
+    exit 1
+fi
+./target/release/gsample graphsage --dataset tiny --budget 0.000001 >/dev/null
+
 # --- Perf-regression gate ----------------------------------------------
 # Self-test first: the gate must FAIL on an injected 2x slowdown,
 # otherwise it is not actually gating anything.

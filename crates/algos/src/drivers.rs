@@ -161,6 +161,7 @@ pub fn run_walk_epoch(
     }
     let mut stats = sampler.device().stats();
     stats.compact_records();
+    let faults = stats.faults;
     Ok(EpochReport {
         modeled_time: stats.total_time,
         wall_time: wall.elapsed().as_secs_f64(),
@@ -168,6 +169,7 @@ pub fn run_walk_epoch(
         stats,
         memory: sampler.device().memory(),
         super_batch: factor,
+        faults,
     })
 }
 

@@ -16,12 +16,22 @@
 //!   --dot                        dump the optimized layer programs as DOT
 //!   --trace-out FILE             write a Chrome-trace/Perfetto timeline
 //!   --metrics-out FILE           write a flat JSON metrics snapshot
+//!   --faults SPEC                install a fault-injection schedule
+//!                                (same grammar as GSAMPLER_FAULTS)
+//!   --budget MIB                 super-batch planning budget in MiB
+//!                                (default 256 when auto-planning)
+//!   --no-degrade                 disable fault recovery and the memory
+//!                                degradation ladder (fail fast)
 //! ```
+//!
+//! With a fault schedule installed (flag or environment) the epoch lines
+//! are followed by a fault report; an unsatisfiable memory budget under
+//! `--no-degrade` is a hard error (exit 1).
 
 use std::sync::Arc;
 
 use gsampler_algos::Hyper;
-use gsampler_bench::{build_gsampler, dataset, fmt_time, gsampler_epoch, Algo, TraceOpts};
+use gsampler_bench::{dataset, fmt_time, gsampler_epoch, Algo, TraceOpts};
 use gsampler_core::{DeviceProfile, Graph, OptConfig};
 use gsampler_graphs::DatasetKind;
 
@@ -30,6 +40,7 @@ fn usage() -> ! {
     eprintln!("  --dataset LJ|PD|PP|FS|tiny   --edges FILE   --scale F");
     eprintln!("  --batch N   --device v100|t4|cpu   --plain   --epochs N");
     eprintln!("  --trace-out FILE   --metrics-out FILE");
+    eprintln!("  --faults SPEC   --budget MIB   --no-degrade");
     std::process::exit(2);
 }
 
@@ -61,6 +72,9 @@ fn main() {
     let mut epochs = 1usize;
     let mut breakdown = false;
     let mut dot = false;
+    let mut no_degrade = false;
+    let mut faults_spec: Option<String> = None;
+    let mut budget_mib: Option<f64> = None;
     let trace = TraceOpts::from_args(&args);
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -102,6 +116,9 @@ fn main() {
             "--plain" => plain = true,
             "--breakdown" => breakdown = true,
             "--dot" => dot = true,
+            "--no-degrade" => no_degrade = true,
+            "--faults" => faults_spec = Some(value("--faults")),
+            "--budget" => budget_mib = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             // Parsed by TraceOpts::from_args; skip the file path here.
             "--trace-out" | "--metrics-out" => {
                 let _ = value(flag);
@@ -112,6 +129,21 @@ fn main() {
             }
         }
     }
+
+    // Fault injection: explicit flag wins over the environment.
+    let faults_on = match faults_spec {
+        Some(spec) => match gsampler_engine::faults::FaultSpec::parse(&spec) {
+            Ok(parsed) => {
+                gsampler_engine::faults::install(parsed);
+                true
+            }
+            Err(e) => {
+                eprintln!("invalid --faults spec: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => gsampler_bench::install_faults_from_env(),
+    };
 
     let (graph, seeds): (Arc<Graph>, Vec<u32>) = match edges_file {
         Some(path) => {
@@ -144,10 +176,27 @@ fn main() {
     } else {
         OptConfig::all()
     };
-    let sampler = build_gsampler(&graph, algo, &h, device, opt, !plain).unwrap_or_else(|e| {
-        eprintln!("compile failed: {e}");
-        std::process::exit(1);
-    });
+    let recovery = if no_degrade {
+        gsampler_core::RecoveryPolicy::disabled()
+    } else {
+        gsampler_core::RecoveryPolicy::default()
+    };
+    let opts = gsampler_bench::BuildOpts {
+        recovery,
+        budget_override: budget_mib.map(|mib| mib * (1 << 20) as f64),
+    };
+    let sampler = gsampler_bench::build_gsampler_with(&graph, algo, &h, device, opt, !plain, opts)
+        .unwrap_or_else(|e| {
+            if matches!(e, gsampler_core::Error::MemoryBudget(_)) {
+                eprintln!("gsample: {e}");
+                eprintln!(
+                    "gsample: rerun without --no-degrade to stream over-budget batches instead"
+                );
+            } else {
+                eprintln!("compile failed: {e}");
+            }
+            std::process::exit(1);
+        });
     println!(
         "compiled {}: super-batch factor {}, passes: {:?}",
         algo.name(),
@@ -183,6 +232,27 @@ fn main() {
             est.ran_batches,
             est.sm_utilization * 100.0,
             est.peak_memory / 1024,
+        );
+        if est.faults.any() {
+            println!(
+                "epoch {epoch}: faults — {}",
+                gsampler_bench::fmt_fault_report(&est.faults)
+            );
+        }
+    }
+    if faults_on {
+        let i = gsampler_engine::faults::injected();
+        println!(
+            "fault plane: {} fires (oom={} kernel={} worker_panic={} worker_stall={}) over \
+             {} alloc / {} kernel / {} pool sites",
+            i.total(),
+            i.oom,
+            i.kernel,
+            i.worker_panic,
+            i.worker_stall,
+            i.alloc_sites,
+            i.kernel_sites,
+            i.worker_sites,
         );
     }
     if breakdown {

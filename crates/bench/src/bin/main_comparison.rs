@@ -7,7 +7,7 @@
 //! SkyWalker-like vertex-centric engine (simple algorithms only).
 //! `N/A` marks architecture gaps, exactly as in the paper's figures.
 //!
-//! Usage: `main_comparison [--simple|--complex] [--profile]
+//! Usage: `main_comparison [--simple|--complex] [--profile] [--no-degrade]
 //! [--trace-out FILE] [--metrics-out FILE]`; `--profile` additionally
 //! prints, per dataset × algorithm, the dispatcher's per-kernel breakdown
 //! of the measured gSampler epoch (invocation count, modeled device time,
@@ -15,15 +15,20 @@
 //! whole run (IR passes, plan decisions, kernel dispatches, worker-pool
 //! regions) and `--metrics-out` a flat JSON counters snapshot. `GS_SCALE`
 //! shrinks the datasets for smoke runs.
+//!
+//! `GSAMPLER_FAULTS` installs a fault-injection schedule for the whole
+//! comparison; `--no-degrade` turns recovery off, making an unsatisfiable
+//! super-batch budget a hard error (exit 1) rather than a degraded run.
 
 use std::sync::Arc;
 
 use gsampler_algos::Hyper;
 use gsampler_bench::{
-    build_gsampler, dataset, eager_epoch, env_scale, fmt_time, gsampler_epoch, print_profile,
-    print_table, vertex_centric_epoch, Algo, TraceOpts,
+    build_gsampler_with, dataset, eager_epoch, env_scale, fmt_fault_report, fmt_time,
+    gsampler_epoch, install_faults_from_env, print_profile, print_table, vertex_centric_epoch,
+    Algo, BuildOpts, TraceOpts,
 };
-use gsampler_core::{DeviceProfile, OptConfig};
+use gsampler_core::{DeviceProfile, Error, OptConfig, RecoveryPolicy};
 use gsampler_graphs::DatasetKind;
 
 fn main() {
@@ -31,6 +36,8 @@ fn main() {
     let simple_only = args.iter().any(|a| a == "--simple");
     let complex_only = args.iter().any(|a| a == "--complex");
     let profile = args.iter().any(|a| a == "--profile");
+    let no_degrade = args.iter().any(|a| a == "--no-degrade");
+    let faults_on = install_faults_from_env();
     let trace = TraceOpts::from_args(&args);
     let algos: Vec<Algo> = if simple_only {
         Algo::SIMPLE.to_vec()
@@ -67,28 +74,55 @@ fn main() {
         for &algo in &algos {
             // Keep the sampler alive past the measurement: its device
             // session holds the dispatcher records `--profile` prints.
-            let gs = build_gsampler(
+            let recovery = if no_degrade {
+                RecoveryPolicy::disabled()
+            } else {
+                RecoveryPolicy::default()
+            };
+            let gs = build_gsampler_with(
                 &graph,
                 algo,
                 &h,
                 DeviceProfile::v100(),
                 OptConfig::all(),
                 true,
+                BuildOpts {
+                    recovery,
+                    ..BuildOpts::default()
+                },
             )
-            .and_then(|s| gsampler_epoch(&s, &graph, algo, seeds, &h).map(|e| (e.seconds, s)));
+            .and_then(|s| gsampler_epoch(&s, &graph, algo, seeds, &h).map(|e| (e, s)));
             let dgl_gpu = eager_epoch(&graph, algo, seeds, &h, DeviceProfile::v100());
             let dgl_cpu = eager_epoch(&graph, algo, seeds, &h, DeviceProfile::cpu());
             let vc = vertex_centric_epoch(&graph, algo, seeds, &h, DeviceProfile::v100());
 
             let gs_time = match &gs {
-                Ok((t, sampler)) => {
+                Ok((est, sampler)) => {
                     if profile {
                         print_profile(
                             &format!("{} / {} — dispatcher profile", kind.abbr(), algo.name()),
                             &sampler.device().stats(),
                         );
                     }
-                    *t
+                    if est.faults.any() {
+                        println!(
+                            "{} / {}: faults — {}",
+                            kind.abbr(),
+                            algo.name(),
+                            fmt_fault_report(&est.faults)
+                        );
+                    }
+                    est.seconds
+                }
+                Err(e @ Error::MemoryBudget(_)) => {
+                    // An unsatisfiable budget with degradation off is a
+                    // configuration error, not a data point: fail the run.
+                    eprintln!("main_comparison: {} / {}: {e}", kind.abbr(), algo.name());
+                    eprintln!(
+                        "main_comparison: rerun without --no-degrade to stream over-budget \
+                         batches instead"
+                    );
+                    std::process::exit(1);
                 }
                 Err(e) => {
                     rows.push(vec![
@@ -165,5 +199,16 @@ fn main() {
         speedups.len()
     );
     println!("(paper: 1.14–32.7x, average 6.54x, 19/28 cases above 2x)");
+    if faults_on {
+        let i = gsampler_engine::faults::injected();
+        println!(
+            "fault plane: {} fires (oom={} kernel={} worker_panic={} worker_stall={})",
+            i.total(),
+            i.oom,
+            i.kernel,
+            i.worker_panic,
+            i.worker_stall,
+        );
+    }
     trace.export();
 }

@@ -4,11 +4,15 @@
 //!
 //! ```text
 //! trace-check <trace.json> [--require cat1,cat2,...]
+//!                          [--require-event cat/name]...
 //! ```
 //!
 //! Default required categories: `pass` (IR pass timings), `kernel`
 //! (dispatches), `pool` (worker-pool regions). The CI smoke additionally
-//! requires `plan` (super-batch / layout decisions).
+//! requires `plan` (super-batch / layout decisions). `--require-event`
+//! (repeatable) demands at least one event with an exact category *and*
+//! name — the chaos smoke uses it to prove a specific recovery action
+//! (e.g. `degrade/superbatch.factor`) actually happened.
 //!
 //! Exit codes: 0 = valid, 1 = missing layer or malformed event,
 //! 2 = usage/IO error.
@@ -21,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut required = vec!["pass".to_string(), "kernel".to_string(), "pool".to_string()];
+    let mut required_events: Vec<(String, String)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,6 +36,17 @@ fn main() {
                 });
                 required = list.split(',').map(|s| s.trim().to_string()).collect();
             }
+            "--require-event" => {
+                let spec = it.next().unwrap_or_else(|| {
+                    eprintln!("trace-check: --require-event needs cat/name");
+                    std::process::exit(2);
+                });
+                let Some((cat, name)) = spec.split_once('/') else {
+                    eprintln!("trace-check: --require-event wants cat/name, got {spec:?}");
+                    std::process::exit(2);
+                };
+                required_events.push((cat.trim().to_string(), name.trim().to_string()));
+            }
             other if other.starts_with("--") => {
                 eprintln!("trace-check: unknown flag {other}");
                 std::process::exit(2);
@@ -39,7 +55,10 @@ fn main() {
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: trace-check <trace.json> [--require cat1,cat2,...]");
+        eprintln!(
+            "usage: trace-check <trace.json> [--require cat1,cat2,...] \
+             [--require-event cat/name]..."
+        );
         std::process::exit(2);
     };
 
@@ -57,6 +76,7 @@ fn main() {
     };
 
     let mut per_cat: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut per_event: BTreeMap<(String, String), usize> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let cat = ev.get("cat").and_then(|v| v.as_str()).unwrap_or_else(|| {
             eprintln!("trace-check: event {i} has no cat");
@@ -82,6 +102,11 @@ fn main() {
         } else {
             entry.1 += 1;
         }
+        if let Some(name) = ev.get("name").and_then(|v| v.as_str()) {
+            *per_event
+                .entry((cat.to_string(), name.to_string()))
+                .or_insert(0) += 1;
+        }
     }
 
     println!("trace-check: {path}: {} events", events.len());
@@ -95,13 +120,33 @@ fn main() {
             missing.push(cat.clone());
         }
     }
-    if missing.is_empty() {
+    let mut missing_events = Vec::new();
+    for (cat, name) in &required_events {
+        let n = per_event
+            .get(&(cat.clone(), name.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n == 0 {
+            missing_events.push(format!("{cat}/{name}"));
+        } else {
+            println!("  required event {cat}/{name}: {n} occurrences");
+        }
+    }
+    if missing.is_empty() && missing_events.is_empty() {
         println!(
             "trace-check: OK — all required layers present ({})",
             required.join(", ")
         );
     } else {
-        eprintln!("trace-check: FAIL — no events in: {}", missing.join(", "));
+        if !missing.is_empty() {
+            eprintln!("trace-check: FAIL — no events in: {}", missing.join(", "));
+        }
+        if !missing_events.is_empty() {
+            eprintln!(
+                "trace-check: FAIL — required events absent: {}",
+                missing_events.join(", ")
+            );
+        }
         std::process::exit(1);
     }
 }

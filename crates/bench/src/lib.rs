@@ -42,6 +42,9 @@ pub struct EpochEstimate {
     pub sm_utilization: f64,
     /// Peak transient device memory (bytes) observed.
     pub peak_memory: u64,
+    /// Injected faults and recovery actions observed during the
+    /// measurement (all zero for the baselines and on healthy runs).
+    pub faults: gsampler_engine::FaultReport,
 }
 
 /// The seven evaluated algorithms (paper §5.1).
@@ -123,7 +126,22 @@ pub fn dataset(kind: DatasetKind, scale: f64) -> Dataset {
     Dataset::generate(kind, scale, 2023)
 }
 
-/// Build the gSampler sampler for an algorithm.
+/// Robustness knobs for [`build_gsampler_with`], split from the
+/// positional arguments because every harness wants the same defaults.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOpts {
+    /// Fault-recovery policy; the strict (`--no-degrade`) CLI paths pass
+    /// [`RecoveryPolicy`](gsampler_core::RecoveryPolicy)`::disabled()` so
+    /// budget violations fail loudly instead of degrading.
+    pub recovery: gsampler_core::RecoveryPolicy,
+    /// Replace the default 256 MiB super-batch planning budget (bytes).
+    /// The chaos smoke passes a tiny budget to force the degradation
+    /// ladder deterministically.
+    pub budget_override: Option<f64>,
+}
+
+/// Build the gSampler sampler for an algorithm (default recovery policy:
+/// bounded retry plus the degradation ladder).
 pub fn build_gsampler(
     graph: &Arc<Graph>,
     algo: Algo,
@@ -132,12 +150,36 @@ pub fn build_gsampler(
     opt: OptConfig,
     auto_super_batch: bool,
 ) -> Result<gsampler_core::Sampler> {
+    build_gsampler_with(
+        graph,
+        algo,
+        h,
+        device,
+        opt,
+        auto_super_batch,
+        BuildOpts::default(),
+    )
+}
+
+/// [`build_gsampler`] with explicit robustness knobs ([`BuildOpts`]).
+#[allow(clippy::too_many_arguments)]
+pub fn build_gsampler_with(
+    graph: &Arc<Graph>,
+    algo: Algo,
+    h: &Hyper,
+    device: DeviceProfile,
+    opt: OptConfig,
+    auto_super_batch: bool,
+    opts: BuildOpts,
+) -> Result<gsampler_core::Sampler> {
     let config = SamplerConfig {
         opt,
         seed: 7,
         device,
         batch_size: h.batch_size,
-        auto_super_batch_budget: if auto_super_batch && algo.super_batch_ok() {
+        auto_super_batch_budget: if let Some(budget) = opts.budget_override {
+            Some(budget)
+        } else if auto_super_batch && algo.super_batch_ok() {
             // 256 MiB sampling budget; the factor cap keeps the runner in
             // the occupancy regime of the paper's Fig. 6 (saturation near
             // an effective batch of ~8k frontiers).
@@ -146,6 +188,7 @@ pub fn build_gsampler(
             None
         },
         max_super_batch: 16,
+        recovery: opts.recovery,
     };
     compile(graph.clone(), algo.layers(h), config)
 }
@@ -181,6 +224,7 @@ pub fn gsampler_epoch(
             ran_batches: ran,
             sm_utilization: stats.sm_utilization(),
             peak_memory: sampler.device().memory().peak(),
+            faults: stats.faults,
         })
     } else {
         let factor = sampler.super_batch_factor().max(1);
@@ -191,6 +235,7 @@ pub fn gsampler_epoch(
         let mut per_batch = report.modeled_time / report.batches.max(1) as f64;
         let mut sm = report.stats.sm_utilization();
         let mut peak = report.memory.peak();
+        let mut faults = report.faults;
         if algo == Algo::Shadow {
             // ShaDow's finalize induces a subgraph on the union of every
             // sampled node (host-unioned, so outside run_epoch): charge it
@@ -212,6 +257,7 @@ pub fn gsampler_epoch(
             per_batch += induce_stats.total_time / probe as f64;
             sm = (sm + induce_stats.sm_utilization()) / 2.0;
             peak = peak.max(induce.device().memory().peak());
+            faults.merge(&induce_stats.faults);
         }
         Ok(EpochEstimate {
             seconds: per_batch * total_batches as f64,
@@ -219,6 +265,7 @@ pub fn gsampler_epoch(
             ran_batches: report.batches,
             sm_utilization: sm,
             peak_memory: peak,
+            faults,
         })
     }
 }
@@ -326,6 +373,7 @@ pub fn eager_epoch_with_stats(
         ran_batches: ran,
         sm_utilization: report.sm_utilization,
         peak_memory: report.peak_memory,
+        faults: Default::default(),
     };
     Some((est, sampler.device().stats()))
 }
@@ -373,6 +421,7 @@ pub fn vertex_centric_epoch(
         ran_batches: ran,
         sm_utilization: report.sm_utilization,
         peak_memory: report.peak_memory,
+        faults: Default::default(),
     })
 }
 
@@ -443,6 +492,38 @@ impl TraceOpts {
             }
         }
     }
+}
+
+/// Install the `GSAMPLER_FAULTS` fault schedule when the variable is set,
+/// exiting with a usage diagnostic on a malformed spec. Returns whether a
+/// schedule is active. Every harness binary calls this before compiling,
+/// so chaos runs need no per-binary flags.
+pub fn install_faults_from_env() -> bool {
+    match gsampler_engine::faults::install_from_env() {
+        Ok(active) => active,
+        Err(e) => {
+            eprintln!("invalid GSAMPLER_FAULTS spec: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One-line rendering of a [`FaultReport`](gsampler_engine::FaultReport)
+/// for CLI output.
+pub fn fmt_fault_report(f: &gsampler_engine::FaultReport) -> String {
+    format!(
+        "injected: oom={} kernel={} worker_panics={}; recovery: kernel_retries={} \
+         batch_retries={} degrade_steps={} spill_events={} spilled={} quarantined={}",
+        f.injected_oom,
+        f.injected_kernel,
+        f.worker_panics,
+        f.kernel_retries,
+        f.batch_retries,
+        f.degrade_steps,
+        f.spill_events,
+        fmt_bytes(f.spilled_bytes),
+        f.quarantined_batches,
+    )
 }
 
 /// Format seconds with sensible units.

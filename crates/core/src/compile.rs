@@ -11,7 +11,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use gsampler_engine::{Device, DeviceProfile, ExecStats, MemoryTracker, RngPool};
+use gsampler_engine::{Device, DeviceProfile, ExecStats, FaultReport, MemoryTracker, RngPool};
 use gsampler_ir::passes::{run_passes, OptConfig, OptimizedProgram};
 use gsampler_ir::superbatch;
 use gsampler_matrix::NodeId;
@@ -21,6 +21,55 @@ use crate::error::{Error, Result};
 use crate::exec::{self, Bindings};
 use crate::graph::Graph;
 use crate::value::Value;
+
+/// How the epoch drivers respond to faults: bounded retry for transient
+/// failures, a degradation ladder for memory pressure, and optional
+/// quarantine of batches that exhaust both.
+///
+/// Recovery is deterministic by construction: a retried execution restores
+/// the RNG checkpoint taken before the failed attempt, so a run that
+/// recovers from a transient fault produces **bit-identical** samples to a
+/// clean run, and reruns of one seed + fault schedule always match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Maximum plain retries per execution for transient faults
+    /// (injected kernel failures, worker-pool panics). 0 = fail fast.
+    pub max_retries: u32,
+    /// Base backoff in milliseconds, doubled each retry (deterministic —
+    /// no jitter, so wall time varies but behavior does not).
+    pub backoff_ms: u64,
+    /// Allow the memory-pressure ladder: halve the super-batch factor
+    /// down to per-minibatch execution, then fall back to the streaming
+    /// (spill) layout.
+    pub allow_degrade: bool,
+    /// Skip (rather than fail the epoch on) a mini-batch window that
+    /// exhausts retries and degradation.
+    pub quarantine: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_ms: 1,
+            allow_degrade: true,
+            quarantine: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Fail-fast policy: no retries, no degradation, no quarantine —
+    /// pre-recovery behavior, and what strict benchmarking wants.
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_ms: 0,
+            allow_degrade: false,
+            quarantine: false,
+        }
+    }
+}
 
 /// Sampler configuration: optimization knobs plus runtime parameters.
 #[derive(Debug, Clone)]
@@ -41,6 +90,8 @@ pub struct SamplerConfig {
     /// stops early once the device saturates anyway; this caps the
     /// latency and staleness cost of batching too many mini-batches).
     pub max_super_batch: usize,
+    /// Fault-recovery policy for the epoch drivers.
+    pub recovery: RecoveryPolicy,
 }
 
 impl SamplerConfig {
@@ -53,6 +104,7 @@ impl SamplerConfig {
             batch_size: 512,
             auto_super_batch_budget: None,
             max_super_batch: 128,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -101,6 +153,88 @@ pub struct EpochReport {
     pub memory: MemoryTracker,
     /// Super-batch factor used.
     pub super_batch: usize,
+    /// Injected faults and recovery actions observed during the epoch
+    /// (a copy of `stats.faults`; all zero on a healthy run).
+    pub faults: FaultReport,
+}
+
+/// Run one program execution under `policy`: bounded deterministic retry
+/// for transient faults, and — for single-group executions, the bottom of
+/// the degradation ladder — a switch to the streaming (spill) layout on
+/// memory pressure. Every retry first restores the RNG checkpoint taken
+/// before the attempt, so a recovered execution is bit-identical to a
+/// clean one.
+#[allow(clippy::too_many_arguments)]
+fn execute_recovering(
+    policy: &RecoveryPolicy,
+    program: &gsampler_ir::Program,
+    graph: &Graph,
+    graph_value: &Rc<Value>,
+    groups: &[Vec<NodeId>],
+    bindings: &Bindings,
+    precomputed: &[Rc<Value>],
+    device: &Device,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<Vec<Vec<Value>>> {
+    let checkpoint = rng.clone();
+    let mut retries = 0u32;
+    let mut tried_spill = false;
+    loop {
+        match exec::execute(
+            program,
+            graph,
+            graph_value,
+            groups,
+            bindings,
+            precomputed,
+            device,
+            rng,
+        ) {
+            Ok(out) => return Ok(out),
+            Err(e) if e.is_transient() && retries < policy.max_retries => {
+                retries += 1;
+                device.note_faults(|f| f.kernel_retries += 1);
+                gsampler_obs::event(
+                    "fault",
+                    "retry",
+                    &[("attempt", gsampler_obs::Arg::from(retries as f64))],
+                );
+                if policy.backoff_ms > 0 {
+                    // Deterministic exponential backoff: no jitter, so the
+                    // recovery *behavior* is a pure function of the fault
+                    // schedule (only wall time varies).
+                    let shift = (retries - 1).min(16);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        policy.backoff_ms << shift,
+                    ));
+                }
+                *rng = checkpoint.clone();
+            }
+            Err(Error::Oom(oom))
+                if policy.allow_degrade
+                    && groups.len() <= 1
+                    && !tried_spill
+                    && !device.spill_enabled() =>
+            {
+                // Bottom rung of the ladder: per-minibatch execution still
+                // does not fit, so stream over-budget values host-side at
+                // PCIe cost (gSampler §4.5's UVA fallback) and re-run.
+                tried_spill = true;
+                device.enter_spill();
+                device.note_faults(|f| f.degrade_steps += 1);
+                gsampler_obs::event(
+                    "degrade",
+                    "streaming",
+                    &[(
+                        "requested_bytes",
+                        gsampler_obs::Arg::from(oom.requested as f64),
+                    )],
+                );
+                *rng = checkpoint.clone();
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Compile `layers` for `graph` under `config`.
@@ -131,7 +265,8 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
             let _span = gsampler_obs::span("compile", "precompute");
             let mut rng = pool.stream(0xF0 + li as u64);
             let groups = vec![Vec::new()];
-            let out = exec::execute(
+            let out = execute_recovering(
+                &config.recovery,
                 &optimized.precompute,
                 &graph,
                 &graph_value,
@@ -161,12 +296,38 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
     let mut super_batch = config.opt.super_batch.max(1);
     if let Some(budget) = config.auto_super_batch_budget {
         let mut planned = usize::MAX;
+        let mut fits = true;
         for layer in &compiled {
             let plan =
                 superbatch::plan(&layer.optimized.program, &stats, config.batch_size, budget);
             planned = planned.min(plan.factor);
+            fits &= plan.fits;
         }
         super_batch = planned.clamp(1, config.max_super_batch.max(1));
+        if !fits {
+            // Even factor 1 exceeds the budget. With degradation enabled
+            // the sampler starts directly on the ladder's streaming rung;
+            // otherwise this is a hard compile error (the caller asked to
+            // run strictly within a budget that cannot hold one batch).
+            if config.recovery.allow_degrade {
+                device.enter_spill();
+                gsampler_obs::event(
+                    "degrade",
+                    "streaming",
+                    &[(
+                        "reason",
+                        gsampler_obs::Arg::from("super-batch budget unsatisfiable at factor 1"),
+                    )],
+                );
+            } else {
+                return Err(Error::MemoryBudget(format!(
+                    "no super-batch factor fits the {budget:.0}-byte budget at batch size {} \
+                     (even factor 1 exceeds it) and degradation is disabled; raise the budget, \
+                     shrink the batch, or enable recovery.allow_degrade",
+                    config.batch_size
+                )));
+            }
+        }
     }
     if super_batch > 1
         && !compiled
@@ -260,6 +421,12 @@ impl Sampler {
 
     /// Sample several mini-batches together (one super-batch execution);
     /// returns one [`GraphSample`] per input group.
+    ///
+    /// Runs under the configured [`RecoveryPolicy`]: transient faults are
+    /// retried (bit-identically — the RNG is checkpointed per layer
+    /// execution), and single-group memory pressure falls back to the
+    /// streaming layout. Multi-group OOM propagates so the epoch driver
+    /// can walk the super-batch degradation ladder instead.
     pub fn sample_groups(
         &self,
         mut groups: Vec<Vec<NodeId>>,
@@ -272,7 +439,8 @@ impl Sampler {
         let mut per_group: Vec<GraphSample> =
             (0..s).map(|_| GraphSample { layers: Vec::new() }).collect();
         for layer in &self.layers {
-            let outputs = exec::execute(
+            let outputs = execute_recovering(
+                &self.config.recovery,
                 &layer.optimized.program,
                 &self.graph,
                 &self.graph_value,
@@ -303,6 +471,15 @@ impl Sampler {
     /// Run one epoch: go through `seeds` once in mini-batches of the
     /// configured size, sampling `super_batch` batches per execution.
     /// `consume` is called once per mini-batch with its sample.
+    ///
+    /// Epochs are checkpointed per window: a failed super-batch window is
+    /// re-executed — walking the degradation ladder (halve the factor →
+    /// per-minibatch execution → streaming layout) under memory pressure —
+    /// without redoing batches that already succeeded. Windows that
+    /// exhaust the [`RecoveryPolicy`] are quarantined (skipped, counted in
+    /// the [`FaultReport`]) when the policy allows, and fail the epoch
+    /// otherwise. Mini-batch indices passed to `consume` stay stable
+    /// across quarantines.
     pub fn run_epoch_with(
         &self,
         seeds: &[NodeId],
@@ -317,32 +494,83 @@ impl Sampler {
         epoch_span.arg("super_batch", self.super_batch);
         let wall_start = Instant::now();
         let batch = self.config.batch_size.max(1);
+        let policy = &self.config.recovery;
         let pool = self.pool.subpool(epoch);
+        let mut factor = self.super_batch.max(1);
         let mut batch_idx = 0usize;
         let mut start = 0usize;
         let mut exec_idx = 0u64;
         while start < seeds.len() {
-            // Collect up to `super_batch` equal-sized groups.
+            // Collect up to `factor` equal-sized groups; `start` is only
+            // committed once the window succeeds (or is quarantined).
             let mut groups: Vec<Vec<NodeId>> = Vec::new();
-            while groups.len() < self.super_batch && start < seeds.len() {
-                let end = (start + batch).min(seeds.len());
-                groups.push(seeds[start..end].to_vec());
-                start = end;
+            let mut end = start;
+            while groups.len() < factor && end < seeds.len() {
+                let stop = (end + batch).min(seeds.len());
+                groups.push(seeds[end..stop].to_vec());
+                end = stop;
             }
+            let window_batches = groups.len();
             let mut rng = pool.stream(exec_idx);
-            exec_idx += 1;
-            let samples = self.sample_groups(groups, bindings, &mut rng)?;
-            for sample in samples {
-                consume(batch_idx, sample);
-                batch_idx += 1;
+            match self.sample_groups(groups, bindings, &mut rng) {
+                Ok(samples) => {
+                    exec_idx += 1;
+                    start = end;
+                    for sample in samples {
+                        consume(batch_idx, sample);
+                        batch_idx += 1;
+                    }
+                }
+                Err(e) if e.is_oom() && policy.allow_degrade && factor > 1 => {
+                    // Degradation ladder: halve the super-batch factor and
+                    // re-execute the same seed window regrouped. Factor 1
+                    // windows that still do not fit take the streaming
+                    // rung inside `sample_groups`.
+                    let from = factor;
+                    factor = (factor / 2).max(1);
+                    self.device.note_faults(|f| {
+                        f.degrade_steps += 1;
+                        f.batch_retries += 1;
+                    });
+                    gsampler_obs::event(
+                        "degrade",
+                        "superbatch.factor",
+                        &[
+                            ("from", gsampler_obs::Arg::from(from as f64)),
+                            ("to", gsampler_obs::Arg::from(factor as f64)),
+                        ],
+                    );
+                }
+                Err(e) if policy.quarantine => {
+                    // The window exhausted retries and degradation: skip
+                    // it, keep the epoch alive. Batch numbering stays
+                    // stable — the skipped indices are simply never given
+                    // to `consume`.
+                    self.device
+                        .note_faults(|f| f.quarantined_batches += window_batches as u64);
+                    gsampler_obs::event(
+                        "degrade",
+                        "quarantine",
+                        &[
+                            ("batches", gsampler_obs::Arg::from(window_batches as f64)),
+                            ("error", gsampler_obs::Arg::from(e.to_string())),
+                        ],
+                    );
+                    exec_idx += 1;
+                    start = end;
+                    batch_idx += window_batches;
+                }
+                Err(e) => return Err(e),
             }
         }
+        epoch_span.arg("final_super_batch", factor);
         let mut stats = self.device.stats();
         stats.compact_records();
         Ok(EpochReport {
             modeled_time: stats.total_time,
             wall_time: wall_start.elapsed().as_secs_f64(),
             batches: batch_idx,
+            faults: stats.faults,
             stats,
             memory: self.device.memory(),
             super_batch: self.super_batch,

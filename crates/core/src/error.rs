@@ -11,6 +11,30 @@ pub enum Error {
     Execution(String),
     /// A named input required by the program was not bound.
     MissingBinding(String),
+    /// A transient failure (injected kernel fault, worker-pool panic) —
+    /// retrying the same work is expected to succeed.
+    Transient(String),
+    /// A device allocation failed (budget exceeded or injected OOM) —
+    /// retrying at a *smaller* working set (degradation ladder) may
+    /// succeed, plain retry will not.
+    Oom(gsampler_engine::OomError),
+    /// The super-batch memory budget cannot be satisfied even at factor 1
+    /// and degradation is disabled.
+    MemoryBudget(String),
+}
+
+impl Error {
+    /// Whether plain retry (same inputs, same working set) is expected to
+    /// succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Transient(_))
+    }
+
+    /// Whether this is a memory-pressure failure the degradation ladder
+    /// can respond to.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Error::Oom(_))
+    }
 }
 
 impl From<gsampler_matrix::Error> for Error {
@@ -26,6 +50,9 @@ impl std::fmt::Display for Error {
             Error::InvalidProgram(s) => write!(f, "invalid program: {s}"),
             Error::Execution(s) => write!(f, "execution error: {s}"),
             Error::MissingBinding(s) => write!(f, "missing input binding: {s}"),
+            Error::Transient(s) => write!(f, "transient fault: {s}"),
+            Error::Oom(e) => write!(f, "{e}"),
+            Error::MemoryBudget(s) => write!(f, "memory budget unsatisfiable: {s}"),
         }
     }
 }
@@ -34,6 +61,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Matrix(e) => Some(e),
+            Error::Oom(e) => Some(e),
             _ => None,
         }
     }
@@ -53,5 +81,22 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e2 = Error::MissingBinding("W1".into());
         assert!(e2.to_string().contains("W1"));
+    }
+
+    #[test]
+    fn fault_classification() {
+        let t = Error::Transient("injected".into());
+        assert!(t.is_transient() && !t.is_oom());
+        let oom = Error::Oom(gsampler_engine::OomError {
+            requested: 10,
+            live: 5,
+            budget: 12,
+        });
+        assert!(oom.is_oom() && !oom.is_transient());
+        assert!(std::error::Error::source(&oom).is_some());
+        assert!(oom.to_string().contains("OOM"));
+        let b = Error::MemoryBudget("factor 1 needs 2x budget".into());
+        assert!(!b.is_transient() && !b.is_oom());
+        assert!(b.to_string().contains("unsatisfiable"));
     }
 }

@@ -154,6 +154,68 @@ pub fn execute(
         precomputed,
     };
 
+    let result = run_nodes(RunArgs {
+        program,
+        graph_value,
+        precomputed,
+        device,
+        rng,
+        ctx: &ctx,
+        refcount: &mut refcount,
+        resident: &resident,
+        env: &mut env,
+    });
+    if let Err(e) = result {
+        // Release the modeled-memory accounting of every live intermediate
+        // of the aborted execution, so a retry (possibly at a smaller
+        // super-batch factor) does not inherit phantom live bytes.
+        for (i, v) in env.iter().enumerate() {
+            if let (Some(v), false) = (v.as_deref(), resident[i]) {
+                device.free(v.bytes());
+            }
+        }
+        return Err(e);
+    }
+
+    let outputs: Vec<Rc<Value>> = program
+        .outputs()
+        .iter()
+        .map(|&o| {
+            env[o]
+                .clone()
+                .ok_or_else(|| Error::Execution(format!("output {o} missing")))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    superbatch::split_outputs(&outputs, &ctx)
+}
+
+/// Borrows of everything the node-evaluation loop touches, split out of
+/// [`execute`] so the error path can inspect the environment afterwards.
+struct RunArgs<'a, 'b> {
+    program: &'a Program,
+    graph_value: &'a Rc<Value>,
+    precomputed: &'a [Rc<Value>],
+    device: &'a Device,
+    rng: &'a mut StdRng,
+    ctx: &'a ExecCtx<'b>,
+    refcount: &'a mut [usize],
+    resident: &'a [bool],
+    env: &'a mut [Option<Rc<Value>>],
+}
+
+fn run_nodes(args: RunArgs<'_, '_>) -> Result<()> {
+    let RunArgs {
+        program,
+        graph_value,
+        precomputed,
+        device,
+        rng,
+        ctx,
+        refcount,
+        resident,
+        env,
+    } = args;
     for (id, node) in program.nodes().iter().enumerate() {
         // Value-sharing slots short-circuit the dispatcher: they clone an
         // `Rc` rather than produce a new value.
@@ -183,8 +245,8 @@ pub fn execute(
             .collect::<Result<Vec<_>>>()?;
 
         let graph_input = node.inputs.first().map(|&i| resident[i]).unwrap_or(false);
-        let value = kernels::dispatch(&node.op, &inputs, graph_input, &ctx, device, rng)?;
-        device.alloc(value.bytes());
+        let value = kernels::dispatch(&node.op, &inputs, graph_input, ctx, device, rng)?;
+        device.try_alloc(value.bytes()).map_err(Error::Oom)?;
         env[id] = Some(Rc::new(value));
 
         // Release inputs whose last consumer this was.
@@ -197,16 +259,5 @@ pub fn execute(
             }
         }
     }
-
-    let outputs: Vec<Rc<Value>> = program
-        .outputs()
-        .iter()
-        .map(|&o| {
-            env[o]
-                .clone()
-                .ok_or_else(|| Error::Execution(format!("output {o} missing")))
-        })
-        .collect::<Result<Vec<_>>>()?;
-
-    superbatch::split_outputs(&outputs, &ctx)
+    Ok(())
 }

@@ -23,12 +23,13 @@ pub mod slice_sample;
 pub mod superbatch;
 pub mod walk;
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 
-use gsampler_engine::{pool_metrics, Device, KernelDesc, Residency};
+use gsampler_engine::{faults, pool_metrics, Device, KernelDesc, PoolError, Residency};
 use gsampler_ir::{costing, Op, ShapeEst};
 use gsampler_matrix::{Format, NodeId};
 
@@ -276,9 +277,39 @@ pub fn dispatch(
         gsampler_obs::SpanGuard::inert()
     };
 
+    // Fault plane: a transient kernel failure injected at dispatch. One
+    // relaxed atomic load when no schedule is installed.
+    if faults::poll_kernel() {
+        device.note_faults(|f| f.injected_kernel += 1);
+        return Err(Error::Transient(format!(
+            "injected kernel fault at {}::{}",
+            kernel.name(),
+            op.name()
+        )));
+    }
+
     let pool_before = pool_metrics();
     let start = Instant::now();
-    let value = kernel.run(op, inputs, ctx, rng)?;
+    // A pool worker dying mid-kernel unwinds through here as a typed
+    // `PoolError` (the pool has already respawned the worker). Contain it
+    // as a transient, retryable failure of just this kernel; any other
+    // panic is a real bug and keeps unwinding.
+    let run_result = catch_unwind(AssertUnwindSafe(|| kernel.run(op, inputs, ctx, rng)));
+    let value = match run_result {
+        Ok(result) => result?,
+        Err(payload) => match payload.downcast::<PoolError>() {
+            Ok(pool_err) => {
+                device.note_faults(|f| f.worker_panics += 1);
+                return Err(Error::Transient(format!(
+                    "worker pool failure in {}::{}: {}",
+                    kernel.name(),
+                    op.name(),
+                    pool_err.message()
+                )));
+            }
+            Err(other) => resume_unwind(other),
+        },
+    };
     let wall = start.elapsed().as_secs_f64();
     let pool = pool_metrics().since(&pool_before);
 

@@ -54,7 +54,9 @@ pub mod kernels;
 pub mod multi_gpu;
 pub mod value;
 
-pub use compile::{compile, CompiledLayer, EpochReport, GraphSample, Sampler, SamplerConfig};
+pub use compile::{
+    compile, CompiledLayer, EpochReport, GraphSample, RecoveryPolicy, Sampler, SamplerConfig,
+};
 pub use error::{Error, Result};
 pub use exec::Bindings;
 pub use export::{to_edge_index_graph, to_message_flow_graph, EdgeIndexGraph, MessageFlowGraph};

@@ -29,6 +29,7 @@
 pub mod cache;
 pub mod cost;
 pub mod device;
+pub mod faults;
 pub mod memory;
 pub mod parallel;
 pub mod rng;
@@ -38,11 +39,14 @@ pub mod workload;
 pub use cache::{degree_cache_hit_rate, plan_cache, CachePlan};
 pub use cost::CostModel;
 pub use device::{DeviceProfile, Residency};
-pub use gsampler_runtime::{pool_metrics, PoolMetrics};
-pub use memory::MemoryTracker;
+pub use faults::{FaultKind, FaultSpec, InjectedCounts};
+pub use gsampler_runtime::{pool_metrics, PoolError, PoolMetrics};
+pub use memory::{MemoryTracker, OomError};
 pub use rng::RngPool;
-pub use stats::{ExecStats, KernelAgg, KernelRecord};
+pub use stats::{ExecStats, FaultReport, KernelAgg, KernelRecord};
 pub use workload::KernelDesc;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -57,6 +61,13 @@ pub struct Device {
     cost: CostModel,
     stats: Mutex<ExecStats>,
     memory: Mutex<MemoryTracker>,
+    /// Enforced live-byte ceiling for [`Device::try_alloc`]
+    /// (`u64::MAX` = unlimited, the default — budgets are opt-in).
+    budget_bytes: AtomicU64,
+    /// Streaming degradation: when set, allocations that fail the budget
+    /// (or an injected OOM) succeed as host-staged spills charged at PCIe
+    /// cost — the modeled analogue of gSampler §4.5's UVA fallback.
+    spill: AtomicBool,
 }
 
 impl Device {
@@ -68,6 +79,8 @@ impl Device {
             cost,
             stats: Mutex::new(ExecStats::default()),
             memory: Mutex::new(MemoryTracker::default()),
+            budget_bytes: AtomicU64::new(u64::MAX),
+            spill: AtomicBool::new(false),
         }
     }
 
@@ -122,6 +135,85 @@ impl Device {
         self.memory.lock().alloc(bytes);
     }
 
+    /// Set (or with `None` remove) the live-byte budget that
+    /// [`Device::try_alloc`] enforces.
+    pub fn set_memory_budget(&self, bytes: Option<u64>) {
+        self.budget_bytes
+            .store(bytes.unwrap_or(u64::MAX), Ordering::SeqCst);
+    }
+
+    /// The enforced budget, if one is set.
+    pub fn memory_budget(&self) -> Option<u64> {
+        match self.budget_bytes.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Enter the streaming (spill) degradation mode: from here on,
+    /// over-budget and injected-OOM allocations succeed as host-staged
+    /// spills charged at PCIe cost. Sticky until [`Device::leave_spill`].
+    pub fn enter_spill(&self) {
+        self.spill.store(true, Ordering::SeqCst);
+    }
+
+    /// Leave the streaming degradation mode.
+    pub fn leave_spill(&self) {
+        self.spill.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the device is in streaming (spill) mode.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill.load(Ordering::SeqCst)
+    }
+
+    /// Fallibly register an allocation of `bytes` live device memory.
+    ///
+    /// Fails when the budget (if any) would be exceeded or when the fault
+    /// plane injects a device-OOM for this allocation. In spill mode the
+    /// failure is converted into a host-staged allocation instead: the
+    /// bytes are still accounted live (they occupy modeled address space),
+    /// a `spill::uva` transfer is charged at PCIe cost, and the spill is
+    /// recorded in the session's [`FaultReport`].
+    pub fn try_alloc(&self, bytes: usize) -> Result<(), OomError> {
+        let injected = faults::poll_alloc();
+        if injected {
+            self.note_faults(|f| f.injected_oom += 1);
+        }
+        let budget = self.budget_bytes.load(Ordering::SeqCst);
+        let failed = if injected {
+            Some(OomError {
+                requested: bytes as u64,
+                live: self.memory.lock().current(),
+                budget,
+            })
+        } else {
+            self.memory.lock().try_alloc(bytes, budget).err()
+        };
+        let Some(oom) = failed else {
+            return Ok(());
+        };
+        if !self.spill_enabled() {
+            return Err(oom);
+        }
+        // Streaming fallback: the value lives host-side, reached over
+        // PCIe (gSampler §4.5's UVA story); the run slows down instead of
+        // dying.
+        self.memory.lock().alloc(bytes);
+        self.charge(KernelDesc::new("spill::uva").with_pcie(bytes as u64));
+        self.note_faults(|f| {
+            f.spill_events += 1;
+            f.spilled_bytes += bytes as u64;
+        });
+        Ok(())
+    }
+
+    /// Record fault/recovery accounting into the session's
+    /// [`FaultReport`] (used by the recovery layers in `gsampler-core`).
+    pub fn note_faults(&self, f: impl FnOnce(&mut FaultReport)) {
+        f(&mut self.stats.lock().faults);
+    }
+
     /// Register a free of `bytes` device memory.
     pub fn free(&self, bytes: usize) {
         self.memory.lock().free(bytes);
@@ -138,6 +230,8 @@ impl Device {
     }
 
     /// Reset statistics and memory accounting (between epochs/runs).
+    /// The memory budget and spill mode are *not* reset: degradation
+    /// state is sticky until explicitly lifted.
     pub fn reset(&self) {
         *self.stats.lock() = ExecStats::default();
         *self.memory.lock() = MemoryTracker::default();
@@ -184,5 +278,62 @@ mod tests {
         let mem = dev.memory();
         assert_eq!(mem.current(), 700);
         assert_eq!(mem.peak(), 1500);
+    }
+
+    #[test]
+    fn try_alloc_without_budget_always_succeeds() {
+        let dev = Device::new(DeviceProfile::v100());
+        assert!(dev.try_alloc(usize::MAX / 2).is_ok());
+        assert_eq!(dev.memory_budget(), None);
+    }
+
+    #[test]
+    fn try_alloc_enforces_budget_and_spills_when_degraded() {
+        let dev = Device::new(DeviceProfile::v100());
+        dev.set_memory_budget(Some(1000));
+        assert!(dev.try_alloc(800).is_ok());
+        let err = dev.try_alloc(500).unwrap_err();
+        assert_eq!(err.live, 800);
+        assert_eq!(err.budget, 1000);
+        assert_eq!(dev.stats().faults, FaultReport::default());
+        // Streaming mode turns the same failure into a PCIe-charged spill.
+        dev.enter_spill();
+        assert!(dev.try_alloc(500).is_ok());
+        let stats = dev.stats();
+        assert_eq!(stats.faults.spill_events, 1);
+        assert_eq!(stats.faults.spilled_bytes, 500);
+        assert_eq!(stats.total_bytes_pcie, 500);
+        assert!(stats.per_kernel.contains_key("spill::uva"));
+        assert_eq!(dev.memory().current(), 1300);
+        dev.leave_spill();
+        assert!(dev.try_alloc(500).is_err());
+    }
+
+    // Fault-plane integration tests are serialized: the plane is global.
+    fn faults_serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn injected_oom_fails_try_alloc_then_spills() {
+        let _guard = faults_serial();
+        faults::install(FaultSpec::parse("oom:every=1,count=2").unwrap());
+        let dev = Device::new(DeviceProfile::v100());
+        // No budget at all — the injected fault alone must fail the call.
+        assert!(dev.try_alloc(64).is_err());
+        assert_eq!(dev.stats().faults.injected_oom, 1);
+        dev.enter_spill();
+        assert!(dev.try_alloc(64).is_ok());
+        let stats = dev.stats();
+        assert_eq!(stats.faults.injected_oom, 2);
+        assert_eq!(stats.faults.spill_events, 1);
+        // Schedule exhausted: allocation works normally again.
+        dev.leave_spill();
+        assert!(dev.try_alloc(64).is_ok());
+        assert_eq!(faults::injected().oom, 2);
+        assert_eq!(faults::injected().alloc_sites, 3);
+        faults::clear();
+        assert!(!faults::is_active());
     }
 }

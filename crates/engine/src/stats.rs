@@ -66,6 +66,57 @@ impl KernelAgg {
     }
 }
 
+/// Structured accounting of injected faults and the recovery actions they
+/// triggered during one execution session.
+///
+/// Injected counts come from the fault plane firing (device-OOM on
+/// allocation, transient kernel failures at dispatch, worker panics in the
+/// pool); recovery counts come from the epoch drivers (retries, super-batch
+/// degradation steps, streaming spills, quarantined batches). All zero on a
+/// healthy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Simulated device-OOM faults that fired on allocation.
+    pub injected_oom: u64,
+    /// Transient kernel faults that fired at dispatch.
+    pub injected_kernel: u64,
+    /// Worker-pool panics observed at kernel dispatch (injected or real).
+    pub worker_panics: u64,
+    /// Kernel-level retries performed after transient faults.
+    pub kernel_retries: u64,
+    /// Mini-batch/super-batch windows re-executed after a failure.
+    pub batch_retries: u64,
+    /// Degradation-ladder steps taken (factor halvings + streaming mode).
+    pub degrade_steps: u64,
+    /// Allocations that overflowed the device budget into host-staged
+    /// streaming (UVA-style spill).
+    pub spill_events: u64,
+    /// Total bytes spilled to host-staged streaming.
+    pub spilled_bytes: u64,
+    /// Mini-batches abandoned after exhausting the recovery policy.
+    pub quarantined_batches: u64,
+}
+
+impl FaultReport {
+    /// True when anything at all was injected or recovered from.
+    pub fn any(&self) -> bool {
+        *self != FaultReport::default()
+    }
+
+    /// Fold another report into this one (shard/epoch aggregation).
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.injected_oom += other.injected_oom;
+        self.injected_kernel += other.injected_kernel;
+        self.worker_panics += other.worker_panics;
+        self.kernel_retries += other.kernel_retries;
+        self.batch_retries += other.batch_retries;
+        self.degrade_steps += other.degrade_steps;
+        self.spill_events += other.spill_events;
+        self.spilled_bytes += other.spilled_bytes;
+        self.quarantined_batches += other.quarantined_batches;
+    }
+}
+
 /// Aggregated statistics of an execution session.
 ///
 /// `sm_utilization()` is the *time-weighted* average utilization — the
@@ -93,6 +144,8 @@ pub struct ExecStats {
     /// Individual records (kept for breakdown reporting; cleared by
     /// `compact_records` when only aggregates are needed).
     pub records: Vec<KernelRecord>,
+    /// Injected faults and recovery actions observed this session.
+    pub faults: FaultReport,
 }
 
 impl ExecStats {
@@ -177,6 +230,7 @@ impl ExecStats {
             agg.pool.accumulate(&a.pool);
         }
         self.records.extend(other.records.iter().cloned());
+        self.faults.merge(&other.faults);
     }
 
     /// Drop individual records, keeping aggregates (bounds memory in long
@@ -357,6 +411,25 @@ mod tests {
         assert!((s.total_time - 1.0).abs() < 1e-12);
         assert!((s.total_wall_time - 0.5).abs() < 1e-12);
         assert_eq!(s.per_kernel["a"].count, 1);
+    }
+
+    #[test]
+    fn fault_report_merges_and_detects_activity() {
+        let clean = FaultReport::default();
+        assert!(!clean.any());
+        let mut a = ExecStats::default();
+        a.faults.injected_kernel = 2;
+        a.faults.kernel_retries = 2;
+        let mut b = ExecStats::default();
+        b.faults.injected_oom = 1;
+        b.faults.degrade_steps = 3;
+        b.faults.spilled_bytes = 4096;
+        a.merge(&b);
+        assert!(a.faults.any());
+        assert_eq!(a.faults.injected_kernel, 2);
+        assert_eq!(a.faults.injected_oom, 1);
+        assert_eq!(a.faults.degrade_steps, 3);
+        assert_eq!(a.faults.spilled_bytes, 4096);
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod rng;
 
 pub use parallel::{
     num_threads, parallel_for_chunks, parallel_for_dynamic, parallel_map, parallel_scatter,
-    parallel_scatter2, pool_metrics, PoolMetrics, WorkQueue,
+    parallel_scatter2, pool_metrics, set_worker_fault_hook, PoolError, PoolMetrics, WorkQueue,
+    WorkerFault, WorkerFaultHook,
 };
 pub use rng::RngPool;

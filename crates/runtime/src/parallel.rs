@@ -17,12 +17,99 @@
 //! sizes, never on the thread count — the invariant that keeps seeded
 //! sampling bit-identical under any `GSAMPLER_THREADS`.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
+
+/// The typed panic payload a parallel region unwinds with when a pool
+/// worker (not the caller) panicked. Callers that `catch_unwind` a region
+/// can downcast to this to recover the original worker-side panic message
+/// instead of a generic string, decide the failure is region-local, and
+/// keep the process alive — the pool itself has already replaced the dead
+/// worker by the time this unwinds.
+#[derive(Debug, Clone)]
+pub struct PoolError {
+    message: String,
+}
+
+impl PoolError {
+    fn new(message: String) -> PoolError {
+        PoolError { message }
+    }
+
+    /// The original panic payload, rendered as text (`&str`/`String`
+    /// payloads verbatim; other payload types are named as opaque).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Render a panic payload as text, preserving the common payload types.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(e) = payload.downcast_ref::<PoolError>() {
+        e.message.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// A fault the installed hook asks the pool to inject into the next
+/// dispatched region (consumed by exactly one spawned-side participant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Panic inside a worker's participant share.
+    Panic,
+    /// Stall the participant for `ms` milliseconds before its share runs
+    /// (the region still completes successfully).
+    Stall {
+        /// Injected delay in milliseconds.
+        ms: u64,
+    },
+}
+
+/// A fault-injection hook polled once per dispatched region, on the
+/// calling thread, in dispatch order — so a deterministic program yields a
+/// deterministic fault placement regardless of worker scheduling.
+pub type WorkerFaultHook = Arc<dyn Fn() -> Option<WorkerFault> + Send + Sync>;
+
+static FAULT_HOOK_ON: AtomicBool = AtomicBool::new(false);
+static FAULT_HOOK: OnceLock<Mutex<Option<WorkerFaultHook>>> = OnceLock::new();
+
+/// Install (or, with `None`, remove) the worker fault-injection hook.
+/// With no hook installed the per-region cost is one relaxed atomic load.
+pub fn set_worker_fault_hook(hook: Option<WorkerFaultHook>) {
+    let slot = FAULT_HOOK.get_or_init(|| Mutex::new(None));
+    let mut g = slot.lock().unwrap_or_else(|p| p.into_inner());
+    FAULT_HOOK_ON.store(hook.is_some(), Ordering::SeqCst);
+    *g = hook;
+}
+
+fn poll_worker_fault() -> Option<WorkerFault> {
+    if !FAULT_HOOK_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    let hook = {
+        let slot = FAULT_HOOK.get()?;
+        slot.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    };
+    hook.and_then(|h| h())
+}
 
 /// Default cap on auto-detected worker count (keeps test environments and
 /// oversubscribed CI hosts well-behaved).
@@ -91,6 +178,10 @@ struct Job {
     finished: AtomicUsize,
     busy_ns: AtomicU64,
     panicked: AtomicBool,
+    /// First worker-side panic payload, preserved for the caller.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Injected fault for this region, consumed by one participant.
+    fault: Mutex<Option<WorkerFault>>,
 }
 
 struct PendingJob {
@@ -207,11 +298,32 @@ fn worker_loop(pool: &'static Pool) {
                 guard.queue.pop_front();
             }
             drop(guard);
-            run_participant(&job, idx + 1);
+            let survived = run_participant(&job, idx + 1);
             // Touch the lock before notifying so a caller between its
-            // `finished` check and its wait cannot miss the wakeup.
-            drop(pool.state.lock().unwrap_or_else(|p| p.into_inner()));
+            // `finished` check and its wait cannot miss the wakeup. A
+            // worker that panicked exits its thread (its stack may be
+            // poisoned); the pool self-heals by respawning a replacement
+            // here if jobs are still queued, or lazily at the next
+            // dispatch otherwise.
+            {
+                let mut g = pool.state.lock().unwrap_or_else(|p| p.into_inner());
+                if !survived {
+                    g.spawned -= 1;
+                    if !g.queue.is_empty() {
+                        g.spawned += 1;
+                        let respawned = std::thread::Builder::new()
+                            .name("gsampler-worker-respawn".to_string())
+                            .spawn(move || worker_loop(pool));
+                        if respawned.is_err() {
+                            g.spawned -= 1;
+                        }
+                    }
+                }
+            }
             pool.done_cv.notify_all();
+            if !survived {
+                return;
+            }
             guard = pool.state.lock().unwrap_or_else(|p| p.into_inner());
         } else {
             guard = pool.work_cv.wait(guard).unwrap_or_else(|p| p.into_inner());
@@ -219,17 +331,42 @@ fn worker_loop(pool: &'static Pool) {
     }
 }
 
-fn run_participant(job: &Job, tid: usize) {
+/// Run one spawned-side participant share. Returns `false` when the share
+/// panicked (the worker thread must then exit: its successor is respawned
+/// by the pool).
+fn run_participant(job: &Job, tid: usize) -> bool {
     let start = Instant::now();
     // SAFETY: the dispatching caller blocks until `finished == max`, so
     // the closure (and everything it borrows) outlives this call.
     let f = unsafe { &*job.func.0 };
-    if catch_unwind(AssertUnwindSafe(|| f(tid))).is_err() {
-        job.panicked.store(true, Ordering::SeqCst);
-    }
+    let fault = job.fault.lock().unwrap_or_else(|p| p.into_inner()).take();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        match fault {
+            Some(WorkerFault::Panic) => {
+                panic!("injected fault: worker panic (participant {tid})")
+            }
+            Some(WorkerFault::Stall { ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms))
+            }
+            None => {}
+        }
+        f(tid)
+    }));
+    let survived = match result {
+        Ok(()) => true,
+        Err(payload) => {
+            let mut slot = job.payload.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            job.panicked.store(true, Ordering::SeqCst);
+            false
+        }
+    };
     job.busy_ns
         .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     job.finished.fetch_add(1, Ordering::SeqCst);
+    survived
 }
 
 /// Run `f(participant)` for participants `0..=extra` (0 on the calling
@@ -244,12 +381,18 @@ fn dispatch(extra: usize, f: &(dyn Fn(usize) + Sync)) {
     let func = RawFunc(unsafe {
         std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
     } as *const _);
+    // Fault injection is decided here, on the calling thread, once per
+    // region: the placement (which region fails) is then a pure function
+    // of dispatch order, independent of worker scheduling.
+    let injected = poll_worker_fault();
     let job = Arc::new(Job {
         func,
         max: extra,
         finished: AtomicUsize::new(0),
         busy_ns: AtomicU64::new(0),
         panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        fault: Mutex::new(injected),
     });
     {
         let mut g = pool.state.lock().unwrap_or_else(|p| p.into_inner());
@@ -304,7 +447,18 @@ fn dispatch(extra: usize, f: &(dyn Fn(usize) + Sync)) {
 
     match caller_result {
         Err(payload) => resume_unwind(payload),
-        Ok(()) if job.panicked.load(Ordering::SeqCst) => panic!("parallel worker panicked"),
+        Ok(()) if job.panicked.load(Ordering::SeqCst) => {
+            // Re-raise a worker-side panic on the caller as a typed
+            // [`PoolError`] carrying the original payload: upstream
+            // recovery layers can downcast it, fail just this job, and
+            // continue on the already-healed pool.
+            let payload = job.payload.lock().unwrap_or_else(|p| p.into_inner()).take();
+            let message = match payload {
+                Some(p) => panic_message(p.as_ref()),
+                None => "worker panic payload missing".to_string(),
+            };
+            std::panic::panic_any(PoolError::new(message));
+        }
         Ok(()) => {}
     }
 }
@@ -708,6 +862,72 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    /// A hook that injects `fault` for the first region dispatched from
+    /// the installing thread. Filtering on the thread id keeps concurrent
+    /// tests in this binary from consuming each other's faults.
+    fn one_shot_hook(fault: WorkerFault) -> WorkerFaultHook {
+        let me = std::thread::current().id();
+        let fired = Arc::new(AtomicBool::new(false));
+        Arc::new(move || {
+            if std::thread::current().id() == me && !fired.swap(true, Ordering::SeqCst) {
+                Some(fault)
+            } else {
+                None
+            }
+        })
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved_and_pool_heals() {
+        if num_threads() < 2 {
+            return; // inline mode: no worker-side participants exist
+        }
+        let result = catch_unwind(|| {
+            parallel_for_chunks(10_000, 1, |start, _end| {
+                if start > 0 {
+                    panic!("chunk {start} exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("worker panic must fail the region");
+        let err = payload
+            .downcast_ref::<PoolError>()
+            .expect("worker-side panics must surface as PoolError");
+        assert!(
+            err.message().contains("exploded"),
+            "original payload lost: {err}"
+        );
+        // The pool replaced the dead workers: later regions still work.
+        let out = parallel_map(10_000, 1, |i| i + 1);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn injected_worker_panic_fails_only_the_faulted_region() {
+        if num_threads() < 2 {
+            return;
+        }
+        set_worker_fault_hook(Some(one_shot_hook(WorkerFault::Panic)));
+        let result = catch_unwind(|| parallel_map(10_000, 1, |i| i * 3));
+        set_worker_fault_hook(None);
+        let payload = result.expect_err("injected worker panic must fail the region");
+        let err = payload.downcast_ref::<PoolError>().expect("typed payload");
+        assert!(err.message().contains("injected fault"), "got: {err}");
+        let out = parallel_map(10_000, 1, |i| i * 3);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn injected_worker_stall_still_completes() {
+        if num_threads() < 2 {
+            return;
+        }
+        set_worker_fault_hook(Some(one_shot_hook(WorkerFault::Stall { ms: 2 })));
+        let out = parallel_map(10_000, 1, |i| i + 7);
+        set_worker_fault_hook(None);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 7));
     }
 
     #[test]

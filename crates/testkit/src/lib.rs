@@ -13,8 +13,12 @@
 //! - [`fuzz`] / the `gsampler-fuzz` binary: the generate → compile →
 //!   check loop, with failures shrunk and persisted via [`corpus`];
 //! - [`fault`]: deliberate semantic faults proving the harness catches
-//!   real deviations.
+//!   real deviations;
+//! - [`chaos`]: seeded runtime fault schedules (device OOM, transient
+//!   kernel failures, worker panics) driven through every algorithm,
+//!   checking that recovery succeeds deterministically.
 
+pub mod chaos;
 pub mod corpus;
 pub mod drive;
 pub mod fault;
