@@ -62,6 +62,19 @@ if ./target/release/gsample graphsage --dataset tiny --budget 0.000001 --no-degr
 fi
 ./target/release/gsample graphsage --dataset tiny --budget 0.000001 >/dev/null
 
+# --- Plan-database smoke ------------------------------------------------
+# Two runs sharing an on-disk plan DB: the first populates it, the second
+# must hit (the trace proves it — a plan/cache.hit event), and the file
+# must be valid JSON the whole way.
+GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 \
+    --plan-db "$TRACE_TMP/plans.json" >/dev/null
+test -s "$TRACE_TMP/plans.json"
+GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 \
+    --plan-db "$TRACE_TMP/plans.json" --trace-out "$TRACE_TMP/plandb.json" >/dev/null
+./target/release/trace-check "$TRACE_TMP/plandb.json" \
+    --require pass,kernel,pool,plan \
+    --require-event plan/cache.hit
+
 # --- Perf-regression gate ----------------------------------------------
 # Self-test first: the gate must FAIL on an injected 2x slowdown,
 # otherwise it is not actually gating anything.
@@ -73,9 +86,24 @@ fi
 # Identity check: a file diffed against itself must pass.
 ./target/release/perf-gate results/BENCH_parallel.json results/BENCH_parallel.json >/dev/null
 
+# The JSON report must record the verdict on both paths: regression_count 0
+# on the identity diff, and a regression flagged under injected slowdown.
+./target/release/perf-gate results/BENCH_parallel.json results/BENCH_parallel.json \
+    --json-out "$TRACE_TMP/gate-ok.json" >/dev/null
+grep -q '"regression_count":0' "$TRACE_TMP/gate-ok.json"
+./target/release/perf-gate results/BENCH_parallel.json results/BENCH_parallel.json \
+    --inject-slowdown 2.0 --threshold 0.5 --json-out "$TRACE_TMP/gate-fail.json" \
+    >/dev/null 2>&1 || true
+grep -q '"regression":true' "$TRACE_TMP/gate-fail.json"
+
 # Re-measure the parallel-runtime bench into a temp file and diff against
 # the committed baseline. The baseline was recorded on different hardware,
 # so the threshold is deliberately loose (2x) — it catches order-of-
 # magnitude regressions, not noise; tighten it on a pinned CI host.
 GS_BENCH_OUT="$TRACE_TMP/bench.json" cargo bench -q -p gsampler-bench --bench parallel_runtime >/dev/null
 ./target/release/perf-gate results/BENCH_parallel.json "$TRACE_TMP/bench.json" --threshold 2.0
+
+# Same for the plan-cache compile bench: re-measure cold/warm compile and
+# gate against the committed artifact (loose threshold, cross-host).
+GS_BENCH_OUT="$TRACE_TMP/plan_cache.json" cargo bench -q -p gsampler-bench --bench plan_cache >/dev/null
+./target/release/perf-gate results/BENCH_plan_cache.json "$TRACE_TMP/plan_cache.json" --threshold 2.0

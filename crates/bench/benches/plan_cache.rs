@@ -1,0 +1,131 @@
+//! Cold vs warm compile through the plan database: how much of the
+//! compile pipeline the fingerprint-keyed cache actually skips.
+//!
+//! A *cold* compile prices up to ~1500 candidate layout assignments per
+//! layer plus the 8-point super-batch grid; a *warm* compile reuses the
+//! cached plan — within one process the compiled payload outright, across
+//! processes a replay (front passes plus one apply) — zero pricing either
+//! way. Besides the
+//! criterion group, `cargo bench --bench plan_cache` writes
+//! `results/BENCH_plan_cache.json` with median cold/warm compile wall
+//! times, the speedup, and the warm hit rate, so the artifact records the
+//! cache's effect honestly on the measuring host.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use gsampler_algos::Hyper;
+use gsampler_bench::{build_gsampler_with, dataset, Algo, BuildOpts};
+use gsampler_core::{DeviceProfile, OptConfig, PlanDb, PlanDbStats};
+use gsampler_graphs::DatasetKind;
+
+/// The five algorithms without model-weight precompute (compile time is
+/// dominated by the plan searches, not by evaluating precompute programs
+/// — the part the cache cannot skip).
+const ALGOS: [Algo; 5] = [
+    Algo::GraphSage,
+    Algo::Ladies,
+    Algo::DeepWalk,
+    Algo::Node2Vec,
+    Algo::Shadow,
+];
+
+fn workload() -> (Arc<gsampler_core::Graph>, Hyper) {
+    let d = dataset(DatasetKind::OgbnProducts, 0.05);
+    let mut h = Hyper::paper();
+    h.layers = 2;
+    (Arc::new(d.graph), h)
+}
+
+fn compile_all(graph: &Arc<gsampler_core::Graph>, h: &Hyper, db: &Arc<PlanDb>) -> PlanDbStats {
+    let mut totals = PlanDbStats::default();
+    for algo in ALGOS {
+        let sampler = build_gsampler_with(
+            graph,
+            algo,
+            h,
+            DeviceProfile::v100(),
+            OptConfig::all(),
+            true,
+            BuildOpts {
+                plan_db: Some(db.clone()),
+                ..BuildOpts::default()
+            },
+        )
+        .expect("compile");
+        totals.merge(&sampler.plan_db_stats());
+        black_box(sampler);
+    }
+    totals
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let (graph, h) = workload();
+    let mut group = c.benchmark_group("plan_cache_compile");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            // A fresh empty database per iteration: every compile misses,
+            // searches, and inserts.
+            compile_all(&graph, &h, &Arc::new(PlanDb::in_memory()))
+        })
+    });
+    let warm_db = Arc::new(PlanDb::in_memory());
+    compile_all(&graph, &h, &warm_db);
+    group.bench_function("warm", |b| b.iter(|| compile_all(&graph, &h, &warm_db)));
+    group.finish();
+}
+
+/// Median wall seconds of `f` over `reps` runs.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn write_artifact() {
+    let (graph, h) = workload();
+    let reps = 15;
+
+    let cold_ms = median_secs(reps, || {
+        compile_all(&graph, &h, &Arc::new(PlanDb::in_memory()));
+    }) * 1e3;
+
+    let warm_db = Arc::new(PlanDb::in_memory());
+    compile_all(&graph, &h, &warm_db);
+    let mut warm_stats = PlanDbStats::default();
+    let warm_ms = median_secs(reps, || {
+        warm_stats.merge(&compile_all(&graph, &h, &warm_db));
+    }) * 1e3;
+
+    let json = format!(
+        "{{\n  \"bench\": \"plan_cache\",\n  \"dataset\": \"OgbnProducts preset (PD), scale 0.05\",\n  \"algorithms\": {},\n  \"reps_per_point\": {reps},\n  \"note\": \"cold = fresh empty plan DB per rep (full layout + super-batch search); warm = prewarmed DB (same-process payload reuse, zero pricing); times cover all listed compiles\",\n  \"compile\": {{\n    \"median_wall_ms_by_threads\": {{\n      \"cold\": {cold_ms:.6},\n      \"warm\": {warm_ms:.6}\n    }},\n    \"speedup_cold_over_warm\": {:.3},\n    \"warm_hit_rate\": {:.4}\n  }}\n}}\n",
+        ALGOS.len(),
+        cold_ms / warm_ms.max(f64::MIN_POSITIVE),
+        warm_stats.hit_rate(),
+    );
+    // `GS_BENCH_OUT` redirects the artifact (CI re-measures into a temp
+    // file and checks it instead of overwriting the committed baseline).
+    let path = std::env::var("GS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_plan_cache.json"
+        )
+        .to_string()
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, &json).expect("write bench artifact JSON");
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(write_artifact, benches);

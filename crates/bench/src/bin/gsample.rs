@@ -22,6 +22,10 @@
 //!                                (default 256 when auto-planning)
 //!   --no-degrade                 disable fault recovery and the memory
 //!                                degradation ladder (fail fast)
+//!   --plan-db FILE               compile through a persistent plan
+//!                                database (also: GSAMPLER_PLAN_DB env);
+//!                                cold runs insert plans, warm runs skip
+//!                                the layout/super-batch searches
 //! ```
 //!
 //! With a fault schedule installed (flag or environment) the epoch lines
@@ -40,7 +44,7 @@ fn usage() -> ! {
     eprintln!("  --dataset LJ|PD|PP|FS|tiny   --edges FILE   --scale F");
     eprintln!("  --batch N   --device v100|t4|cpu   --plain   --epochs N");
     eprintln!("  --trace-out FILE   --metrics-out FILE");
-    eprintln!("  --faults SPEC   --budget MIB   --no-degrade");
+    eprintln!("  --faults SPEC   --budget MIB   --no-degrade   --plan-db FILE");
     std::process::exit(2);
 }
 
@@ -76,6 +80,7 @@ fn main() {
     let mut faults_spec: Option<String> = None;
     let mut budget_mib: Option<f64> = None;
     let trace = TraceOpts::from_args(&args);
+    let plan_db = gsampler_bench::plan_db_from_args(&args);
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> String {
@@ -119,8 +124,8 @@ fn main() {
             "--no-degrade" => no_degrade = true,
             "--faults" => faults_spec = Some(value("--faults")),
             "--budget" => budget_mib = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
-            // Parsed by TraceOpts::from_args; skip the file path here.
-            "--trace-out" | "--metrics-out" => {
+            // Parsed before the loop; skip the file path here.
+            "--trace-out" | "--metrics-out" | "--plan-db" => {
                 let _ = value(flag);
             }
             other => {
@@ -184,6 +189,7 @@ fn main() {
     let opts = gsampler_bench::BuildOpts {
         recovery,
         budget_override: budget_mib.map(|mib| mib * (1 << 20) as f64),
+        plan_db,
     };
     let sampler = gsampler_bench::build_gsampler_with(&graph, algo, &h, device, opt, !plain, opts)
         .unwrap_or_else(|e| {
@@ -207,6 +213,10 @@ fn main() {
             l.optimized.report.preprocessed
         ))
     );
+    let pdb = sampler.plan_db_stats();
+    if pdb.any() {
+        println!("{}", gsampler_bench::fmt_plan_db(&pdb));
+    }
 
     if dot {
         for (i, layer) in sampler.layers().iter().enumerate() {

@@ -8,6 +8,11 @@
 //!   --min-ms F           ignore absolute deltas below this (default 0.05)
 //!   --inject-slowdown F  multiply current's gated values by F first
 //!                        (the CI self-test: the gate must then fail)
+//!   --json-out FILE      also write the comparison as a JSON report
+//!                        (per-leaf baseline/current/relative delta and
+//!                        regression flags, plus the totals) — written on
+//!                        both the pass and fail paths, so CI can archive
+//!                        the verdict either way
 //! ```
 //!
 //! Gated values are the numeric leaves under any
@@ -64,33 +69,59 @@ fn load(path: &str) -> Json {
     })
 }
 
+fn flag_value<'a>(args: &'a [String], i: usize, name: &str) -> &'a str {
+    args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("perf-gate: {name} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn num_value(args: &[String], i: usize, name: &str) -> f64 {
+    flag_value(args, i, name).parse().unwrap_or_else(|_| {
+        eprintln!("perf-gate: {name} needs a numeric value");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
     let mut threshold = 0.25f64;
     let mut min_ms = 0.05f64;
     let mut inject = 1.0f64;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let mut value = |name: &str| -> f64 {
-            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("perf-gate: {name} needs a numeric value");
-                std::process::exit(2);
-            })
-        };
-        match a.as_str() {
-            "--threshold" => threshold = value("--threshold"),
-            "--min-ms" => min_ms = value("--min-ms"),
-            "--inject-slowdown" => inject = value("--inject-slowdown"),
+    let mut json_out: Option<String> = None;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                threshold = num_value(&args, i, "--threshold");
+                i += 1;
+            }
+            "--min-ms" => {
+                min_ms = num_value(&args, i, "--min-ms");
+                i += 1;
+            }
+            "--inject-slowdown" => {
+                inject = num_value(&args, i, "--inject-slowdown");
+                i += 1;
+            }
+            "--json-out" => {
+                json_out = Some(flag_value(&args, i, "--json-out").to_string());
+                i += 1;
+            }
             other if other.starts_with("--") => {
                 eprintln!("perf-gate: unknown flag {other}");
                 std::process::exit(2);
             }
             path => files.push(path.to_string()),
         }
+        i += 1;
     }
     if files.len() != 2 {
-        eprintln!("usage: perf-gate <baseline.json> <current.json> [--threshold F] [--min-ms F] [--inject-slowdown F]");
+        eprintln!(
+            "usage: perf-gate <baseline.json> <current.json> [--threshold F] [--min-ms F] \
+             [--inject-slowdown F] [--json-out FILE]"
+        );
         std::process::exit(2);
     }
 
@@ -110,6 +141,7 @@ fn main() {
     }
 
     let mut regressions = Vec::new();
+    let mut rows: Vec<Json> = Vec::new();
     let mut compared = 0usize;
     println!(
         "{:<44} {:>12} {:>12} {:>9}",
@@ -122,12 +154,20 @@ fn main() {
         };
         compared += 1;
         let rel = cur_ms / base_ms.max(f64::MIN_POSITIVE) - 1.0;
-        let flag = if *cur_ms > base_ms * (1.0 + threshold) && cur_ms - base_ms > min_ms {
+        let regressed = *cur_ms > base_ms * (1.0 + threshold) && cur_ms - base_ms > min_ms;
+        let flag = if regressed {
             regressions.push((path.clone(), *base_ms, *cur_ms, rel));
             "  <-- REGRESSION"
         } else {
             ""
         };
+        rows.push(Json::Obj(vec![
+            ("leaf".into(), Json::Str(path.clone())),
+            ("baseline_ms".into(), Json::Num(*base_ms)),
+            ("current_ms".into(), Json::Num(*cur_ms)),
+            ("rel_change".into(), Json::Num(rel)),
+            ("regression".into(), Json::Bool(regressed)),
+        ]));
         let rel_pct = format!("{:+.1}%", rel * 100.0);
         println!("{path:<44} {base_ms:>12.4} {cur_ms:>12.4} {rel_pct:>9}{flag}");
     }
@@ -140,6 +180,28 @@ fn main() {
     if compared == 0 {
         eprintln!("perf-gate: no leaf appears in both files; nothing gated");
         std::process::exit(2);
+    }
+    if let Some(out) = &json_out {
+        let report = Json::Obj(vec![
+            ("baseline".into(), Json::Str(files[0].clone())),
+            ("current".into(), Json::Str(files[1].clone())),
+            ("threshold".into(), Json::Num(threshold)),
+            ("min_ms".into(), Json::Num(min_ms)),
+            ("inject_slowdown".into(), Json::Num(inject)),
+            ("compared".into(), Json::Num(compared as f64)),
+            (
+                "regression_count".into(),
+                Json::Num(regressions.len() as f64),
+            ),
+            ("leaves".into(), Json::Arr(rows)),
+        ]);
+        match std::fs::write(out, format!("{report}\n")) {
+            Ok(()) => println!("perf-gate: wrote report to {out}"),
+            Err(e) => {
+                eprintln!("perf-gate: cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
     if regressions.is_empty() {
         println!(

@@ -7,13 +7,20 @@
 //! epochs while the device session records modeled time, memory, and SM
 //! utilization.
 
-use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
 
+use gsampler_engine::plandb::{
+    self, GraphSummary, LayerPlanRec, LayoutDecisionRec, Lookup, PlanArtifact, PlanDb, PlanDbStats,
+    PlanKey, SuperBatchRec,
+};
 use gsampler_engine::{Device, DeviceProfile, ExecStats, FaultReport, MemoryTracker, RngPool};
-use gsampler_ir::passes::{run_passes, OptConfig, OptimizedProgram};
+use gsampler_ir::passes::{
+    run_passes, run_passes_replay, run_passes_revalidate, LayoutDecision, LayoutPlan, OptConfig,
+    OptimizedProgram,
+};
 use gsampler_ir::superbatch;
+use gsampler_ir::GraphStats;
 use gsampler_matrix::NodeId;
 
 use crate::builder::Layer;
@@ -92,6 +99,12 @@ pub struct SamplerConfig {
     pub max_super_batch: usize,
     /// Fault-recovery policy for the epoch drivers.
     pub recovery: RecoveryPolicy,
+    /// Plan database to consult before running the expensive layout /
+    /// super-batch searches (and to insert fresh plans into on a miss).
+    /// `None` with `opt.plan_cache` set routes through the process-global
+    /// in-memory database ([`plandb::global`]); `None` without it disables
+    /// plan caching entirely.
+    pub plan_db: Option<Arc<PlanDb>>,
 }
 
 impl SamplerConfig {
@@ -105,6 +118,7 @@ impl SamplerConfig {
             auto_super_batch_budget: None,
             max_super_batch: 128,
             recovery: RecoveryPolicy::default(),
+            plan_db: None,
         }
     }
 }
@@ -119,22 +133,27 @@ impl Default for SamplerConfig {
 pub struct CompiledLayer {
     /// Source layer (original program + output conventions).
     pub layer: Layer,
-    /// Optimized program and pass report.
-    pub optimized: OptimizedProgram,
+    /// Optimized program and pass report (shared: a plan-cache payload
+    /// hit reuses the compiling sampler's copy without a deep clone).
+    pub optimized: Arc<OptimizedProgram>,
     /// Values filling the program's `Precomputed` slots.
-    pub precomputed: Vec<Rc<Value>>,
+    pub precomputed: Vec<Arc<Value>>,
 }
 
 /// A compiled, executable multi-layer sampler bound to one graph and one
 /// device session.
 pub struct Sampler {
     graph: Arc<Graph>,
-    graph_value: Rc<Value>,
+    graph_value: Arc<Value>,
     layers: Vec<CompiledLayer>,
     device: Device,
     pool: RngPool,
     config: SamplerConfig,
     super_batch: usize,
+    /// Plan-database counter delta from this sampler's own compile (the
+    /// device session is reset per epoch, so the compile-time counters are
+    /// carried here and re-injected into every epoch's stats).
+    plan_db_stats: PlanDbStats,
 }
 
 /// Everything one epoch produced: modeled device time plus session stats.
@@ -169,10 +188,10 @@ fn execute_recovering(
     policy: &RecoveryPolicy,
     program: &gsampler_ir::Program,
     graph: &Graph,
-    graph_value: &Rc<Value>,
+    graph_value: &Arc<Value>,
     groups: &[Vec<NodeId>],
     bindings: &Bindings,
-    precomputed: &[Rc<Value>],
+    precomputed: &[Arc<Value>],
     device: &Device,
     rng: &mut rand::rngs::StdRng,
 ) -> Result<Vec<Vec<Value>>> {
@@ -237,6 +256,118 @@ fn execute_recovering(
     }
 }
 
+/// The plan-database key side of a graph: exact stats as floats (the
+/// artifact stores these as the drift reference; the key uses the
+/// log₂-bucketed form).
+fn graph_summary(stats: &GraphStats) -> GraphSummary {
+    GraphSummary {
+        num_nodes: stats.num_nodes as f64,
+        num_edges: stats.num_edges as f64,
+        feature_dim: stats.feature_dim as f64,
+    }
+}
+
+/// Convert a cached layer record back into a replayable layout plan.
+fn layout_plan_of(rec: &LayerPlanRec) -> LayoutPlan {
+    LayoutPlan {
+        decisions: rec
+            .decisions
+            .iter()
+            .map(|d| LayoutDecision {
+                op_id: d.op_id,
+                format: d.format,
+                compact: d.compact,
+            })
+            .collect(),
+        est_time: rec.est_time,
+        natural_time: rec.natural_time,
+    }
+}
+
+/// Snapshot a freshly-searched layout plan as a cacheable layer record.
+fn layer_rec_of(fingerprint: u64, plan: &LayoutPlan) -> LayerPlanRec {
+    LayerPlanRec {
+        fingerprint,
+        decisions: plan
+            .decisions
+            .iter()
+            .map(|d| LayoutDecisionRec {
+                op_id: d.op_id,
+                format: d.format,
+                compact: d.compact,
+            })
+            .collect(),
+        est_time: plan.est_time,
+        natural_time: plan.natural_time,
+    }
+}
+
+/// Build the plan-database key: an FNV-1a fold of every layer's canonical
+/// program fingerprint plus each compile knob that changes what the
+/// planner would decide (pass config, batch size, budget, residency),
+/// combined with the bucketed graph summary and the device profile name.
+/// Two compiles that agree on all of these would search identical plans —
+/// exactly the condition under which replaying a cached one is sound.
+fn plan_key(layer_fps: &[u64], config: &SamplerConfig, graph: &Graph) -> PlanKey {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    let mut fold = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for fp in layer_fps {
+        fold(&fp.to_le_bytes());
+    }
+    let o = &config.opt;
+    fold(&[
+        u8::from(o.dce),
+        u8::from(o.cse),
+        u8::from(o.preprocess),
+        u8::from(o.fusion),
+    ]);
+    fold(format!("{:?}", o.layout).as_bytes());
+    fold(&(o.super_batch as u64).to_le_bytes());
+    fold(&(config.batch_size as u64).to_le_bytes());
+    match config.auto_super_batch_budget {
+        Some(b) => fold(&b.to_bits().to_le_bytes()),
+        None => fold(b"no-budget"),
+    }
+    fold(&(config.max_super_batch as u64).to_le_bytes());
+    fold(format!("{:?}", graph.residency).as_bytes());
+    PlanKey {
+        program_fp: h,
+        graph_bucket: graph_summary(&graph.stats()).bucket(),
+        device: config.device.name.to_string(),
+    }
+}
+
+/// Fully-compiled result attached to an in-memory plan entry (the
+/// type-erased payload behind [`PlanDb::attach_payload`]). A serialized
+/// plan must be *replayed* — front passes plus one apply — but within one
+/// process the compiler can do better: reuse the compiled programs and
+/// precomputed values outright. Plans are transferable across graphs in
+/// the same stat bucket; compiled values are not, so the payload pins the
+/// exact graph object and the exact source programs and is ignored on any
+/// mismatch.
+struct CompiledPayload {
+    /// The graph this was compiled against (identity, not stats: two
+    /// graphs can share a bucket yet differ edge-for-edge).
+    graph: std::sync::Weak<Graph>,
+    layers: Vec<PayloadLayer>,
+}
+
+struct PayloadLayer {
+    /// The layer's source program, pre-optimization. Equality against the
+    /// incoming program is the guarantee that reusing `optimized` is
+    /// bit-identical to recompiling (the passes are deterministic).
+    source: gsampler_ir::Program,
+    optimized: Arc<OptimizedProgram>,
+    precomputed: Vec<Arc<Value>>,
+}
+
 /// Compile `layers` for `graph` under `config`.
 pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> Result<Sampler> {
     let mut compile_span = gsampler_obs::span("compile", "compile");
@@ -244,22 +375,123 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
     compile_span.arg("batch_size", config.batch_size);
     let device = Device::new(config.device.clone());
     let stats = graph.stats();
-    let graph_value = Rc::new(Value::Matrix(graph.matrix.clone()));
+    let graph_value = graph.matrix_value();
     let pool = RngPool::new(config.seed);
 
+    // Plan database: an explicit handle wins; `opt.plan_cache` routes
+    // through the process-global in-memory database.
+    let db: Option<Arc<PlanDb>> = config
+        .plan_db
+        .clone()
+        .or_else(|| config.opt.plan_cache.then(plandb::global));
+    let summary = graph_summary(&stats);
+    let db_stats_before = db.as_ref().map(|d| d.stats());
+
+    let mut layer_fps: Vec<u64> = Vec::new();
+    let mut key: Option<PlanKey> = None;
+    let mut cached: Option<PlanArtifact> = None;
+    let mut drifted = false;
+    // Whether the database entry for `key` needs (re)writing: a miss, a
+    // drifted entry, or a cached plan that failed to replay.
+    let mut plan_dirty = false;
+    if let Some(db) = &db {
+        layer_fps = layers.iter().map(|l| l.program.fingerprint()).collect();
+        let k = plan_key(&layer_fps, &config, &graph);
+        match db.lookup(&k, &summary) {
+            Lookup::Hit(a) if a.layers.len() == layers.len() => cached = Some(a),
+            Lookup::Drift(a) if a.layers.len() == layers.len() => {
+                cached = Some(a);
+                drifted = true;
+                plan_dirty = true;
+            }
+            _ => plan_dirty = true,
+        }
+        key = Some(k);
+    }
+    // Same-process fast path: a clean hit may carry the compiled payload
+    // from the compile that inserted the plan. Trust it only for the very
+    // same graph object and (checked per layer below) the very same source
+    // program — then the reuse is bit-identical to recompiling.
+    let payload: Option<Arc<CompiledPayload>> = match (&db, &key, &cached, drifted) {
+        (Some(db), Some(k), Some(_), false) => db
+            .payload(k)
+            .and_then(|p| p.downcast::<CompiledPayload>().ok())
+            .filter(|p| {
+                p.layers.len() == layers.len()
+                    && p.graph.upgrade().is_some_and(|g| Arc::ptr_eq(&g, &graph))
+            }),
+        _ => None,
+    };
+    let mut payload_reused = 0usize;
+
+    let mut layer_recs: Vec<LayerPlanRec> = Vec::with_capacity(layer_fps.len());
     let mut compiled = Vec::with_capacity(layers.len());
     for (li, layer) in layers.into_iter().enumerate() {
+        if let Some(p) = &payload {
+            let pl = &p.layers[li];
+            if pl.source == layer.program {
+                // Equal to the already-validated source: reuse the compiled
+                // program and precomputed values without re-running any
+                // pass (or the precompute evaluation).
+                if db.is_some() {
+                    layer_recs.push(layer_rec_of(layer_fps[li], &pl.optimized.layout_plan));
+                }
+                compiled.push(CompiledLayer {
+                    layer,
+                    optimized: pl.optimized.clone(),
+                    precomputed: pl.precomputed.clone(),
+                });
+                payload_reused += 1;
+                continue;
+            }
+        }
         layer.program.validate().map_err(Error::InvalidProgram)?;
-        let optimized = run_passes(
-            &layer.program,
-            &config.opt,
-            &stats,
-            config.batch_size,
-            device.cost_model(),
-            graph.residency,
-        );
+        let cached_layer = cached
+            .as_ref()
+            .map(|a| &a.layers[li])
+            .filter(|rec| rec.fingerprint == layer_fps[li]);
+        let replayed = cached_layer.and_then(|rec| {
+            let plan = layout_plan_of(rec);
+            if drifted {
+                // Drift within the bucket: keep the decisions but re-price
+                // them against the fresh stats (two pricings, not a full
+                // re-search) — the incremental re-plan.
+                run_passes_revalidate(
+                    &layer.program,
+                    &config.opt,
+                    &plan,
+                    &stats,
+                    config.batch_size,
+                    device.cost_model(),
+                    graph.residency,
+                )
+            } else {
+                run_passes_replay(&layer.program, &config.opt, &plan)
+            }
+        });
+        let optimized = Arc::new(match replayed {
+            Some(o) => o,
+            None => {
+                if cached.is_some() {
+                    // Stale or fingerprint-mismatched layer plan: fall back
+                    // to the full search and refresh the entry.
+                    plan_dirty = true;
+                }
+                run_passes(
+                    &layer.program,
+                    &config.opt,
+                    &stats,
+                    config.batch_size,
+                    device.cost_model(),
+                    graph.residency,
+                )
+            }
+        });
+        if db.is_some() {
+            layer_recs.push(layer_rec_of(layer_fps[li], &optimized.layout_plan));
+        }
         // Evaluate the batch-invariant program once, at compile time.
-        let precomputed: Vec<Rc<Value>> = if optimized.precompute.is_empty() {
+        let precomputed: Vec<Arc<Value>> = if optimized.precompute.is_empty() {
             Vec::new()
         } else {
             let _span = gsampler_obs::span("compile", "precompute");
@@ -280,7 +512,7 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
                 .next()
                 .unwrap_or_default()
                 .into_iter()
-                .map(Rc::new)
+                .map(Arc::new)
                 .collect()
         };
         compiled.push(CompiledLayer {
@@ -292,18 +524,67 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
     // Precompute cost is one-time; do not let it pollute epoch stats.
     device.reset();
 
-    // Super-batch factor: explicit config, or planned under a budget.
+    // Super-batch factor: explicit config, or planned under a budget. On a
+    // clean cache hit the cached factor is *replayed* — one transient-size
+    // estimate per layer at that factor instead of the full grid search —
+    // and falls back to the grid if the budget no longer holds.
     let mut super_batch = config.opt.super_batch.max(1);
+    let mut sb_rec = SuperBatchRec::default();
     if let Some(budget) = config.auto_super_batch_budget {
-        let mut planned = usize::MAX;
-        let mut fits = true;
-        for layer in &compiled {
-            let plan =
-                superbatch::plan(&layer.optimized.program, &stats, config.batch_size, budget);
-            planned = planned.min(plan.factor);
-            fits &= plan.fits;
-        }
-        super_batch = planned.clamp(1, config.max_super_batch.max(1));
+        let cap = config.max_super_batch.max(1);
+        let cached_factor = match &cached {
+            Some(a) if !plan_dirty && a.super_batch.planned => {
+                Some(a.super_batch.factor.clamp(1, cap))
+            }
+            _ => None,
+        };
+        let replayed = cached_factor.filter(|&f| {
+            if payload_reused == compiled.len() && !compiled.is_empty() {
+                // Full payload reuse: same graph, same programs, same
+                // budget — the replay estimate is deterministic, so
+                // re-checking it would reproduce the planning verdict.
+                return true;
+            }
+            let ok = compiled.iter().all(|layer| {
+                superbatch::replay(
+                    &layer.optimized.program,
+                    &stats,
+                    config.batch_size,
+                    f,
+                    budget,
+                )
+                .fits
+            });
+            if !ok {
+                // Cached factor no longer fits the budget: re-search and
+                // refresh the entry.
+                plan_dirty = true;
+            }
+            ok
+        });
+        let (factor, fits) = match replayed {
+            Some(f) => (f, true),
+            None => {
+                let mut planned = usize::MAX;
+                let mut fits = true;
+                for layer in &compiled {
+                    let plan = superbatch::plan(
+                        &layer.optimized.program,
+                        &stats,
+                        config.batch_size,
+                        budget,
+                    );
+                    planned = planned.min(plan.factor);
+                    fits &= plan.fits;
+                }
+                (planned.clamp(1, cap), fits)
+            }
+        };
+        super_batch = factor;
+        sb_rec = SuperBatchRec {
+            planned: true,
+            factor,
+        };
         if !fits {
             // Even factor 1 exceeds the budget. With degradation enabled
             // the sampler starts directly on the ladder's streaming rung;
@@ -336,7 +617,54 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
     {
         super_batch = 1;
     }
+
+    // Insert (or refresh) the plan — but never a degraded one: a compile
+    // that landed on the streaming rung planned under memory pressure, and
+    // replaying its decisions on a healthy process would bake the
+    // degradation in.
+    if let (Some(db), Some(key)) = (&db, &key) {
+        if plan_dirty && !device.spill_enabled() {
+            db.insert(
+                key,
+                PlanArtifact {
+                    layers: std::mem::take(&mut layer_recs),
+                    super_batch: sb_rec,
+                    graph: summary,
+                    device: config.device.name.to_string(),
+                },
+            );
+        }
+        // Attach (or refresh) the same-process compiled payload — after
+        // the insert, since inserting invalidates any prior payload. Not
+        // when this compile already ran fully off the payload (nothing
+        // new), and never for a degraded compile (mirrors the insert
+        // rule).
+        if payload_reused < compiled.len() && !device.spill_enabled() {
+            db.attach_payload(
+                key,
+                Arc::new(CompiledPayload {
+                    graph: Arc::downgrade(&graph),
+                    layers: compiled
+                        .iter()
+                        .map(|c| PayloadLayer {
+                            source: c.layer.program.clone(),
+                            optimized: c.optimized.clone(),
+                            precomputed: c.precomputed.clone(),
+                        })
+                        .collect(),
+                }),
+            );
+        }
+    }
+    let plan_db_stats = match (&db, &db_stats_before) {
+        (Some(d), Some(before)) => d.stats().since(before),
+        _ => PlanDbStats::default(),
+    };
     compile_span.arg("super_batch", super_batch);
+    if plan_db_stats.any() {
+        compile_span.arg("plan_cache_hits", plan_db_stats.hits);
+        compile_span.arg("plan_cache_misses", plan_db_stats.misses);
+    }
     drop(compile_span);
 
     Ok(Sampler {
@@ -347,6 +675,7 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
         pool,
         config,
         super_batch,
+        plan_db_stats,
     })
 }
 
@@ -374,6 +703,13 @@ impl Sampler {
     /// The chosen super-batch factor.
     pub fn super_batch_factor(&self) -> usize {
         self.super_batch
+    }
+
+    /// Plan-database counters from this sampler's compile: how the compile
+    /// interacted with the cache (hit/miss/drift/insert). All zero when no
+    /// plan database was configured.
+    pub fn plan_db_stats(&self) -> PlanDbStats {
+        self.plan_db_stats
     }
 
     /// The mini-batch size this sampler was compiled for.
@@ -566,6 +902,8 @@ impl Sampler {
         epoch_span.arg("final_super_batch", factor);
         let mut stats = self.device.stats();
         stats.compact_records();
+        // Compile-time counters survive the per-epoch device reset.
+        stats.plan_db = self.plan_db_stats;
         Ok(EpochReport {
             modeled_time: stats.total_time,
             wall_time: wall_start.elapsed().as_secs_f64(),

@@ -15,7 +15,7 @@
 //! block IDs back to original node IDs at program exit.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 
@@ -109,10 +109,10 @@ pub fn superbatch_compatible(program: &Program) -> bool {
 pub fn execute(
     program: &Program,
     graph: &Graph,
-    graph_value: &Rc<Value>,
+    graph_value: &Arc<Value>,
     frontier_groups: &[Vec<NodeId>],
     bindings: &Bindings,
-    precomputed: &[Rc<Value>],
+    precomputed: &[Arc<Value>],
     device: &Device,
     rng: &mut StdRng,
 ) -> Result<Vec<Vec<Value>>> {
@@ -141,7 +141,7 @@ pub fn execute(
     }
 
     let resident = costing::graph_resident_set(program);
-    let mut env: Vec<Option<Rc<Value>>> = vec![None; program.len()];
+    let mut env: Vec<Option<Arc<Value>>> = vec![None; program.len()];
 
     let ctx = ExecCtx {
         graph,
@@ -177,7 +177,7 @@ pub fn execute(
         return Err(e);
     }
 
-    let outputs: Vec<Rc<Value>> = program
+    let outputs: Vec<Arc<Value>> = program
         .outputs()
         .iter()
         .map(|&o| {
@@ -194,14 +194,14 @@ pub fn execute(
 /// [`execute`] so the error path can inspect the environment afterwards.
 struct RunArgs<'a, 'b> {
     program: &'a Program,
-    graph_value: &'a Rc<Value>,
-    precomputed: &'a [Rc<Value>],
+    graph_value: &'a Arc<Value>,
+    precomputed: &'a [Arc<Value>],
     device: &'a Device,
     rng: &'a mut StdRng,
     ctx: &'a ExecCtx<'b>,
     refcount: &'a mut [usize],
     resident: &'a [bool],
-    env: &'a mut [Option<Rc<Value>>],
+    env: &'a mut [Option<Arc<Value>>],
 }
 
 fn run_nodes(args: RunArgs<'_, '_>) -> Result<()> {
@@ -247,7 +247,7 @@ fn run_nodes(args: RunArgs<'_, '_>) -> Result<()> {
         let graph_input = node.inputs.first().map(|&i| resident[i]).unwrap_or(false);
         let value = kernels::dispatch(&node.op, &inputs, graph_input, ctx, device, rng)?;
         device.try_alloc(value.bytes()).map_err(Error::Oom)?;
-        env[id] = Some(Rc::new(value));
+        env[id] = Some(Arc::new(value));
 
         // Release inputs whose last consumer this was.
         for &i in &node.inputs {

@@ -1,10 +1,13 @@
 //! The input graph: adjacency matrix, features, residency.
 
+use std::sync::{Arc, OnceLock};
+
 use gsampler_engine::Residency;
 use gsampler_ir::GraphStats;
 use gsampler_matrix::{Csc, Dense, GraphMatrix, NodeId, SparseMatrix};
 
 use crate::error::Result;
+use crate::value::Value;
 
 /// An input graph for sampling: adjacency (stored CSC, like the paper's
 /// systems — column `v` holds the in-edges of node `v`), optional node
@@ -20,6 +23,12 @@ pub struct Graph {
     pub features: Option<Dense>,
     /// Where the structure lives (device vs UVA host memory).
     pub residency: Residency,
+    /// Executor value for the adjacency matrix, built on first compile.
+    /// The CSC buffers are large; cloning them per compile would dwarf a
+    /// plan-cache hit, so every sampler compiled against this graph
+    /// shares one `Arc`. Mutating `matrix` after a compile is not
+    /// supported (the cached value would go stale).
+    matrix_value: OnceLock<Arc<Value>>,
 }
 
 impl Graph {
@@ -30,6 +39,7 @@ impl Graph {
             matrix: GraphMatrix::from_sparse(SparseMatrix::Csc(csc)),
             features: None,
             residency: Residency::Device,
+            matrix_value: OnceLock::new(),
         }
     }
 
@@ -88,6 +98,14 @@ impl Graph {
         } else {
             self.num_edges() as f64 / self.num_nodes() as f64
         }
+    }
+
+    /// Shared executor value for the adjacency matrix (deep-cloned from
+    /// `matrix` exactly once, then reused by every compile).
+    pub fn matrix_value(&self) -> Arc<Value> {
+        self.matrix_value
+            .get_or_init(|| Arc::new(Value::Matrix(self.matrix.clone())))
+            .clone()
     }
 
     /// Coarse statistics for shape estimation.

@@ -24,7 +24,7 @@ pub mod superbatch;
 pub mod walk;
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -56,7 +56,7 @@ pub struct ExecCtx<'a> {
     /// Named per-batch inputs.
     pub bindings: &'a Bindings,
     /// Values filling `Op::Precomputed` slots.
-    pub precomputed: &'a [Rc<Value>],
+    pub precomputed: &'a [Arc<Value>],
 }
 
 impl<'a> ExecCtx<'a> {

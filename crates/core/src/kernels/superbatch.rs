@@ -10,7 +10,7 @@
 //! modes and thread counts. [`split_outputs`] undoes the blocking at
 //! program exit.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -165,7 +165,7 @@ pub fn segmented_collective_sample(
 }
 
 /// Split super-batched output values back into per-group values.
-pub fn split_outputs(outputs: &[Rc<Value>], ctx: &ExecCtx<'_>) -> Result<Vec<Vec<Value>>> {
+pub fn split_outputs(outputs: &[Arc<Value>], ctx: &ExecCtx<'_>) -> Result<Vec<Vec<Value>>> {
     let s = ctx.s;
     if s <= 1 {
         return Ok(vec![outputs.iter().map(|v| (**v).clone()).collect()]);

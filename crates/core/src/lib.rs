@@ -65,6 +65,7 @@ pub use multi_gpu::{MultiGpuReport, MultiGpuSampler};
 pub use value::Value;
 
 // Re-export the configuration surface users need alongside the API.
+pub use gsampler_engine::plandb::{PlanDb, PlanDbStats};
 pub use gsampler_engine::{DeviceProfile, Residency};
 pub use gsampler_ir::passes::{LayoutMode, OptConfig};
 pub use gsampler_matrix::{Axis, EltOp, ReduceOp};

@@ -32,6 +32,7 @@ pub mod device;
 pub mod faults;
 pub mod memory;
 pub mod parallel;
+pub mod plandb;
 pub mod rng;
 pub mod stats;
 pub mod workload;
@@ -42,6 +43,10 @@ pub use device::{DeviceProfile, Residency};
 pub use faults::{FaultKind, FaultSpec, InjectedCounts};
 pub use gsampler_runtime::{pool_metrics, PoolError, PoolMetrics};
 pub use memory::{MemoryTracker, OomError};
+pub use plandb::{
+    GraphSummary, LayerPlanRec, LayoutDecisionRec, Lookup, PlanArtifact, PlanDb, PlanDbStats,
+    PlanKey, SuperBatchRec,
+};
 pub use rng::RngPool;
 pub use stats::{ExecStats, FaultReport, KernelAgg, KernelRecord};
 pub use workload::KernelDesc;

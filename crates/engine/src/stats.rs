@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::plandb::PlanDbStats;
 use crate::workload::KernelDesc;
 use gsampler_runtime::PoolMetrics;
 
@@ -146,6 +147,9 @@ pub struct ExecStats {
     pub records: Vec<KernelRecord>,
     /// Injected faults and recovery actions observed this session.
     pub faults: FaultReport,
+    /// Plan-database activity attributed to this session (hit/miss/drift
+    /// counters from the compile that produced the sampler).
+    pub plan_db: PlanDbStats,
 }
 
 impl ExecStats {
@@ -231,6 +235,7 @@ impl ExecStats {
         }
         self.records.extend(other.records.iter().cloned());
         self.faults.merge(&other.faults);
+        self.plan_db.merge(&other.plan_db);
     }
 
     /// Drop individual records, keeping aggregates (bounds memory in long
@@ -430,6 +435,21 @@ mod tests {
         assert_eq!(a.faults.injected_oom, 1);
         assert_eq!(a.faults.degrade_steps, 3);
         assert_eq!(a.faults.spilled_bytes, 4096);
+    }
+
+    #[test]
+    fn merge_carries_plan_db_counters() {
+        let mut a = ExecStats::default();
+        a.plan_db.hits = 2;
+        a.plan_db.misses = 1;
+        let mut b = ExecStats::default();
+        b.plan_db.hits = 1;
+        b.plan_db.inserts = 3;
+        a.merge(&b);
+        assert_eq!(a.plan_db.hits, 3);
+        assert_eq!(a.plan_db.misses, 1);
+        assert_eq!(a.plan_db.inserts, 3);
+        assert!(a.plan_db.any());
     }
 
     #[test]

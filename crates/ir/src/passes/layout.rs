@@ -44,6 +44,32 @@ pub struct LayoutChoice {
     pub compact: bool,
 }
 
+/// One serializable layout decision, addressed by the node it applies to
+/// in the *pre-layout* program (post CSE/preprocess/fusion/DCE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutDecision {
+    /// Choice-point node in the pre-layout program.
+    pub op_id: OpId,
+    /// Chosen storage format for its output.
+    pub format: Format,
+    /// Whether isolated rows are compacted after it.
+    pub compact: bool,
+}
+
+/// The pure product of the layout *search* half: everything needed to
+/// replay the pass without re-searching. An empty decision list means
+/// "keep every operator in its natural format" (either there were no
+/// choice points, or the search fell back to natural).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayoutPlan {
+    /// Per-choice-point decisions; empty = all-natural.
+    pub decisions: Vec<LayoutDecision>,
+    /// Modeled per-batch time of the chosen program (seconds).
+    pub est_time: f64,
+    /// Modeled per-batch time with all-natural layouts.
+    pub natural_time: f64,
+}
+
 /// Outcome of the layout pass.
 #[derive(Debug, Clone, Default)]
 pub struct LayoutReport {
@@ -79,24 +105,27 @@ fn choice_points(program: &Program) -> Vec<(OpId, bool)> {
         .collect()
 }
 
-/// Run the pass; returns the rewritten program and a report.
-pub fn run(
+/// The pure *search* half of the pass: price the alternatives and return
+/// the decisions as a replayable [`LayoutPlan`], without rewriting the
+/// program. All the expensive work (candidate enumeration, per-candidate
+/// shape estimation and pricing) lives here; [`apply`] is cheap.
+pub fn search(
     program: &Program,
     mode: LayoutMode,
     stats: &GraphStats,
     batch_size: usize,
     cost_model: &CostModel,
     residency: Residency,
-) -> (Program, LayoutReport) {
+) -> LayoutPlan {
     let points = choice_points(program);
     let natural_time = price(program, stats, batch_size, cost_model, residency);
+    let natural = LayoutPlan {
+        decisions: Vec::new(),
+        est_time: natural_time,
+        natural_time,
+    };
     if points.is_empty() || mode == LayoutMode::None {
-        let report = LayoutReport {
-            est_time: natural_time,
-            natural_time,
-            ..LayoutReport::default()
-        };
-        return (program.clone(), report);
+        return natural;
     }
 
     let assignment = match mode {
@@ -113,31 +142,135 @@ pub fn run(
     // Cost-aware must never be worse than natural; fall back if the search
     // (on estimated shapes) picked something the final pricing dislikes.
     if mode == LayoutMode::CostAware && est_time > natural_time {
-        let report = LayoutReport {
-            est_time: natural_time,
-            natural_time,
-            ..LayoutReport::default()
-        };
-        return (program.clone(), report);
+        return natural;
     }
 
-    let report = LayoutReport {
-        choices: points
+    LayoutPlan {
+        decisions: points
             .iter()
             .map(|&(id, _)| {
-                let (fmt, compact) = assignment[&id];
-                LayoutChoice {
-                    op_name: program.node(id).op.name(),
-                    format: fmt,
+                let (format, compact) = assignment[&id];
+                LayoutDecision {
+                    op_id: id,
+                    format,
                     compact,
                 }
             })
             .collect(),
-        conversions: rewritten.count_ops(|op| matches!(op, Op::Convert(..))),
-        compactions: rewritten.count_ops(|op| matches!(op, Op::CompactRows)),
         est_time,
         natural_time,
+    }
+}
+
+/// Whether a (possibly cached) plan is structurally replayable onto this
+/// program: every decision must target an actual choice point, and
+/// compaction only where it is allowed. A stale or corrupt plan-DB entry
+/// fails this check and the caller falls back to a fresh [`search`].
+pub fn plan_applies(program: &Program, plan: &LayoutPlan) -> bool {
+    let points = choice_points(program);
+    plan.decisions.iter().all(|d| {
+        points
+            .iter()
+            .any(|&(id, can_compact)| id == d.op_id && (can_compact || !d.compact))
+    })
+}
+
+/// Drift path: re-price a cached plan's decisions under *fresh* graph
+/// stats without re-searching. Returns the plan with refreshed
+/// `est_time`/`natural_time` when the old assignment still beats the
+/// all-natural layout, `None` when it no longer does (or no longer
+/// applies) — the caller then falls back to a full [`search`]. Cost: two
+/// pricings instead of up to ~1500.
+pub fn revalidate(
+    program: &Program,
+    plan: &LayoutPlan,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> Option<LayoutPlan> {
+    if !plan_applies(program, plan) {
+        return None;
+    }
+    let natural_time = price(program, stats, batch_size, cost_model, residency);
+    if plan.decisions.is_empty() {
+        return Some(LayoutPlan {
+            decisions: Vec::new(),
+            est_time: natural_time,
+            natural_time,
+        });
+    }
+    let assignment: HashMap<OpId, (Format, bool)> = plan
+        .decisions
+        .iter()
+        .map(|d| (d.op_id, (d.format, d.compact)))
+        .collect();
+    let rewritten = apply_assignment(program, &assignment);
+    let est_time = price(&rewritten, stats, batch_size, cost_model, residency);
+    if est_time > natural_time {
+        return None;
+    }
+    Some(LayoutPlan {
+        decisions: plan.decisions.clone(),
+        est_time,
+        natural_time,
+    })
+}
+
+/// The pure *apply* (replay) half: rewrite the program according to an
+/// already-searched plan. No pricing, no enumeration — this is the warm
+/// path the plan database replays cached artifacts through.
+pub fn apply(program: &Program, plan: &LayoutPlan) -> (Program, LayoutReport) {
+    if plan.decisions.is_empty() {
+        let report = LayoutReport {
+            est_time: plan.est_time,
+            natural_time: plan.natural_time,
+            ..LayoutReport::default()
+        };
+        return (program.clone(), report);
+    }
+    let assignment: HashMap<OpId, (Format, bool)> = plan
+        .decisions
+        .iter()
+        .map(|d| (d.op_id, (d.format, d.compact)))
+        .collect();
+    let rewritten = apply_assignment(program, &assignment);
+    let report = LayoutReport {
+        choices: plan
+            .decisions
+            .iter()
+            .map(|d| LayoutChoice {
+                op_name: program.node(d.op_id).op.name(),
+                format: d.format,
+                compact: d.compact,
+            })
+            .collect(),
+        conversions: rewritten.count_ops(|op| matches!(op, Op::Convert(..))),
+        compactions: rewritten.count_ops(|op| matches!(op, Op::CompactRows)),
+        est_time: plan.est_time,
+        natural_time: plan.natural_time,
     };
+    (rewritten, report)
+}
+
+/// Run the pass; returns the rewritten program and a report.
+pub fn run(
+    program: &Program,
+    mode: LayoutMode,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> (Program, LayoutReport) {
+    let plan = search(program, mode, stats, batch_size, cost_model, residency);
+    let (rewritten, report) = apply(program, &plan);
+    emit_assignment_event(mode, &report);
+    (rewritten, report)
+}
+
+/// Emit the `plan/layout.assignment` trace event for a completed pass
+/// (search or replay); near-free when tracing is off.
+pub fn emit_assignment_event(mode: LayoutMode, report: &LayoutReport) {
     if gsampler_obs::is_enabled() {
         let chosen: Vec<String> = report
             .choices
@@ -157,12 +290,14 @@ pub fn run(
             &[
                 ("mode", gsampler_obs::Arg::Str(format!("{mode:?}"))),
                 ("chosen", gsampler_obs::Arg::Str(chosen.join(", "))),
-                ("est_time_s", gsampler_obs::Arg::Num(est_time)),
-                ("natural_time_s", gsampler_obs::Arg::Num(natural_time)),
+                ("est_time_s", gsampler_obs::Arg::Num(report.est_time)),
+                (
+                    "natural_time_s",
+                    gsampler_obs::Arg::Num(report.natural_time),
+                ),
             ],
         );
     }
-    (rewritten, report)
 }
 
 fn price(
@@ -510,6 +645,70 @@ mod tests {
         );
         assert_eq!(out, p);
         assert!(report.choices.is_empty());
+    }
+
+    #[test]
+    fn search_then_apply_matches_run() {
+        let p = ladies();
+        let plan = search(
+            &p,
+            LayoutMode::CostAware,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::Device,
+        );
+        assert!(plan_applies(&p, &plan));
+        let (replayed, replay_report) = apply(&p, &plan);
+        let (searched, search_report) = run(
+            &p,
+            LayoutMode::CostAware,
+            &big_stats(),
+            512,
+            &model(),
+            Residency::Device,
+        );
+        assert_eq!(replayed, searched);
+        assert_eq!(replay_report.choices, search_report.choices);
+        assert_eq!(replay_report.est_time, search_report.est_time);
+    }
+
+    #[test]
+    fn stale_plan_is_rejected() {
+        let p = ladies();
+        // A decision pointing at a non-choice-point (the reduce) or out of
+        // range must fail `plan_applies` instead of corrupting the program.
+        let bogus = LayoutPlan {
+            decisions: vec![LayoutDecision {
+                op_id: 4, // Reduce — not a choice point
+                format: Format::Csr,
+                compact: false,
+            }],
+            est_time: 0.0,
+            natural_time: 0.0,
+        };
+        assert!(!plan_applies(&p, &bogus));
+        let out_of_range = LayoutPlan {
+            decisions: vec![LayoutDecision {
+                op_id: 999,
+                format: Format::Csr,
+                compact: true,
+            }],
+            est_time: 0.0,
+            natural_time: 0.0,
+        };
+        assert!(!plan_applies(&p, &out_of_range));
+        // Compacting a non-compactable choice point is stale too.
+        let no_compact = LayoutPlan {
+            decisions: vec![LayoutDecision {
+                op_id: 5, // CollectiveSample — choice point, no compaction
+                format: Format::Csr,
+                compact: true,
+            }],
+            est_time: 0.0,
+            natural_time: 0.0,
+        };
+        assert!(!plan_applies(&p, &no_compact));
     }
 
     #[test]

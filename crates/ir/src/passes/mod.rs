@@ -10,7 +10,7 @@ pub mod fusion;
 pub mod layout;
 pub mod preprocess;
 
-pub use layout::{LayoutMode, LayoutReport};
+pub use layout::{LayoutDecision, LayoutMode, LayoutPlan, LayoutReport};
 
 use gsampler_engine::CostModel;
 use gsampler_engine::Residency;
@@ -35,6 +35,12 @@ pub struct OptConfig {
     /// planned separately by [`crate::superbatch`], stored here so the
     /// executor sees one config object.
     pub super_batch: usize,
+    /// Route compiles through the process-global plan database: reuse
+    /// cached layout/super-batch decisions for programs the process has
+    /// already planned (and insert fresh plans on a miss). Off by default;
+    /// callers wanting a private or on-disk database set
+    /// `SamplerConfig::plan_db` instead.
+    pub plan_cache: bool,
 }
 
 impl OptConfig {
@@ -47,6 +53,7 @@ impl OptConfig {
             fusion: true,
             layout: LayoutMode::CostAware,
             super_batch: 1,
+            plan_cache: false,
         }
     }
 
@@ -60,6 +67,7 @@ impl OptConfig {
             fusion: false,
             layout: LayoutMode::Greedy,
             super_batch: 1,
+            plan_cache: false,
         }
     }
 
@@ -130,6 +138,13 @@ impl OptConfig {
                     ..all()
                 },
             ),
+            (
+                "plan-cache",
+                OptConfig {
+                    plan_cache: true,
+                    ..all()
+                },
+            ),
             ("plain", OptConfig::plain()),
         ]
     }
@@ -170,23 +185,18 @@ pub struct OptimizedProgram {
     pub precompute: Program,
     /// What the passes did.
     pub report: PassReport,
+    /// The layout decisions as a replayable plan (empty when the layout
+    /// pass did not run or chose all-natural). The plan database persists
+    /// this so later compiles can take [`run_passes_replay`].
+    pub layout_plan: LayoutPlan,
 }
 
-/// Run the configured passes over `program`.
-///
-/// `stats`/`batch_size` feed shape estimation for the layout search, and
-/// `cost_model`/`residency` price the alternatives.
-pub fn run_passes(
-    program: &Program,
-    config: &OptConfig,
-    stats: &GraphStats,
-    batch_size: usize,
-    cost_model: &CostModel,
-    residency: Residency,
-) -> OptimizedProgram {
-    let mut pipeline_span = gsampler_obs::span("pass", "run_passes");
-    pipeline_span.arg("ops_in", program.nodes().len());
-    let mut report = PassReport::default();
+/// The deterministic front of the pipeline (CSE → preprocess → fusion →
+/// DCE): everything before layout selection. Shared by the cold
+/// ([`run_passes`]) and warm ([`run_passes_replay`]) paths — these passes
+/// are cheap and must run either way so a replayed layout plan lands on
+/// the exact same pre-layout program it was searched on.
+fn run_front(program: &Program, config: &OptConfig, report: &mut PassReport) -> (Program, Program) {
     let mut prog = program.clone();
 
     if config.cse {
@@ -227,9 +237,30 @@ pub fn run_passes(
         span.arg("removed", removed);
     }
 
+    (prog, precompute)
+}
+
+/// Run the configured passes over `program`.
+///
+/// `stats`/`batch_size` feed shape estimation for the layout search, and
+/// `cost_model`/`residency` price the alternatives.
+pub fn run_passes(
+    program: &Program,
+    config: &OptConfig,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> OptimizedProgram {
+    let mut pipeline_span = gsampler_obs::span("pass", "run_passes");
+    pipeline_span.arg("ops_in", program.nodes().len());
+    let mut report = PassReport::default();
+    let (mut prog, precompute) = run_front(program, config, &mut report);
+
+    let mut layout_plan = LayoutPlan::default();
     if config.layout != LayoutMode::None {
         let mut span = gsampler_obs::span("pass", "layout");
-        let (p, lr) = layout::run(
+        let plan = layout::search(
             &prog,
             config.layout,
             stats,
@@ -237,13 +268,16 @@ pub fn run_passes(
             cost_model,
             residency,
         );
+        let (p, lr) = layout::apply(&prog, &plan);
         prog = p;
         span.arg("mode", format!("{:?}", config.layout));
         span.arg("conversions", lr.conversions);
         span.arg("compactions", lr.compactions);
         span.arg("est_time_s", lr.est_time);
         span.arg("natural_time_s", lr.natural_time);
+        layout::emit_assignment_event(config.layout, &lr);
         report.layout = Some(lr);
+        layout_plan = plan;
     }
     pipeline_span.arg("ops_out", prog.nodes().len());
 
@@ -252,5 +286,88 @@ pub fn run_passes(
         program: prog,
         precompute,
         report,
+        layout_plan,
     }
+}
+
+/// The warm-path pipeline: run the deterministic front passes, then
+/// *replay* an already-searched [`LayoutPlan`] instead of re-searching.
+/// Returns `None` when the plan does not structurally apply to the
+/// post-front program (stale or corrupt cache entry) — the caller falls
+/// back to the cold [`run_passes`].
+pub fn run_passes_replay(
+    program: &Program,
+    config: &OptConfig,
+    plan: &LayoutPlan,
+) -> Option<OptimizedProgram> {
+    let mut pipeline_span = gsampler_obs::span("pass", "run_passes_replay");
+    pipeline_span.arg("ops_in", program.nodes().len());
+    let mut report = PassReport::default();
+    let (mut prog, precompute) = run_front(program, config, &mut report);
+
+    if !layout::plan_applies(&prog, plan) {
+        return None;
+    }
+    if config.layout != LayoutMode::None {
+        let (p, lr) = layout::apply(&prog, plan);
+        prog = p;
+        layout::emit_assignment_event(config.layout, &lr);
+        report.layout = Some(lr);
+    }
+    pipeline_span.arg("ops_out", prog.nodes().len());
+
+    debug_assert!(prog.validate().is_ok(), "replay broke program: {prog:?}");
+    Some(OptimizedProgram {
+        program: prog,
+        precompute,
+        report,
+        layout_plan: plan.clone(),
+    })
+}
+
+/// The drift-path pipeline: front passes, then *re-validate* a cached
+/// [`LayoutPlan`] against fresh graph stats (two pricings) instead of
+/// re-searching (up to ~1500). Returns `None` when the plan no longer
+/// applies or no longer beats the all-natural layout under the new stats —
+/// the caller falls back to the cold [`run_passes`].
+pub fn run_passes_revalidate(
+    program: &Program,
+    config: &OptConfig,
+    plan: &LayoutPlan,
+    stats: &GraphStats,
+    batch_size: usize,
+    cost_model: &CostModel,
+    residency: Residency,
+) -> Option<OptimizedProgram> {
+    let mut pipeline_span = gsampler_obs::span("pass", "run_passes_revalidate");
+    pipeline_span.arg("ops_in", program.nodes().len());
+    let mut report = PassReport::default();
+    let (mut prog, precompute) = run_front(program, config, &mut report);
+
+    let refreshed = layout::revalidate(
+        &prog,
+        plan,
+        stats,
+        batch_size * config.super_batch.max(1),
+        cost_model,
+        residency,
+    )?;
+    if config.layout != LayoutMode::None {
+        let (p, lr) = layout::apply(&prog, &refreshed);
+        prog = p;
+        layout::emit_assignment_event(config.layout, &lr);
+        report.layout = Some(lr);
+    }
+    pipeline_span.arg("ops_out", prog.nodes().len());
+
+    debug_assert!(
+        prog.validate().is_ok(),
+        "revalidate broke program: {prog:?}"
+    );
+    Some(OptimizedProgram {
+        program: prog,
+        precompute,
+        report,
+        layout_plan: refreshed,
+    })
 }

@@ -82,6 +82,40 @@ pub fn plan(
     }
 }
 
+/// Replay a previously searched factor: one transient-memory estimate (to
+/// re-check the budget under the current graph stats) instead of the full
+/// grid walk. This is the pure *apply* half the plan database uses; a
+/// replayed plan that no longer fits comes back with `fits: false` so the
+/// caller can fall back to a fresh [`plan`].
+pub fn replay(
+    program: &Program,
+    stats: &GraphStats,
+    batch_size: usize,
+    factor: usize,
+    budget_bytes: f64,
+) -> SuperBatchPlan {
+    let factor = factor.max(1);
+    let est_bytes = transient(program, stats, batch_size * factor);
+    let fits = est_bytes <= budget_bytes;
+    gsampler_obs::event(
+        "plan",
+        "superbatch",
+        &[
+            ("factor", gsampler_obs::Arg::Num(factor as f64)),
+            ("est_bytes", gsampler_obs::Arg::Num(est_bytes)),
+            ("budget_bytes", gsampler_obs::Arg::Num(budget_bytes)),
+            ("fits", gsampler_obs::Arg::from(fits)),
+            ("replayed", gsampler_obs::Arg::from(true)),
+        ],
+    );
+    SuperBatchPlan {
+        factor,
+        est_bytes,
+        budget_bytes,
+        fits,
+    }
+}
+
 fn transient(program: &Program, stats: &GraphStats, batch: usize) -> f64 {
     let shapes = estimate_shapes(program, stats, batch);
     estimate_transient_bytes(program, &shapes)
@@ -144,6 +178,18 @@ mod tests {
         let huge = plan(&p, &stats(), 16, 1e15);
         assert_eq!(huge.factor, 128);
         assert!(huge.fits);
+    }
+
+    #[test]
+    fn replay_matches_search_at_same_factor() {
+        let p = graphsage();
+        let searched = plan(&p, &stats(), 512, 1e9);
+        let replayed = replay(&p, &stats(), 512, searched.factor, 1e9);
+        assert_eq!(searched, replayed);
+        // A drifted (smaller) budget flips `fits` without changing bytes.
+        let tight = replay(&p, &stats(), 512, searched.factor, searched.est_bytes / 2.0);
+        assert!(!tight.fits);
+        assert_eq!(tight.est_bytes, searched.est_bytes);
     }
 
     #[test]

@@ -50,6 +50,19 @@ pub fn compile_algorithm(
             return Ok(None);
         }
     }
+    // The plan-cache ablation is a *warm-cache* differential: a throwaway
+    // compile first seeds the process-global plan database, so the sampler
+    // the oracle actually drives compiled through a cache hit (replayed
+    // layout and super-batch plans). Its outputs must be bit-identical to
+    // the cold reference — cached plans must never change what is sampled.
+    if opt.plan_cache {
+        compile(
+            graph.clone(),
+            layers.clone(),
+            sampler_config(opt.clone(), seed, batch_size),
+        )
+        .map_err(|e| format!("{algo}: cold plan-cache compile failed: {e}"))?;
+    }
     compile(graph.clone(), layers, sampler_config(opt, seed, batch_size))
         .map(Some)
         .map_err(|e| format!("{algo}: compile failed: {e}"))

@@ -79,6 +79,8 @@ fn ablation_set_toggles_every_pass_exactly_once() {
     assert!(!find("no-fusion").fusion);
     assert_eq!(find("layout-greedy").layout, LayoutMode::Greedy);
     assert_eq!(find("layout-none").layout, LayoutMode::None);
+    assert!(find("plan-cache").plan_cache && find("plan-cache").dce);
+    assert!(!find("all").plan_cache && !find("plain").plan_cache);
     // Every ablation keeps super-batching off; the oracle checks that
     // path separately (different RNG stream keying by design).
     assert!(abl.iter().all(|(_, c)| c.super_batch == 1));

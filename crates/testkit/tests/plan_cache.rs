@@ -1,0 +1,114 @@
+//! Plan-database differentials: a compile served from the plan cache must
+//! be *bit-identical* to a cold compile — cached layout and super-batch
+//! plans change how sampling executes, never what it samples. Runs every
+//! registered algorithm warm-vs-cold, and checks the cache counters
+//! surface end to end (compile → `Sampler` → `EpochReport`).
+
+use std::sync::Arc;
+
+use gsampler_algos::all_algorithms;
+use gsampler_core::{compile, Bindings, PlanDb, SamplerConfig};
+use gsampler_engine::plandb;
+use gsampler_ir::passes::OptConfig;
+use gsampler_testkit::drive::{algorithm_names, run_algorithm};
+use gsampler_testkit::fingerprint::of_values;
+use gsampler_testkit::gen::{GraphSpec, Topology};
+use gsampler_testkit::oracle::oracle_hyper;
+
+fn spec() -> GraphSpec {
+    GraphSpec {
+        topology: Topology::PowerLaw,
+        nodes: 48,
+        edges: 200,
+        weighted: true,
+        self_loops: true,
+        duplicate_edges: true,
+        dangling: false,
+        seed: 0x9A75,
+    }
+}
+
+#[test]
+fn warm_cache_compile_is_bit_identical_for_every_algorithm() {
+    let spec = spec();
+    let graph = spec.build();
+    let frontiers = spec.frontiers(8);
+    let h = oracle_hyper();
+    let before = plandb::global().stats();
+    for algo in algorithm_names(&h) {
+        let cold = run_algorithm(&graph, algo, &h, OptConfig::all(), 0x5EED, &frontiers, None)
+            .expect("cold drive")
+            .expect("algorithm ran");
+        // `plan_cache` makes the drive compile twice: a throwaway compile
+        // seeds the global database, so the driven sampler compiled warm.
+        let warm_cfg = OptConfig {
+            plan_cache: true,
+            ..OptConfig::all()
+        };
+        let warm = run_algorithm(&graph, algo, &h, warm_cfg, 0x5EED, &frontiers, None)
+            .expect("warm drive")
+            .expect("algorithm ran");
+        assert_eq!(
+            of_values(&cold),
+            of_values(&warm),
+            "{algo}: warm-cache outputs diverge from the cold compile"
+        );
+    }
+    let delta = plandb::global().stats().since(&before);
+    assert!(
+        delta.hits > 0,
+        "plan-cache drives never hit the database: {delta:?}"
+    );
+    assert!(
+        delta.inserts > 0,
+        "plan-cache drives never inserted a plan: {delta:?}"
+    );
+}
+
+#[test]
+fn cache_counters_surface_through_sampler_and_epoch_report() {
+    let spec = spec();
+    let graph = spec.build();
+    let frontiers = spec.frontiers(8);
+    let h = oracle_hyper();
+    let layers = all_algorithms(&h)
+        .into_iter()
+        .find(|s| s.name == "GraphSAGE")
+        .expect("GraphSAGE registered")
+        .layers;
+    let db = Arc::new(PlanDb::in_memory());
+    let config = SamplerConfig {
+        plan_db: Some(db.clone()),
+        batch_size: frontiers.len().max(1),
+        ..SamplerConfig::new()
+    };
+
+    let cold = compile(graph.clone(), layers.clone(), config.clone()).expect("cold compile");
+    assert_eq!(cold.plan_db_stats().misses, 1);
+    assert_eq!(cold.plan_db_stats().inserts, 1);
+    assert_eq!(cold.plan_db_stats().hits, 0);
+    assert_eq!(db.len(), 1);
+
+    let warm = compile(graph.clone(), layers, config).expect("warm compile");
+    assert_eq!(warm.plan_db_stats().hits, 1);
+    assert_eq!(warm.plan_db_stats().misses, 0);
+    assert_eq!(warm.plan_db_stats().inserts, 0);
+
+    // The compile-time counters must survive the per-epoch device reset.
+    let report = warm
+        .run_epoch(&frontiers, &Bindings::new(), 0)
+        .expect("epoch");
+    assert_eq!(report.stats.plan_db.hits, 1);
+
+    // Warm and cold samplers sample identically.
+    let a = cold
+        .sample_batch(&frontiers, &Bindings::new())
+        .expect("cold batch");
+    let b = warm
+        .sample_batch(&frontiers, &Bindings::new())
+        .expect("warm batch");
+    let flat = |s: gsampler_core::GraphSample| -> Vec<gsampler_core::Value> {
+        s.layers.into_iter().flatten().collect()
+    };
+    assert_eq!(of_values(&flat(a)), of_values(&flat(b)));
+}
