@@ -107,3 +107,10 @@ GS_BENCH_OUT="$TRACE_TMP/bench.json" cargo bench -q -p gsampler-bench --bench pa
 # gate against the committed artifact (loose threshold, cross-host).
 GS_BENCH_OUT="$TRACE_TMP/plan_cache.json" cargo bench -q -p gsampler-bench --bench plan_cache >/dev/null
 ./target/release/perf-gate results/BENCH_plan_cache.json "$TRACE_TMP/plan_cache.json" --threshold 2.0
+
+# Same for the single-thread kernel bench. This one also self-asserts its
+# two floors (blocked-SpMM >= 1.5x over spmm_baseline, pool width-1
+# overhead <= 2%) inside the harness, so a pass here certifies both the
+# cross-host gate and the in-run ratios.
+GS_BENCH_OUT="$TRACE_TMP/single_thread.json" cargo bench -q -p gsampler-bench --bench single_thread >/dev/null
+./target/release/perf-gate results/BENCH_single_thread.json "$TRACE_TMP/single_thread.json" --threshold 2.0

@@ -57,6 +57,7 @@ fn bench_layout_search(c: &mut Criterion) {
                 Residency::HostUva {
                     cache_hit_rate: 0.7,
                 },
+                true,
             )
         });
     });

@@ -90,9 +90,10 @@ pub fn superbatch_compatible(program: &Program) -> bool {
         .map(|(id, _)| id)
         .collect();
     program.nodes().iter().all(|node| match node.op {
-        Op::SliceCols | Op::SliceRows | Op::FusedExtractSelect { .. } => {
-            frontier_ids.contains(&node.inputs[1])
-        }
+        Op::SliceCols
+        | Op::SliceRows
+        | Op::FusedExtractSelect { .. }
+        | Op::FusedSampleRelabel { .. } => frontier_ids.contains(&node.inputs[1]),
         Op::InduceSubgraph | Op::ReduceAll(..) | Op::SpmmT => false,
         _ => true,
     })

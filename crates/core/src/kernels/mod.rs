@@ -29,7 +29,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 
-use gsampler_engine::{faults, pool_metrics, Device, KernelDesc, PoolError, Residency};
+use gsampler_engine::{
+    arena_metrics, faults, pool_metrics, Device, KernelDesc, PoolError, Residency,
+};
 use gsampler_ir::{costing, Op, ShapeEst};
 use gsampler_matrix::{Format, NodeId};
 
@@ -205,6 +207,7 @@ pub fn kernel_for(op: &Op) -> &'static dyn Kernel {
         | Op::IndividualSample { .. }
         | Op::CollectiveSample { .. }
         | Op::FusedExtractSelect { .. }
+        | Op::FusedSampleRelabel { .. }
         | Op::Convert(..)
         | Op::CompactRows
         | Op::CompactCols
@@ -289,6 +292,7 @@ pub fn dispatch(
     }
 
     let pool_before = pool_metrics();
+    let arena_before = arena_metrics();
     let start = Instant::now();
     // A pool worker dying mid-kernel unwinds through here as a typed
     // `PoolError` (the pool has already respawned the worker). Contain it
@@ -312,6 +316,7 @@ pub fn dispatch(
     };
     let wall = start.elapsed().as_secs_f64();
     let pool = pool_metrics().since(&pool_before);
+    let arena = arena_metrics().since(&arena_before);
 
     let args = WorkloadArgs {
         op,
@@ -325,10 +330,12 @@ pub fn dispatch(
         span.arg("workload", desc.name.clone());
         span.arg("pool_regions", pool.regions);
         span.arg("pool_avg_threads", pool.avg_threads());
+        span.arg("arena_takes", arena.takes);
+        span.arg("arena_hits", arena.hits);
         let (modeled, _) = device.cost_model().time_and_utilization(&desc);
         span.arg("modeled_s", modeled);
         gsampler_obs::counter("kernel.dispatches", 1.0);
-        device.charge_timed_par(desc, wall, pool);
+        device.charge_timed_par(desc, wall, pool, arena);
     }
     Ok(value)
 }

@@ -41,7 +41,10 @@ pub use cache::{degree_cache_hit_rate, plan_cache, CachePlan};
 pub use cost::CostModel;
 pub use device::{DeviceProfile, Residency};
 pub use faults::{FaultKind, FaultSpec, InjectedCounts};
-pub use gsampler_runtime::{pool_metrics, PoolError, PoolMetrics};
+pub use gsampler_runtime::{
+    arena_metrics, pool_metrics, take_scratch, take_scratch_filled, ArenaMetrics, PoolError,
+    PoolMetrics, Recycled,
+};
 pub use memory::{MemoryTracker, OomError};
 pub use plandb::{
     GraphSummary, LayerPlanRec, LayoutDecisionRec, Lookup, PlanArtifact, PlanDb, PlanDbStats,
@@ -122,17 +125,29 @@ impl Device {
     /// Charge a kernel's modeled cost together with the host wall-clock
     /// seconds its emulation took — the dispatcher's entry point.
     pub fn charge_timed(&self, desc: KernelDesc, wall_time: f64) {
-        self.charge_timed_par(desc, wall_time, PoolMetrics::default());
+        self.charge_timed_par(
+            desc,
+            wall_time,
+            PoolMetrics::default(),
+            ArenaMetrics::default(),
+        );
     }
 
     /// Charge a kernel's modeled cost together with its host wall-clock
-    /// seconds and the worker-pool activity (a [`pool_metrics`] snapshot
-    /// delta) its emulation caused.
-    pub fn charge_timed_par(&self, desc: KernelDesc, wall_time: f64, pool: PoolMetrics) {
+    /// seconds and the worker-pool and scratch-arena activity (snapshot
+    /// deltas of [`pool_metrics`] / [`arena_metrics`]) its emulation
+    /// caused.
+    pub fn charge_timed_par(
+        &self,
+        desc: KernelDesc,
+        wall_time: f64,
+        pool: PoolMetrics,
+        arena: ArenaMetrics,
+    ) {
         let (time, util) = self.cost.time_and_utilization(&desc);
         self.stats
             .lock()
-            .record_timed_par(desc, time, util, wall_time, pool);
+            .record_timed_par(desc, time, util, wall_time, pool, arena);
     }
 
     /// Register an allocation of `bytes` live device memory.

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use crate::plandb::PlanDbStats;
 use crate::workload::KernelDesc;
-use gsampler_runtime::PoolMetrics;
+use gsampler_runtime::{ArenaMetrics, PoolMetrics};
 
 /// One recorded kernel execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +32,9 @@ pub struct KernelRecord {
     /// Worker-pool activity attributed to this invocation (regions
     /// dispatched, participant counts, busy/capacity nanoseconds).
     pub pool: PoolMetrics,
+    /// Scratch-arena activity attributed to this invocation (buffer
+    /// takes, capacity hits, bytes reused across batches).
+    pub arena: ArenaMetrics,
 }
 
 /// Per-kernel-name aggregate — one row of the `--profile` breakdown.
@@ -51,6 +54,8 @@ pub struct KernelAgg {
     pub flops: u64,
     /// Accumulated worker-pool activity across all invocations.
     pub pool: PoolMetrics,
+    /// Accumulated scratch-arena activity across all invocations.
+    pub arena: ArenaMetrics,
 }
 
 impl KernelAgg {
@@ -64,6 +69,12 @@ impl KernelAgg {
     /// `(0, 1]` (1.0 for sequential kernels, which waste no worker time).
     pub fn parallel_efficiency(&self) -> f64 {
         self.pool.efficiency()
+    }
+
+    /// Fraction of scratch-buffer requests served from the arena's
+    /// recycled capacity (1.0 when the kernel took no scratch).
+    pub fn scratch_hit_rate(&self) -> f64 {
+        self.arena.hit_rate()
     }
 }
 
@@ -140,6 +151,8 @@ pub struct ExecStats {
     pub util_time_product: f64,
     /// Worker-pool activity accumulated across all kernels.
     pub pool: PoolMetrics,
+    /// Scratch-arena activity accumulated across all kernels.
+    pub arena: ArenaMetrics,
     /// Per-kernel-name aggregation.
     pub per_kernel: BTreeMap<String, KernelAgg>,
     /// Individual records (kept for breakdown reporting; cleared by
@@ -162,11 +175,19 @@ impl ExecStats {
     /// Record one kernel execution, including the host wall-clock seconds
     /// the emulation took.
     pub fn record_timed(&mut self, desc: KernelDesc, time: f64, utilization: f64, wall_time: f64) {
-        self.record_timed_par(desc, time, utilization, wall_time, PoolMetrics::default());
+        self.record_timed_par(
+            desc,
+            time,
+            utilization,
+            wall_time,
+            PoolMetrics::default(),
+            ArenaMetrics::default(),
+        );
     }
 
-    /// Record one kernel execution together with the worker-pool activity
-    /// (a [`PoolMetrics`] delta captured around the kernel) it caused.
+    /// Record one kernel execution together with the worker-pool and
+    /// scratch-arena activity (metric deltas captured around the kernel)
+    /// it caused.
     pub fn record_timed_par(
         &mut self,
         desc: KernelDesc,
@@ -174,6 +195,7 @@ impl ExecStats {
         utilization: f64,
         wall_time: f64,
         pool: PoolMetrics,
+        arena: ArenaMetrics,
     ) {
         self.total_time += time;
         self.total_wall_time += wall_time;
@@ -183,6 +205,7 @@ impl ExecStats {
         self.total_flops += desc.flops;
         self.util_time_product += time * utilization;
         self.pool.accumulate(&pool);
+        self.arena.accumulate(&arena);
         let agg = self.per_kernel.entry(desc.name.clone()).or_default();
         agg.count += 1;
         agg.time += time;
@@ -191,6 +214,7 @@ impl ExecStats {
         agg.bytes_pcie += desc.bytes_pcie;
         agg.flops += desc.flops;
         agg.pool.accumulate(&pool);
+        agg.arena.accumulate(&arena);
         self.records.push(KernelRecord {
             name: desc.name,
             time,
@@ -200,6 +224,7 @@ impl ExecStats {
             bytes_pcie: desc.bytes_pcie,
             flops: desc.flops,
             pool,
+            arena,
         });
     }
 
@@ -223,6 +248,7 @@ impl ExecStats {
         self.total_flops += other.total_flops;
         self.util_time_product += other.util_time_product;
         self.pool.accumulate(&other.pool);
+        self.arena.accumulate(&other.arena);
         for (name, a) in &other.per_kernel {
             let agg = self.per_kernel.entry(name.clone()).or_default();
             agg.count += a.count;
@@ -232,6 +258,7 @@ impl ExecStats {
             agg.bytes_pcie += a.bytes_pcie;
             agg.flops += a.flops;
             agg.pool.accumulate(&a.pool);
+            agg.arena.accumulate(&a.arena);
         }
         self.records.extend(other.records.iter().cloned());
         self.faults.merge(&other.faults);
@@ -322,7 +349,7 @@ mod tests {
             busy_ns: 900,
             capacity_ns: 1000,
         };
-        s.record_timed_par(desc("k"), 1.0, 1.0, 0.1, region);
+        s.record_timed_par(desc("k"), 1.0, 1.0, 0.1, region, ArenaMetrics::default());
         s.record_timed(desc("k"), 1.0, 1.0, 0.1); // sequential invocation
         let k = s.per_kernel["k"];
         assert_eq!(k.pool.regions, 2);
@@ -333,7 +360,7 @@ mod tests {
         assert_eq!(s.records[1].pool, PoolMetrics::default());
         // Merging carries pool activity along.
         let mut other = ExecStats::default();
-        other.record_timed_par(desc("k"), 1.0, 1.0, 0.1, region);
+        other.record_timed_par(desc("k"), 1.0, 1.0, 0.1, region, ArenaMetrics::default());
         s.merge(&other);
         assert_eq!(s.per_kernel["k"].pool.regions, 4);
         assert_eq!(s.pool.busy_ns, 1800);
@@ -342,6 +369,34 @@ mod tests {
         seq.record(desc("s"), 1.0, 1.0);
         assert!((seq.per_kernel["s"].avg_threads() - 1.0).abs() < 1e-12);
         assert!((seq.per_kernel["s"].parallel_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_timed_par_aggregates_arena_metrics() {
+        let mut s = ExecStats::default();
+        let arena = ArenaMetrics {
+            takes: 4,
+            hits: 3,
+            bytes_reused: 4096,
+        };
+        s.record_timed_par(desc("k"), 1.0, 1.0, 0.1, PoolMetrics::default(), arena);
+        s.record_timed(desc("k"), 1.0, 1.0, 0.1); // no scratch taken
+        let k = s.per_kernel["k"];
+        assert_eq!(k.arena.takes, 4);
+        assert_eq!(k.arena.bytes_reused, 4096);
+        assert!((k.scratch_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.arena.hits, 3);
+        assert_eq!(s.records[0].arena, arena);
+        assert_eq!(s.records[1].arena, ArenaMetrics::default());
+        let mut other = ExecStats::default();
+        other.record_timed_par(desc("k"), 1.0, 1.0, 0.1, PoolMetrics::default(), arena);
+        s.merge(&other);
+        assert_eq!(s.per_kernel["k"].arena.takes, 8);
+        assert_eq!(s.arena.bytes_reused, 8192);
+        // A kernel that took no scratch reports the no-allocation identity.
+        let mut seq = ExecStats::default();
+        seq.record(desc("s"), 1.0, 1.0);
+        assert!((seq.per_kernel["s"].scratch_hit_rate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -239,12 +239,18 @@ pub fn eltwise(fmt: Format, input: MatShape) -> KernelDesc {
 }
 
 /// `A @ D` — SpMM with dense feature dimension `k`.
+///
+/// The cache-blocked kernel (`gsampler_matrix::spmm`) builds its per-tile
+/// cursor table from the row pointers once and reuses it across every
+/// column-block sweep, so the blocking overhead is one extra pointer-array
+/// read — charged here once, not per block.
 pub fn spmm(fmt: Format, input: MatShape, k: usize) -> KernelDesc {
     let k = k as u64;
+    let block_index_build = input.nrows as u64 * NODE_BYTES;
     KernelDesc::new(format!("spmm[{fmt}]"))
         .with_flops(2 * input.nnz as u64 * k)
         .with_bytes(
-            input.nnz as u64 * EDGE_BYTES + input.nnz as u64 * k * NODE_BYTES,
+            input.nnz as u64 * EDGE_BYTES + input.nnz as u64 * k * NODE_BYTES + block_index_build,
             input.nrows as u64 * k * NODE_BYTES,
         )
         .with_parallelism(input.nnz as u64 * k)
@@ -435,6 +441,27 @@ pub fn fused_extract_select(
         .with_parallelism(t as u64)
 }
 
+/// Fused extract + select + row compaction: the sampled edges are
+/// relabelled while still in registers, so versus `fused_extract_select`
+/// followed by [`compact`] the second full pass over the edge list (and
+/// its launch) disappears; only the kept-row table build and the row-id
+/// write-back remain.
+pub fn fused_sample_relabel(
+    graph_fmt: Format,
+    graph: MatShape,
+    t: usize,
+    visited_nnz: usize,
+    out_nnz: usize,
+    out_nrows: usize,
+    residency: Residency,
+) -> KernelDesc {
+    let mut desc = fused_extract_select(graph_fmt, graph, t, visited_nnz, out_nnz, residency);
+    desc.name = format!("fused_sample_relabel[{graph_fmt}]");
+    desc.flops += out_nnz as u64;
+    desc.bytes += (out_nnz as u64 + out_nrows as u64) * NODE_BYTES;
+    desc
+}
+
 /// Fused edge-map chain: one pass over the edges regardless of chain
 /// length (paper Fig. 5b).
 pub fn fused_edge_map(fmt: Format, input: MatShape, steps: usize) -> KernelDesc {
@@ -601,6 +628,30 @@ mod tests {
         assert_eq!(f.bytes, 1500);
         assert_eq!(f.launches, 1);
         assert_eq!(f.parallelism, 128);
+    }
+
+    #[test]
+    fn fused_sample_relabel_cheaper_than_sample_plus_compact() {
+        let g = pd_graph();
+        let out_nnz = 512 * 10;
+        let fused = fused_sample_relabel(
+            Format::Csc,
+            g,
+            512,
+            out_nnz,
+            out_nnz,
+            4000,
+            Residency::Device,
+        );
+        let sample = fused_extract_select(Format::Csc, g, 512, out_nnz, out_nnz, Residency::Device);
+        let mid = MatShape::new(g.nrows, 512, out_nnz);
+        let cmp = compact(Format::Csc, mid, Axis::Row);
+        assert!(
+            modeled_ms(&fused) < modeled_ms(&sample) + modeled_ms(&cmp),
+            "fused={} split={}",
+            modeled_ms(&fused),
+            modeled_ms(&sample) + modeled_ms(&cmp)
+        );
     }
 
     #[test]

@@ -116,6 +116,7 @@ pub fn search(
     batch_size: usize,
     cost_model: &CostModel,
     residency: Residency,
+    fuse: bool,
 ) -> LayoutPlan {
     let points = choice_points(program);
     let natural_time = price(program, stats, batch_size, cost_model, residency);
@@ -131,12 +132,12 @@ pub fn search(
     let assignment = match mode {
         LayoutMode::None => unreachable!(),
         LayoutMode::Greedy => greedy_assignment(program, &points, stats, batch_size, cost_model),
-        LayoutMode::CostAware => {
-            search_assignment(program, &points, stats, batch_size, cost_model, residency)
-        }
+        LayoutMode::CostAware => search_assignment(
+            program, &points, stats, batch_size, cost_model, residency, fuse,
+        ),
     };
 
-    let rewritten = apply_assignment(program, &assignment);
+    let rewritten = apply_assignment(program, &assignment, fuse);
     let est_time = price(&rewritten, stats, batch_size, cost_model, residency);
 
     // Cost-aware must never be worse than natural; fall back if the search
@@ -188,6 +189,7 @@ pub fn revalidate(
     batch_size: usize,
     cost_model: &CostModel,
     residency: Residency,
+    fuse: bool,
 ) -> Option<LayoutPlan> {
     if !plan_applies(program, plan) {
         return None;
@@ -205,7 +207,7 @@ pub fn revalidate(
         .iter()
         .map(|d| (d.op_id, (d.format, d.compact)))
         .collect();
-    let rewritten = apply_assignment(program, &assignment);
+    let rewritten = apply_assignment(program, &assignment, fuse);
     let est_time = price(&rewritten, stats, batch_size, cost_model, residency);
     if est_time > natural_time {
         return None;
@@ -220,7 +222,7 @@ pub fn revalidate(
 /// The pure *apply* (replay) half: rewrite the program according to an
 /// already-searched plan. No pricing, no enumeration — this is the warm
 /// path the plan database replays cached artifacts through.
-pub fn apply(program: &Program, plan: &LayoutPlan) -> (Program, LayoutReport) {
+pub fn apply(program: &Program, plan: &LayoutPlan, fuse: bool) -> (Program, LayoutReport) {
     if plan.decisions.is_empty() {
         let report = LayoutReport {
             est_time: plan.est_time,
@@ -234,7 +236,7 @@ pub fn apply(program: &Program, plan: &LayoutPlan) -> (Program, LayoutReport) {
         .iter()
         .map(|d| (d.op_id, (d.format, d.compact)))
         .collect();
-    let rewritten = apply_assignment(program, &assignment);
+    let rewritten = apply_assignment(program, &assignment, fuse);
     let report = LayoutReport {
         choices: plan
             .decisions
@@ -246,7 +248,10 @@ pub fn apply(program: &Program, plan: &LayoutPlan) -> (Program, LayoutReport) {
             })
             .collect(),
         conversions: rewritten.count_ops(|op| matches!(op, Op::Convert(..))),
-        compactions: rewritten.count_ops(|op| matches!(op, Op::CompactRows)),
+        // A fused sample+relabel *is* a compaction decision realized inside
+        // the sampling kernel, so it counts alongside explicit CompactRows.
+        compactions: rewritten
+            .count_ops(|op| matches!(op, Op::CompactRows | Op::FusedSampleRelabel { .. })),
         est_time: plan.est_time,
         natural_time: plan.natural_time,
     };
@@ -261,9 +266,12 @@ pub fn run(
     batch_size: usize,
     cost_model: &CostModel,
     residency: Residency,
+    fuse: bool,
 ) -> (Program, LayoutReport) {
-    let plan = search(program, mode, stats, batch_size, cost_model, residency);
-    let (rewritten, report) = apply(program, &plan);
+    let plan = search(
+        program, mode, stats, batch_size, cost_model, residency, fuse,
+    );
+    let (rewritten, report) = apply(program, &plan, fuse);
     emit_assignment_event(mode, &report);
     (rewritten, report)
 }
@@ -313,7 +321,17 @@ fn price(
 }
 
 /// Insert `CompactRows` / `Convert` nodes realizing an assignment.
-fn apply_assignment(program: &Program, assignment: &HashMap<OpId, (Format, bool)>) -> Program {
+///
+/// With `fuse` on, a `compact` decision on a [`Op::FusedExtractSelect`]
+/// node is realized as a single [`Op::FusedSampleRelabel`] instead of the
+/// sample node plus a trailing `CompactRows`: the kernel emits the
+/// already-relabelled sub-matrix in one pass. Both operators consume the
+/// same RNG stream, so the rewrite cannot shift any downstream draws.
+fn apply_assignment(
+    program: &Program,
+    assignment: &HashMap<OpId, (Format, bool)>,
+    fuse: bool,
+) -> Program {
     let mut out = Program::new();
     let mut map: Vec<OpId> = Vec::with_capacity(program.len());
     let mut fmts: Vec<Option<Format>> = Vec::new();
@@ -328,9 +346,20 @@ fn apply_assignment(program: &Program, assignment: &HashMap<OpId, (Format, bool)
 
     for (old_id, node) in program.nodes().iter().enumerate() {
         let inputs: Vec<OpId> = node.inputs.iter().map(|&i| map[i]).collect();
-        let mut last = push(&mut out, &mut fmts, node.op.clone(), inputs);
-        if let Some(&(fmt, compact)) = assignment.get(&old_id) {
-            if compact {
+        let decision = assignment.get(&old_id).copied();
+        let fused = match (&node.op, decision) {
+            (&Op::FusedExtractSelect { k, replace }, Some((_, true))) if fuse => {
+                Some(Op::FusedSampleRelabel { k, replace })
+            }
+            _ => None,
+        };
+        let was_fused = fused.is_some();
+        let mut last = match fused {
+            Some(op) => push(&mut out, &mut fmts, op, inputs),
+            None => push(&mut out, &mut fmts, node.op.clone(), inputs),
+        };
+        if let Some((fmt, compact)) = decision {
+            if compact && !was_fused {
                 last = push(&mut out, &mut fmts, Op::CompactRows, vec![last]);
             }
             let current = fmts[last].unwrap_or(GRAPH_FMT);
@@ -355,6 +384,7 @@ fn search_assignment(
     batch_size: usize,
     cost_model: &CostModel,
     residency: Residency,
+    fuse: bool,
 ) -> HashMap<OpId, (Format, bool)> {
     let options: Vec<Vec<(Format, bool)>> = points
         .iter()
@@ -377,7 +407,10 @@ fn search_assignment(
             .zip(choice)
             .map(|(&(id, _), &oi)| (id, options_at(&options, points, id)[oi]))
             .collect();
-        let candidate = apply_assignment(program, &assignment);
+        // Price the candidate exactly as `apply` will realize it, fused
+        // peephole included — otherwise the search could never see the
+        // fused kernel's cheaper second pass.
+        let candidate = apply_assignment(program, &assignment, fuse);
         price(&candidate, stats, batch_size, cost_model, residency)
     };
 
@@ -545,6 +578,7 @@ mod tests {
             512,
             &model(),
             Residency::Device,
+            true,
         );
         out.validate().unwrap();
         assert!(report.est_time <= report.natural_time * 1.0001);
@@ -564,6 +598,7 @@ mod tests {
             Residency::HostUva {
                 cache_hit_rate: 0.7,
             },
+            true,
         );
         out.validate().unwrap();
         assert!(
@@ -583,6 +618,7 @@ mod tests {
             512,
             &model(),
             Residency::Device,
+            true,
         );
         out.validate().unwrap();
         // Greedy never compacts.
@@ -601,6 +637,7 @@ mod tests {
             Residency::HostUva {
                 cache_hit_rate: 0.7,
             },
+            true,
         );
         let (greedy_prog, _) = run(
             &p,
@@ -611,6 +648,7 @@ mod tests {
             Residency::HostUva {
                 cache_hit_rate: 0.7,
             },
+            true,
         );
         let greedy_time = price(
             &greedy_prog,
@@ -642,6 +680,7 @@ mod tests {
             512,
             &model(),
             Residency::Device,
+            true,
         );
         assert_eq!(out, p);
         assert!(report.choices.is_empty());
@@ -657,9 +696,10 @@ mod tests {
             512,
             &model(),
             Residency::Device,
+            true,
         );
         assert!(plan_applies(&p, &plan));
-        let (replayed, replay_report) = apply(&p, &plan);
+        let (replayed, replay_report) = apply(&p, &plan, true);
         let (searched, search_report) = run(
             &p,
             LayoutMode::CostAware,
@@ -667,6 +707,7 @@ mod tests {
             512,
             &model(),
             Residency::Device,
+            true,
         );
         assert_eq!(replayed, searched);
         assert_eq!(replay_report.choices, search_report.choices);
@@ -712,6 +753,47 @@ mod tests {
     }
 
     #[test]
+    fn fused_peephole_rewrites_sample_plus_compact() {
+        let mut p = Program::new();
+        let g = p.add(Op::InputGraph, vec![]);
+        let f = p.add(Op::InputFrontiers, vec![]);
+        let samp = p.add(
+            Op::FusedExtractSelect {
+                k: 10,
+                replace: false,
+            },
+            vec![g, f],
+        );
+        let next = p.add(Op::RowNodes, vec![samp]);
+        p.mark_output(samp);
+        p.mark_output(next);
+        let assignment: HashMap<OpId, (Format, bool)> =
+            [(samp, (GRAPH_FMT, true))].into_iter().collect();
+
+        let fused = apply_assignment(&p, &assignment, true);
+        fused.validate().unwrap();
+        assert_eq!(
+            fused.count_ops(|op| matches!(
+                op,
+                Op::FusedSampleRelabel {
+                    k: 10,
+                    replace: false
+                }
+            )),
+            1
+        );
+        assert_eq!(fused.count_ops(|op| matches!(op, Op::CompactRows)), 0);
+
+        let unfused = apply_assignment(&p, &assignment, false);
+        unfused.validate().unwrap();
+        assert_eq!(
+            unfused.count_ops(|op| matches!(op, Op::FusedSampleRelabel { .. })),
+            0
+        );
+        assert_eq!(unfused.count_ops(|op| matches!(op, Op::CompactRows)), 1);
+    }
+
+    #[test]
     fn outputs_follow_inserted_nodes() {
         let p = ladies();
         let (out, _) = run(
@@ -721,6 +803,7 @@ mod tests {
             512,
             &model(),
             Residency::Device,
+            true,
         );
         // Outputs must reference the *final* (possibly converted/compacted)
         // versions: validate catches dangling; also check count unchanged.

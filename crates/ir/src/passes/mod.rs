@@ -31,6 +31,11 @@ pub struct OptConfig {
     pub fusion: bool,
     /// Data-layout selection strategy.
     pub layout: LayoutMode,
+    /// Realize a layout `compact` decision on a fused sample node as one
+    /// [`crate::op::Op::FusedSampleRelabel`] kernel instead of sample +
+    /// `CompactRows` (skips the second frontier pass). Semantics are
+    /// unchanged; this only swaps how the decision is executed.
+    pub fuse_sample_relabel: bool,
     /// Super-batch size (number of mini-batches sampled together);
     /// planned separately by [`crate::superbatch`], stored here so the
     /// executor sees one config object.
@@ -52,6 +57,7 @@ impl OptConfig {
             preprocess: true,
             fusion: true,
             layout: LayoutMode::CostAware,
+            fuse_sample_relabel: true,
             super_batch: 1,
             plan_cache: false,
         }
@@ -66,6 +72,7 @@ impl OptConfig {
             preprocess: false,
             fusion: false,
             layout: LayoutMode::Greedy,
+            fuse_sample_relabel: false,
             super_batch: 1,
             plan_cache: false,
         }
@@ -142,6 +149,13 @@ impl OptConfig {
                 "plan-cache",
                 OptConfig {
                     plan_cache: true,
+                    ..all()
+                },
+            ),
+            (
+                "fused-sample-relabel",
+                OptConfig {
+                    fuse_sample_relabel: false,
                     ..all()
                 },
             ),
@@ -267,8 +281,9 @@ pub fn run_passes(
             batch_size * config.super_batch.max(1),
             cost_model,
             residency,
+            config.fuse_sample_relabel,
         );
-        let (p, lr) = layout::apply(&prog, &plan);
+        let (p, lr) = layout::apply(&prog, &plan, config.fuse_sample_relabel);
         prog = p;
         span.arg("mode", format!("{:?}", config.layout));
         span.arg("conversions", lr.conversions);
@@ -309,7 +324,7 @@ pub fn run_passes_replay(
         return None;
     }
     if config.layout != LayoutMode::None {
-        let (p, lr) = layout::apply(&prog, plan);
+        let (p, lr) = layout::apply(&prog, plan, config.fuse_sample_relabel);
         prog = p;
         layout::emit_assignment_event(config.layout, &lr);
         report.layout = Some(lr);
@@ -351,9 +366,10 @@ pub fn run_passes_revalidate(
         batch_size * config.super_batch.max(1),
         cost_model,
         residency,
+        config.fuse_sample_relabel,
     )?;
     if config.layout != LayoutMode::None {
-        let (p, lr) = layout::apply(&prog, &refreshed);
+        let (p, lr) = layout::apply(&prog, &refreshed, config.fuse_sample_relabel);
         prog = p;
         layout::emit_assignment_event(config.layout, &lr);
         report.layout = Some(lr);

@@ -6,9 +6,11 @@
 //! these kernels do the actual work and report the kept-node mapping so
 //! that global IDs survive.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use gsampler_runtime::{parallel_for_chunks, parallel_map, parallel_scatter, parallel_scatter2};
+use gsampler_runtime::{
+    parallel_for_chunks, parallel_map, parallel_scatter, parallel_scatter2, take_scratch_filled,
+};
 
 use crate::coo::Coo;
 use crate::par_gate;
@@ -20,16 +22,58 @@ use crate::{NodeId, PAR_GRAIN};
 /// identical no matter how many workers execute the passes.
 const RELABEL_CHUNK: usize = 4096;
 
+/// An occupancy bitset over `n` ids, packed 64 per word so the survivor
+/// scan touches `n/64` words (and skips all-isolated ranges in one
+/// compare) instead of loading `n` bools.
+struct HitSet {
+    words: Vec<u64>,
+}
+
+impl HitSet {
+    /// The set ids in ascending order.
+    fn ones(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some((w as NodeId) * 64 + b as NodeId)
+                }
+            })
+        })
+    }
+
+    /// Occupancy straight from a compressed axis: id `i` is set iff
+    /// `indptr[i + 1] > indptr[i]`. Word-parallel over the pool.
+    fn from_indptr(n: usize, indptr: &[usize]) -> HitSet {
+        let words = parallel_map(n.div_ceil(64), PAR_GRAIN / 64, |w| {
+            let mut bits = 0u64;
+            let lo = w * 64;
+            for b in 0..64.min(n - lo) {
+                bits |= u64::from(indptr[lo + b + 1] > indptr[lo + b]) << b;
+            }
+            bits
+        });
+        HitSet { words }
+    }
+}
+
 /// Mark which of `n` ids occur in `ids`. Edge-parallel with relaxed atomic
-/// stores: all writes are `true`, so the result is order-independent.
-fn mark_hits(n: usize, ids: &[NodeId]) -> Vec<bool> {
-    let flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+/// `fetch_or`s: every write only raises bits, so the result is
+/// order-independent.
+fn mark_hits(n: usize, ids: &[NodeId]) -> HitSet {
+    let flags: Vec<AtomicU64> = (0..n.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
     parallel_for_chunks(ids.len(), PAR_GRAIN, |start, end| {
         for &id in &ids[start..end] {
-            flags[id as usize].store(true, Ordering::Relaxed);
+            flags[id as usize / 64].fetch_or(1u64 << (id % 64), Ordering::Relaxed);
         }
     });
-    flags.into_iter().map(AtomicBool::into_inner).collect()
+    HitSet {
+        words: flags.into_iter().map(AtomicU64::into_inner).collect(),
+    }
 }
 
 /// Result of a compaction: the smaller matrix plus the mapping from new
@@ -48,16 +92,12 @@ pub struct Compacted {
 /// per-row scan, the other formats mark row hits edge-parallel.
 pub fn compact_rows(m: &SparseMatrix) -> Compacted {
     let nrows = m.nrows();
-    let has_edge: Vec<bool> = match m {
-        SparseMatrix::Csr(csr) => {
-            parallel_map(nrows, PAR_GRAIN, |r| csr.indptr[r + 1] > csr.indptr[r])
-        }
+    let hits = match m {
+        SparseMatrix::Csr(csr) => HitSet::from_indptr(nrows, &csr.indptr),
         SparseMatrix::Csc(csc) => mark_hits(nrows, &csc.indices),
         SparseMatrix::Coo(coo) => mark_hits(nrows, &coo.rows),
     };
-    let kept: Vec<NodeId> = (0..nrows as NodeId)
-        .filter(|&r| has_edge[r as usize])
-        .collect();
+    let kept: Vec<NodeId> = hits.ones().collect();
     let matrix = relabel_rows(m, &kept);
     Compacted { matrix, kept }
 }
@@ -68,16 +108,12 @@ pub fn compact_rows(m: &SparseMatrix) -> Compacted {
 /// formats mark column hits edge-parallel.
 pub fn compact_cols(m: &SparseMatrix) -> Compacted {
     let ncols = m.ncols();
-    let has_edge: Vec<bool> = match m {
-        SparseMatrix::Csc(csc) => {
-            parallel_map(ncols, PAR_GRAIN, |c| csc.indptr[c + 1] > csc.indptr[c])
-        }
+    let hits = match m {
+        SparseMatrix::Csc(csc) => HitSet::from_indptr(ncols, &csc.indptr),
         SparseMatrix::Csr(csr) => mark_hits(ncols, &csr.indices),
         SparseMatrix::Coo(coo) => mark_hits(ncols, &coo.cols),
     };
-    let kept: Vec<NodeId> = (0..ncols as NodeId)
-        .filter(|&c| has_edge[c as usize])
-        .collect();
+    let kept: Vec<NodeId> = hits.ones().collect();
     let matrix = relabel_cols(m, &kept);
     Compacted { matrix, kept }
 }
@@ -124,7 +160,10 @@ fn gather_values<P: Fn(usize) -> bool + Sync>(src: &[f32], offsets: &[usize], ke
 /// passes write survivors. The output edge order equals the sequential
 /// filter order regardless of thread count.
 pub fn relabel_rows(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
-    let mut old_to_new = vec![u32::MAX; m.nrows()];
+    // Graph-sized scratch reused batch to batch through the arena: on a
+    // training loop this map alone was one fresh `nrows`-sized allocation
+    // per compaction.
+    let mut old_to_new = take_scratch_filled::<u32>(m.nrows(), u32::MAX);
     for (new, &old) in kept.iter().enumerate() {
         old_to_new[old as usize] = new as u32;
     }
@@ -173,7 +212,7 @@ pub fn relabel_rows(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
 /// columns not in `kept` are dropped with their edges. `kept` must be
 /// ascending. Mirror of [`relabel_rows`].
 pub fn relabel_cols(m: &SparseMatrix, kept: &[NodeId]) -> SparseMatrix {
-    let mut old_to_new = vec![u32::MAX; m.ncols()];
+    let mut old_to_new = take_scratch_filled::<u32>(m.ncols(), u32::MAX);
     for (new, &old) in kept.iter().enumerate() {
         old_to_new[old as usize] = new as u32;
     }
@@ -285,6 +324,34 @@ mod tests {
         assert_eq!(out.nnz(), 2);
         // Old row 1's edge disappears.
         assert!(!out.sorted_edges().iter().any(|&(_, _, v)| v == 1.0));
+    }
+
+    #[test]
+    fn hitset_word_boundaries() {
+        // Ids straddling u64 word boundaries, plus a trailing partial word.
+        let ids: Vec<NodeId> = vec![0, 63, 64, 127, 128, 129, 129];
+        let hits = mark_hits(130, &ids);
+        assert_eq!(
+            hits.ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 129]
+        );
+        let empty = mark_hits(0, &[]);
+        assert_eq!(empty.ones().count(), 0);
+    }
+
+    #[test]
+    fn hitset_from_indptr_matches_mark_hits() {
+        // 70 rows, edges only in rows 1, 63, 64, 69.
+        let mut indptr = vec![0usize; 71];
+        let mut nnz = 0;
+        for r in 0..70 {
+            if [1, 63, 64, 69].contains(&r) {
+                nnz += 1;
+            }
+            indptr[r + 1] = nnz;
+        }
+        let hits = HitSet::from_indptr(70, &indptr);
+        assert_eq!(hits.ones().collect::<Vec<_>>(), vec![1, 63, 64, 69]);
     }
 
     #[test]

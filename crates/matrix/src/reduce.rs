@@ -29,6 +29,21 @@ pub fn reduce(m: &SparseMatrix, op: ReduceOp, axis: Axis) -> Vec<f32> {
             out
         }
         ReduceOp::Count => {
+            // Degree scan: when the format compresses the reduced axis the
+            // counts are indptr differences — no edge traversal at all.
+            // Bit-exact with the incremental loop as long as every degree
+            // is f32-representable (+1.0 saturates at 2^24, direct
+            // conversion rounds; below that both are exact).
+            let indptr = match (m, axis) {
+                (SparseMatrix::Csr(csr), Axis::Row) => Some(&csr.indptr),
+                (SparseMatrix::Csc(csc), Axis::Col) => Some(&csc.indptr),
+                _ => None,
+            };
+            if let Some(indptr) = indptr {
+                if indptr.windows(2).all(|w| w[1] - w[0] <= 1 << 24) {
+                    return indptr.windows(2).map(|w| (w[1] - w[0]) as f32).collect();
+                }
+            }
             let mut out = vec![0f32; n];
             for (r, c, _) in m.iter_edges() {
                 out[index(axis, r, c)] += 1.0;

@@ -26,9 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod parallel;
+pub mod prefetch;
 pub mod rng;
 
+pub use arena::{
+    arena_metrics, take as take_scratch, take_filled as take_scratch_filled, ArenaMetrics, Recycled,
+};
 pub use parallel::{
     num_threads, parallel_for_chunks, parallel_for_dynamic, parallel_map, parallel_scatter,
     parallel_scatter2, pool_metrics, set_worker_fault_hook, PoolError, PoolMetrics, WorkQueue,

@@ -571,21 +571,29 @@ where
         return;
     }
     assert!(
-        offsets.windows(2).all(|w| w[0] <= w[1]),
-        "parallel_scatter: offsets must be non-decreasing"
-    );
-    assert!(
         offsets[segs] <= out.len(),
         "parallel_scatter: offsets exceed the output buffer"
     );
-    let total = offsets[segs] - offsets[0];
-    let threads = plan_threads(total, min_items);
+    let total = offsets[segs].saturating_sub(offsets[0]);
+    // Cap by segment count: a region can never use more workers than there
+    // are segments to claim, and with one segment the queue round-trip is
+    // pure overhead — run inline on the caller.
+    let threads = plan_threads(total, min_items).min(segs);
     if threads <= 1 {
+        // Safe range indexing already panics on a decreasing or
+        // out-of-bounds segment, so the inline path skips the O(segs)
+        // monotonicity scan — it exists to justify the *unsafe* disjoint
+        // writes below, and at width 1 it would be the dominant cost of
+        // fine-grained dispatch.
         for i in 0..segs {
             f(i, &mut out[offsets[i]..offsets[i + 1]]);
         }
         return;
     }
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "parallel_scatter: offsets must be non-decreasing"
+    );
     let base = SendPtr(out.as_mut_ptr());
     let grain = (segs / (threads * 8)).max(1);
     let queue = WorkQueue::new();
@@ -628,16 +636,18 @@ pub fn parallel_scatter2<A, B, F>(
         return;
     }
     assert!(
-        offsets.windows(2).all(|w| w[0] <= w[1]),
-        "parallel_scatter2: offsets must be non-decreasing"
-    );
-    assert!(
         offsets[segs] <= a.len() && offsets[segs] <= b.len(),
         "parallel_scatter2: offsets exceed an output buffer"
     );
-    let total = offsets[segs] - offsets[0];
-    let threads = plan_threads(total, min_items);
+    let total = offsets[segs].saturating_sub(offsets[0]);
+    // Same segment-count cap as `parallel_scatter`: surplus workers would
+    // only spin on a drained queue.
+    let threads = plan_threads(total, min_items).min(segs);
     if threads <= 1 {
+        // As in `parallel_scatter`, safe range indexing enforces the
+        // segment invariants one segment at a time; the full monotonicity
+        // scan is deferred to the parallel path that needs it for the
+        // unsafe disjoint writes.
         for i in 0..segs {
             let (s, e) = (offsets[i], offsets[i + 1]);
             // Split to hand out both buffers' segments simultaneously.
@@ -648,6 +658,10 @@ pub fn parallel_scatter2<A, B, F>(
         }
         return;
     }
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "parallel_scatter2: offsets must be non-decreasing"
+    );
     let base_a = SendPtr(a.as_mut_ptr());
     let base_b = SendPtr(b.as_mut_ptr());
     let grain = (segs / (threads * 8)).max(1);
@@ -809,8 +823,10 @@ mod tests {
         assert!(b[2500..5000].iter().all(|&v| v == 1.5));
     }
 
+    // Descending offsets still panic on the inline path — via safe range
+    // indexing rather than the up-front scan the parallel path runs.
     #[test]
-    #[should_panic(expected = "non-decreasing")]
+    #[should_panic]
     fn scatter_rejects_descending_offsets() {
         let mut out = vec![0u8; 10];
         parallel_scatter(&mut out, &[0, 5, 2], 1, |_, _| {});

@@ -1,0 +1,37 @@
+//! Regression test for scatter width planning, isolated in its own test
+//! binary because it asserts on the process-global pool metrics (the unit
+//! tests in `parallel.rs` dispatch regions concurrently and would race
+//! the counter).
+
+use gsampler_runtime::{parallel_scatter, parallel_scatter2, pool_metrics};
+
+#[test]
+fn scatter_single_segment_runs_inline() {
+    // Regression: the scatter thread count used to be planned from the
+    // *item* total, so one huge segment dispatched a full-width region
+    // whose surplus workers spun on an already-drained queue. With one
+    // segment no region may be dispatched at all.
+    let before = pool_metrics();
+    let offsets = vec![0usize, 100_000];
+    let mut out = vec![0u32; 100_000];
+    parallel_scatter(&mut out, &offsets, 1, |_, slice| {
+        for v in slice.iter_mut() {
+            *v = 9;
+        }
+    });
+    assert!(out.iter().all(|&v| v == 9));
+    let mut vals = vec![0f32; 100_000];
+    parallel_scatter2(&mut out, &mut vals, &offsets, 1, |_, sa, sb| {
+        for (x, y) in sa.iter_mut().zip(sb.iter_mut()) {
+            *x = 3;
+            *y = 0.5;
+        }
+    });
+    assert!(out.iter().all(|&v| v == 3));
+    assert!(vals.iter().all(|&v| v == 0.5));
+    let delta = pool_metrics().since(&before);
+    assert_eq!(
+        delta.regions, 0,
+        "single-segment scatter dispatched a pool region"
+    );
+}
