@@ -75,6 +75,20 @@ GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 
     --require pass,kernel,pool,plan \
     --require-event plan/cache.hit
 
+# --- Serve smoke --------------------------------------------------------
+# Start the multi-tenant epoch server on a preset graph, fire a 3-tenant
+# burst, and require the serve-layer trace events: requests were admitted,
+# at least one cross-request super-batch was packed, and completions were
+# recorded per tenant.
+cargo build -q --release -p gsampler-serve
+GSAMPLER_THREADS=2 ./target/release/gsampler-serve --dataset tiny --tenants 3 \
+    --requests 4 --batch 16 --trace-out "$TRACE_TMP/serve.json" >/dev/null
+./target/release/trace-check "$TRACE_TMP/serve.json" \
+    --require pass,kernel,serve \
+    --require-event serve/request \
+    --require-event serve/pack \
+    --require-event serve/complete
+
 # --- Perf-regression gate ----------------------------------------------
 # Self-test first: the gate must FAIL on an injected 2x slowdown,
 # otherwise it is not actually gating anything.
@@ -114,3 +128,10 @@ GS_BENCH_OUT="$TRACE_TMP/plan_cache.json" cargo bench -q -p gsampler-bench --ben
 # cross-host gate and the in-run ratios.
 GS_BENCH_OUT="$TRACE_TMP/single_thread.json" cargo bench -q -p gsampler-bench --bench single_thread >/dev/null
 ./target/release/perf-gate results/BENCH_single_thread.json "$TRACE_TMP/single_thread.json" --threshold 2.0
+
+# Same for the serving bench: re-measure the closed-loop load sweep (the
+# harness itself asserts batching-on p99 <= batching-off p99 at 16
+# tenants) and gate its p50/p99 latencies against the committed artifact.
+GS_BENCH_OUT="$TRACE_TMP/serve_bench.json" GSAMPLER_THREADS=2 \
+    ./target/release/serve-loadgen --quick >/dev/null
+./target/release/perf-gate results/BENCH_serve.json "$TRACE_TMP/serve_bench.json" --threshold 2.0

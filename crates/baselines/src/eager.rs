@@ -87,7 +87,12 @@ impl EagerSampler {
         let bindings = Bindings::new();
         let ctx = ExecCtx::plain(&self.graph, &bindings);
         kernels::kernel_for(op)
-            .run(op, inputs, &ctx, rng)
+            .run(
+                op,
+                inputs,
+                &ctx,
+                &mut gsampler_core::SessionRng::Shared(rng),
+            )
             .expect("eager kernel")
     }
 
@@ -720,6 +725,7 @@ mod tests {
         let bindings = Bindings::new();
         let ctx = ExecCtx::plain(&g, &bindings);
         let mut rng = RngPool::new(11).stream(7);
+        let mut rng = gsampler_core::SessionRng::Shared(&mut rng);
         let gv = Value::Matrix(g.matrix.clone());
         let fv = Value::Nodes(frontiers);
         let sub = kernels::kernel_for(&Op::SliceCols)

@@ -22,7 +22,7 @@ use rand::SeedableRng;
 
 use gsampler_core::kernels::slice_sample::{fused_extract_select, fused_sample_relabel};
 use gsampler_core::kernels::ExecCtx;
-use gsampler_core::Bindings;
+use gsampler_core::{Bindings, SessionRng};
 use gsampler_engine::parallel::parallel_scatter;
 use gsampler_graphs::{Dataset, DatasetKind};
 use gsampler_matrix::{eltwise, spmm, Dense, EltOp, GraphMatrix, NodeId, SparseMatrix};
@@ -151,8 +151,14 @@ fn bench_fused_sample_relabel(c: &mut Criterion) {
         with_one_thread(|| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
-                let v =
-                    fused_extract_select(&d.graph.matrix, 10, false, &setup.ctx, &mut rng).unwrap();
+                let v = fused_extract_select(
+                    &d.graph.matrix,
+                    10,
+                    false,
+                    &setup.ctx,
+                    &mut SessionRng::Shared(&mut rng),
+                )
+                .unwrap();
                 black_box(v.as_matrix().unwrap().compact_rows())
             })
         })
@@ -162,7 +168,14 @@ fn bench_fused_sample_relabel(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(7);
                 black_box(
-                    fused_sample_relabel(&d.graph.matrix, 10, false, &setup.ctx, &mut rng).unwrap(),
+                    fused_sample_relabel(
+                        &d.graph.matrix,
+                        10,
+                        false,
+                        &setup.ctx,
+                        &mut SessionRng::Shared(&mut rng),
+                    )
+                    .unwrap(),
                 )
             })
         })
@@ -242,25 +255,44 @@ fn write_artifact() {
     let setup = fused_setup(&d, &groups, &concat, &offsets, &bindings);
     let sampled: GraphMatrix = {
         let mut rng = StdRng::seed_from_u64(7);
-        fused_extract_select(&d.graph.matrix, 10, false, &setup.ctx, &mut rng)
-            .unwrap()
-            .as_matrix()
-            .unwrap()
-            .clone()
+        fused_extract_select(
+            &d.graph.matrix,
+            10,
+            false,
+            &setup.ctx,
+            &mut SessionRng::Shared(&mut rng),
+        )
+        .unwrap()
+        .as_matrix()
+        .unwrap()
+        .clone()
     };
     let (unfused_times, fused_times, compact_ms) = with_one_thread(|| {
         let (unfused, fused) = timed2(
             reps,
             || {
                 let mut rng = StdRng::seed_from_u64(7);
-                let v =
-                    fused_extract_select(&d.graph.matrix, 10, false, &setup.ctx, &mut rng).unwrap();
+                let v = fused_extract_select(
+                    &d.graph.matrix,
+                    10,
+                    false,
+                    &setup.ctx,
+                    &mut SessionRng::Shared(&mut rng),
+                )
+                .unwrap();
                 black_box(v.as_matrix().unwrap().compact_rows());
             },
             || {
                 let mut rng = StdRng::seed_from_u64(7);
                 black_box(
-                    fused_sample_relabel(&d.graph.matrix, 10, false, &setup.ctx, &mut rng).unwrap(),
+                    fused_sample_relabel(
+                        &d.graph.matrix,
+                        10,
+                        false,
+                        &setup.ctx,
+                        &mut SessionRng::Shared(&mut rng),
+                    )
+                    .unwrap(),
                 );
             },
         );

@@ -27,6 +27,7 @@ use crate::builder::Layer;
 use crate::error::{Error, Result};
 use crate::exec::{self, Bindings};
 use crate::graph::Graph;
+use crate::session_rng::SessionRng;
 use crate::value::Value;
 
 /// How the epoch drivers respond to faults: bounded retry for transient
@@ -193,13 +194,13 @@ fn execute_recovering(
     bindings: &Bindings,
     precomputed: &[Arc<Value>],
     device: &Device,
-    rng: &mut rand::rngs::StdRng,
+    mut rng: SessionRng<'_>,
 ) -> Result<Vec<Vec<Value>>> {
-    let checkpoint = rng.clone();
+    let checkpoint = rng.checkpoint();
     let mut retries = 0u32;
     let mut tried_spill = false;
     loop {
-        match exec::execute(
+        match exec::execute_session(
             program,
             graph,
             graph_value,
@@ -207,7 +208,7 @@ fn execute_recovering(
             bindings,
             precomputed,
             device,
-            rng,
+            rng.reborrow(),
         ) {
             Ok(out) => return Ok(out),
             Err(e) if e.is_transient() && retries < policy.max_retries => {
@@ -227,7 +228,7 @@ fn execute_recovering(
                         policy.backoff_ms << shift,
                     ));
                 }
-                *rng = checkpoint.clone();
+                rng.restore(&checkpoint);
             }
             Err(Error::Oom(oom))
                 if policy.allow_degrade
@@ -249,7 +250,7 @@ fn execute_recovering(
                         gsampler_obs::Arg::from(oom.requested as f64),
                     )],
                 );
-                *rng = checkpoint.clone();
+                rng.restore(&checkpoint);
             }
             Err(e) => return Err(e),
         }
@@ -506,7 +507,7 @@ pub fn compile(graph: Arc<Graph>, layers: Vec<Layer>, config: SamplerConfig) -> 
                 &Bindings::new(),
                 &[],
                 &device,
-                &mut rng,
+                SessionRng::Shared(&mut rng),
             )?;
             out.into_iter()
                 .next()
@@ -765,9 +766,65 @@ impl Sampler {
     /// can walk the super-batch degradation ladder instead.
     pub fn sample_groups(
         &self,
-        mut groups: Vec<Vec<NodeId>>,
+        groups: Vec<Vec<NodeId>>,
         bindings: &Bindings,
         rng: &mut rand::rngs::StdRng,
+    ) -> Result<Vec<GraphSample>> {
+        self.sample_groups_session(groups, bindings, SessionRng::Shared(rng))
+    }
+
+    /// [`Sampler::sample_groups`] with one *independent* RNG stream per
+    /// group: group `b` draws only from `rngs[b]`, exactly the sequence it
+    /// would consume running alone through [`Sampler::sample_groups`] with
+    /// that stream. This is the serving layer's cross-request packing
+    /// primitive — combined with [`Sampler::pack_exact`] it makes
+    /// coalescing independent callers into one block-diagonal super-batch
+    /// bit-invisible to each of them.
+    pub fn sample_groups_isolated(
+        &self,
+        groups: Vec<Vec<NodeId>>,
+        bindings: &Bindings,
+        rngs: &mut [rand::rngs::StdRng],
+    ) -> Result<Vec<GraphSample>> {
+        self.sample_groups_session(groups, bindings, SessionRng::PerGroup(rngs))
+    }
+
+    /// True if multi-group executions of this sampler's compiled layers
+    /// scatter back to per-group results exactly (every layer passes
+    /// [`exec::scatter_exact`]), so independent requests may be packed
+    /// into one super-batch without changing any caller's output.
+    pub fn pack_exact(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| exec::scatter_exact(&l.optimized.program))
+    }
+
+    /// Estimated peak transient bytes of one execution over `cols` total
+    /// frontier columns (§4.4's analytic size model at factor 1, maxed
+    /// over layers). This is the admission currency a serving layer
+    /// charges against its memory budget before queueing a request.
+    pub fn estimate_request_bytes(&self, cols: usize) -> u64 {
+        let stats = self.graph.stats();
+        self.layers
+            .iter()
+            .map(|l| {
+                gsampler_ir::superbatch::replay(
+                    &l.optimized.program,
+                    &stats,
+                    cols.max(1),
+                    1,
+                    f64::INFINITY,
+                )
+                .est_bytes
+            })
+            .fold(0.0f64, f64::max) as u64
+    }
+
+    fn sample_groups_session(
+        &self,
+        mut groups: Vec<Vec<NodeId>>,
+        bindings: &Bindings,
+        mut rng: SessionRng<'_>,
     ) -> Result<Vec<GraphSample>> {
         let s = groups.len();
         let mut exec_span = gsampler_obs::span("exec", "sample_groups");
@@ -784,7 +841,7 @@ impl Sampler {
                 bindings,
                 &layer.precomputed,
                 &self.device,
-                rng,
+                rng.reborrow(),
             )?;
             // Chain next-layer frontiers per group.
             if let Some(pos) = layer.layer.next_frontier_output {

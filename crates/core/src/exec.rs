@@ -27,6 +27,7 @@ use gsampler_matrix::{Dense, NodeId};
 use crate::error::{Error, Result};
 use crate::graph::Graph;
 use crate::kernels::{self, superbatch, ExecCtx};
+use crate::session_rng::SessionRng;
 use crate::value::Value;
 
 /// Named inputs bound per batch (model weights, feature tables, bias
@@ -99,6 +100,22 @@ pub fn superbatch_compatible(program: &Program) -> bool {
     })
 }
 
+/// True if super-batched execution of `program` scatters back to
+/// per-group results *exactly*: the program must be
+/// [`superbatch_compatible`] and every output must live in block-row
+/// space ([`superbatch::block_space`]), so the splitter can attribute
+/// each output row / node ID to its group by construction. Programs
+/// passing this gate may be packed across independent callers (tenants)
+/// and unpacked with per-group fidelity; others must run solo to be
+/// bit-identical.
+pub fn scatter_exact(program: &Program) -> bool {
+    if !superbatch_compatible(program) {
+        return false;
+    }
+    let block = superbatch::block_space(program);
+    program.outputs().iter().all(|&o| block[o])
+}
+
 /// Execute `program` over one or more frontier groups.
 ///
 /// Returns one value list per group (in `program.outputs()` order). With a
@@ -117,12 +134,47 @@ pub fn execute(
     device: &Device,
     rng: &mut StdRng,
 ) -> Result<Vec<Vec<Value>>> {
+    execute_session(
+        program,
+        graph,
+        graph_value,
+        frontier_groups,
+        bindings,
+        precomputed,
+        device,
+        SessionRng::Shared(rng),
+    )
+}
+
+/// [`execute`] with an explicit RNG view: [`SessionRng::Shared`] is the
+/// historical single-stream semantics; [`SessionRng::PerGroup`] gives each
+/// frontier group its own stream (one per group, validated against the
+/// group count) so packing independent callers into one super-batch is
+/// RNG-invisible to each of them.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_session(
+    program: &Program,
+    graph: &Graph,
+    graph_value: &Arc<Value>,
+    frontier_groups: &[Vec<NodeId>],
+    bindings: &Bindings,
+    precomputed: &[Arc<Value>],
+    device: &Device,
+    mut rng: SessionRng<'_>,
+) -> Result<Vec<Vec<Value>>> {
     let s = frontier_groups.len().max(1);
     let n = graph.num_nodes();
     if s > 1 && !superbatch_compatible(program) {
         return Err(Error::Execution(
             "program is not super-batch compatible".to_string(),
         ));
+    }
+    if let Some(groups) = rng.isolated_groups() {
+        if groups != s {
+            return Err(Error::Execution(format!(
+                "per-group RNG has {groups} streams but the execution has {s} groups"
+            )));
+        }
     }
     let mut col_offsets = Vec::with_capacity(s + 1);
     col_offsets.push(0usize);
@@ -160,7 +212,7 @@ pub fn execute(
         graph_value,
         precomputed,
         device,
-        rng,
+        rng: &mut rng,
         ctx: &ctx,
         refcount: &mut refcount,
         resident: &resident,
@@ -188,24 +240,24 @@ pub fn execute(
         })
         .collect::<Result<Vec<_>>>()?;
 
-    superbatch::split_outputs(&outputs, &ctx)
+    superbatch::split_outputs(&outputs, &ctx, program)
 }
 
 /// Borrows of everything the node-evaluation loop touches, split out of
 /// [`execute`] so the error path can inspect the environment afterwards.
-struct RunArgs<'a, 'b> {
+struct RunArgs<'a, 'b, 'c> {
     program: &'a Program,
     graph_value: &'a Arc<Value>,
     precomputed: &'a [Arc<Value>],
     device: &'a Device,
-    rng: &'a mut StdRng,
+    rng: &'a mut SessionRng<'c>,
     ctx: &'a ExecCtx<'b>,
     refcount: &'a mut [usize],
     resident: &'a [bool],
     env: &'a mut [Option<Arc<Value>>],
 }
 
-fn run_nodes(args: RunArgs<'_, '_>) -> Result<()> {
+fn run_nodes(args: RunArgs<'_, '_, '_>) -> Result<()> {
     let RunArgs {
         program,
         graph_value,

@@ -9,13 +9,12 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-
 use gsampler_ir::op::EdgeMapStep;
 use gsampler_ir::Op;
 use gsampler_matrix::{broadcast, eltwise, reduce, Axis, GraphMatrix, NodeId, SparseMatrix};
 
 use crate::error::{Error, Result};
+use crate::session_rng::SessionRng;
 use crate::value::Value;
 
 use super::{ExecCtx, Kernel};
@@ -194,7 +193,7 @@ impl Kernel for EltwiseKernels {
         op: &Op,
         inputs: &[&Value],
         ctx: &ExecCtx<'_>,
-        _rng: &mut StdRng,
+        _rng: &mut SessionRng<'_>,
     ) -> Result<Value> {
         match op {
             Op::ScalarOp(o, s) => {

@@ -27,8 +27,6 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-
 use gsampler_engine::{
     arena_metrics, faults, pool_metrics, Device, KernelDesc, PoolError, Residency,
 };
@@ -38,6 +36,7 @@ use gsampler_matrix::{Format, NodeId};
 use crate::error::{Error, Result};
 use crate::exec::Bindings;
 use crate::graph::Graph;
+use crate::session_rng::SessionRng;
 use crate::value::Value;
 
 /// Everything an operator evaluation can see: the bound graph, the
@@ -107,8 +106,13 @@ pub trait Kernel: Sync {
     fn name(&self) -> &'static str;
 
     /// Evaluate `op` on `inputs`.
-    fn run(&self, op: &Op, inputs: &[&Value], ctx: &ExecCtx<'_>, rng: &mut StdRng)
-        -> Result<Value>;
+    fn run(
+        &self,
+        op: &Op,
+        inputs: &[&Value],
+        ctx: &ExecCtx<'_>,
+        rng: &mut SessionRng<'_>,
+    ) -> Result<Value>;
 
     /// The modeled workload of one invocation; `None` for free operators
     /// (pure input plumbing).
@@ -137,7 +141,7 @@ impl Kernel for InputKernels {
         op: &Op,
         _inputs: &[&Value],
         ctx: &ExecCtx<'_>,
-        _rng: &mut StdRng,
+        _rng: &mut SessionRng<'_>,
     ) -> Result<Value> {
         match op {
             Op::InputFrontiers => Ok(Value::Nodes(ctx.concat_frontiers.to_vec())),
@@ -263,7 +267,7 @@ pub fn dispatch(
     graph_input_resident: bool,
     ctx: &ExecCtx<'_>,
     device: &Device,
-    rng: &mut StdRng,
+    rng: &mut SessionRng<'_>,
 ) -> Result<Value> {
     let kernel = kernel_for(op);
     let in_fmts: Vec<Option<Format>> = inputs
@@ -345,6 +349,7 @@ mod tests {
     use super::*;
     use gsampler_engine::DeviceProfile;
     use gsampler_matrix::{EltOp, ReduceOp};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn graph() -> Graph {
@@ -378,6 +383,7 @@ mod tests {
         let ctx = ExecCtx::plain(&g, &bindings);
         let device = Device::new(DeviceProfile::v100());
         let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SessionRng::Shared(&mut rng);
         let gv = Value::Matrix(g.matrix.clone());
         let out = dispatch(
             &Op::ScalarOp(EltOp::Mul, 2.0),
@@ -405,6 +411,7 @@ mod tests {
         let ctx = ExecCtx::plain(&g, &bindings);
         let device = Device::new(DeviceProfile::v100());
         let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SessionRng::Shared(&mut rng);
         let v = dispatch(
             &Op::InputVector("w".into()),
             &[],

@@ -2,16 +2,18 @@
 //! node-wise and layer-wise sampling, the fused extract+select kernel,
 //! format conversion, and compaction.
 
-use rand::rngs::StdRng;
 use rand::Rng;
 
 use gsampler_engine::parallel::{parallel_map, parallel_scatter, parallel_scatter2};
-use gsampler_engine::{take_scratch, take_scratch_filled, RngPool};
+use gsampler_engine::{take_scratch, take_scratch_filled};
 use gsampler_ir::Op;
-use gsampler_matrix::sample::individual_sample_with_replacement;
+use gsampler_matrix::sample::{
+    individual_sample_seeded, individual_sample_with_replacement_seeded, StreamSource,
+};
 use gsampler_matrix::{Csc, GraphMatrix, NodeId, SparseMatrix};
 
 use crate::error::{Error, Result};
+use crate::session_rng::{ColStreams, SessionRng};
 use crate::value::Value;
 
 use super::eltwise::{want_matrix, want_nodes, want_vector, with_data};
@@ -31,16 +33,16 @@ struct FrontierPicks {
 /// Plan the sampled neighbour offsets for every frontier column.
 ///
 /// Frontier-parallel on the worker pool: column `c` always draws from RNG
-/// stream `c` of a pool seeded once from the session RNG, so the plan is
-/// bit-identical at any thread count — and consumes exactly one
-/// `rng.gen::<u64>()`, keeping downstream RNG streams aligned whichever
-/// fused kernel executes it.
+/// stream `c` of [`ColStreams`] seeded once from the session RNG (once per
+/// group in per-group mode), so the plan is bit-identical at any thread
+/// count — and consumes exactly one `rng.gen::<u64>()` per stream, keeping
+/// downstream RNG alignment whichever fused kernel executes it.
 fn plan_frontier_picks(
     csc: &Csc,
     k: usize,
     replace: bool,
     ctx: &ExecCtx<'_>,
-    rng: &mut StdRng,
+    rng: &mut SessionRng<'_>,
     op_name: &'static str,
 ) -> Result<FrontierPicks> {
     let n = ctx.n;
@@ -67,7 +69,7 @@ fn plan_frontier_picks(
         }
     }
 
-    let pool = RngPool::new(rng.gen::<u64>());
+    let pool = ColStreams::draw(rng, ctx.col_offsets, total_cols)?;
     let picks: Vec<Vec<usize>> = parallel_map(
         cols_f.len(),
         par_gate(cols_f.len().saturating_mul(k.max(1))),
@@ -116,7 +118,7 @@ pub fn fused_extract_select(
     k: usize,
     replace: bool,
     ctx: &ExecCtx<'_>,
-    rng: &mut StdRng,
+    rng: &mut SessionRng<'_>,
 ) -> Result<Value> {
     let n = ctx.n;
     let csc = m.data.to_csc();
@@ -190,7 +192,7 @@ pub fn fused_sample_relabel(
     k: usize,
     replace: bool,
     ctx: &ExecCtx<'_>,
-    rng: &mut StdRng,
+    rng: &mut SessionRng<'_>,
 ) -> Result<Value> {
     let csc = m.data.to_csc();
     let total_cols = ctx.concat_frontiers.len();
@@ -295,7 +297,7 @@ impl Kernel for SliceSampleKernels {
         op: &Op,
         inputs: &[&Value],
         ctx: &ExecCtx<'_>,
-        rng: &mut StdRng,
+        rng: &mut SessionRng<'_>,
     ) -> Result<Value> {
         match op {
             Op::SliceCols => {
@@ -323,18 +325,22 @@ impl Kernel for SliceSampleKernels {
                     Some(v) => Some(want_matrix(v, "individual_sample probs")?),
                     None => None,
                 };
-                let out = if *replace {
-                    let data = individual_sample_with_replacement(
+                // Per-column streams from the session RNG; in per-group
+                // mode the matrix columns must still be the concatenated
+                // frontiers (validated by `ColStreams::draw`), so each
+                // group draws exactly what it would alone.
+                let streams = ColStreams::draw(rng, ctx.col_offsets, m.shape().1)?;
+                let data = if *replace {
+                    individual_sample_with_replacement_seeded(
                         &m.data,
                         *k,
                         probs.map(|p| &p.data),
-                        rng,
-                    )?;
-                    with_data(m, data)
+                        &streams,
+                    )?
                 } else {
-                    m.individual_sample(*k, probs, rng)?
+                    individual_sample_seeded(&m.data, *k, probs.map(|p| &p.data), &streams)?
                 };
-                Ok(Value::Matrix(out))
+                Ok(Value::Matrix(with_data(m, data)))
             }
             Op::CollectiveSample { k } => {
                 let m = want_matrix(inputs[0], "collective_sample")?;
@@ -389,6 +395,7 @@ impl Kernel for SliceSampleKernels {
 mod tests {
     use super::*;
     use crate::{Bindings, Graph};
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn test_graph() -> Graph {
@@ -427,13 +434,25 @@ mod tests {
             for replace in [false, true] {
                 let mut rng_a = StdRng::seed_from_u64(9);
                 let mut rng_b = StdRng::seed_from_u64(9);
-                let unfused = fused_extract_select(&graph.matrix, 3, replace, &ctx, &mut rng_a)
-                    .unwrap()
-                    .as_matrix()
-                    .unwrap()
-                    .compact_rows();
-                let fused =
-                    fused_sample_relabel(&graph.matrix, 3, replace, &ctx, &mut rng_b).unwrap();
+                let unfused = fused_extract_select(
+                    &graph.matrix,
+                    3,
+                    replace,
+                    &ctx,
+                    &mut SessionRng::Shared(&mut rng_a),
+                )
+                .unwrap()
+                .as_matrix()
+                .unwrap()
+                .compact_rows();
+                let fused = fused_sample_relabel(
+                    &graph.matrix,
+                    3,
+                    replace,
+                    &ctx,
+                    &mut SessionRng::Shared(&mut rng_b),
+                )
+                .unwrap();
                 let fused = fused.as_matrix().unwrap();
                 assert_eq!(
                     fused, &unfused,

@@ -12,15 +12,13 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-
 use gsampler_engine::parallel::{parallel_scatter, parallel_scatter2};
-use gsampler_engine::RngPool;
+use gsampler_ir::{Op, Program};
 use gsampler_matrix::sample::weighted_sample_without_replacement_seeded;
 use gsampler_matrix::{slice, Csc, GraphMatrix, NodeId, SparseMatrix};
 
 use crate::error::Result;
+use crate::session_rng::SessionRng;
 use crate::value::Value;
 
 use super::eltwise::fit_row_vector;
@@ -109,7 +107,7 @@ pub fn segmented_collective_sample(
     k: usize,
     probs: Option<&[f32]>,
     ctx: &ExecCtx<'_>,
-    rng: &mut StdRng,
+    rng: &mut SessionRng<'_>,
 ) -> Result<Value> {
     let nrows = m.shape().0;
     let weights: Vec<f32> = match probs {
@@ -137,19 +135,19 @@ pub fn segmented_collective_sample(
         }
     }
 
-    // One RNG subpool per segment, derived from a single session-RNG draw:
-    // segment `b` always samples from subpool `b`, and the seeded sampler
-    // assigns candidate `i` to stream `i` within it — bit-identical output
-    // at any thread count.
-    let pool = RngPool::new(rng.gen::<u64>());
+    // One RNG subpool per segment: in shared mode all are derived from a
+    // single session-RNG draw (segment `b` samples from subpool `b`); in
+    // per-group mode each segment gets the subpool its group would build
+    // running alone. The seeded sampler assigns candidate `i` to stream
+    // `i` within the subpool — bit-identical output at any thread count.
+    let pools = rng.segment_subpools(segments)?;
     let mut selected: Vec<NodeId> = Vec::new();
     for (seg, cands) in per_segment.iter().enumerate() {
         if cands.len() <= k {
             selected.extend_from_slice(cands);
         } else {
             let w: Vec<f32> = cands.iter().map(|&r| weights[r as usize]).collect();
-            let picks =
-                weighted_sample_without_replacement_seeded(&w, k, &pool.subpool(seg as u64));
+            let picks = weighted_sample_without_replacement_seeded(&w, k, &pools[seg]);
             selected.extend(picks.into_iter().map(|i| cands[i]));
         }
     }
@@ -164,15 +162,71 @@ pub fn segmented_collective_sample(
     }))
 }
 
+/// Per-program-node dataflow analysis: `true` means the node's value is
+/// *definitely* in block-row space under super-batching — a matrix whose
+/// rows carry the `b·N` group offset, or a node list of such row IDs.
+///
+/// The segmented extract kernels ([`segmented_slice_cols`],
+/// `fused_extract_select`, `fused_sample_relabel`) lift the base graph
+/// into block space; row-preserving operators propagate it; everything
+/// else (column space, dense/vector compute, inputs) is conservatively
+/// `false`. [`split_outputs`] uses this to attribute node lists to groups
+/// *by op* rather than by inspecting the IDs — an ID-based guess cannot
+/// distinguish "group 0's rows" from "every group sampled nothing above
+/// N", which mis-scattered empty groups before this analysis existed.
+pub fn block_space(program: &Program) -> Vec<bool> {
+    let nodes = program.nodes();
+    let mut block = vec![false; nodes.len()];
+    for (id, node) in nodes.iter().enumerate() {
+        let inherit = |i: usize| node.inputs.get(i).map(|&p| block[p]).unwrap_or(false);
+        block[id] = match &node.op {
+            // Segmented extraction lifts base-space columns into block
+            // rows; slicing a block matrix's columns keeps its row space.
+            Op::SliceCols => matches!(nodes[node.inputs[0]].op, Op::InputGraph) || inherit(0),
+            Op::FusedExtractSelect { .. } | Op::FusedSampleRelabel { .. } => true,
+            // Row-space-preserving operators (select, compute, compact,
+            // convert) propagate the property from their matrix input.
+            Op::IndividualSample { .. }
+            | Op::CollectiveSample { .. }
+            | Op::Convert(..)
+            | Op::CompactRows
+            | Op::CompactCols
+            | Op::ScalarOp(..)
+            | Op::UnaryOp(..)
+            | Op::Broadcast(..)
+            | Op::SparseElt(..)
+            | Op::Sddmm
+            | Op::EdgeValuesFromDense { .. }
+            | Op::FusedEdgeMap { .. }
+            | Op::FusedEdgeMapReduce { .. }
+            | Op::RowNodes
+            | Op::AllRowIds => inherit(0),
+            _ => false,
+        };
+    }
+    block
+}
+
 /// Split super-batched output values back into per-group values.
-pub fn split_outputs(outputs: &[Arc<Value>], ctx: &ExecCtx<'_>) -> Result<Vec<Vec<Value>>> {
+///
+/// `program` drives the node-list attribution: outputs the
+/// [`block_space`] analysis proves to be block-row IDs are always split by
+/// their `b·N` offset (so a group that sampled nothing gets an empty
+/// list); for the rest, IDs below `N` cannot be attributed and fall back
+/// to the historical whole-list heuristic.
+pub fn split_outputs(
+    outputs: &[Arc<Value>],
+    ctx: &ExecCtx<'_>,
+    program: &Program,
+) -> Result<Vec<Vec<Value>>> {
     let s = ctx.s;
     if s <= 1 {
         return Ok(vec![outputs.iter().map(|v| (**v).clone()).collect()]);
     }
     let n = ctx.n;
+    let block = block_space(program);
     let mut per_group: Vec<Vec<Value>> = vec![Vec::new(); s];
-    for value in outputs {
+    for (value, &out_id) in outputs.iter().zip(program.outputs()) {
         match &**value {
             Value::Matrix(m) => {
                 for (b, group) in per_group.iter_mut().enumerate() {
@@ -180,11 +234,12 @@ pub fn split_outputs(outputs: &[Arc<Value>], ctx: &ExecCtx<'_>) -> Result<Vec<Ve
                 }
             }
             Value::Nodes(ids) => {
-                // Block-row IDs split by period; IDs below N (true graph
-                // IDs, e.g. from column space) go to every group.
-                let block = ids.iter().any(|&i| (i as usize) >= n);
+                // Proven block-row IDs split by period; otherwise fall
+                // back to inspecting the IDs (true graph IDs, e.g. from
+                // column space, go to every group).
+                let split_by_block = block[out_id] || ids.iter().any(|&i| (i as usize) >= n);
                 for (b, group) in per_group.iter_mut().enumerate() {
-                    let list: Vec<NodeId> = if block {
+                    let list: Vec<NodeId> = if split_by_block {
                         ids.iter()
                             .filter(|&&i| (i as usize) / n == b)
                             .map(|&i| (i as usize % n) as NodeId)

@@ -20,6 +20,7 @@
 //! entry points draw one base seed and delegate.
 
 use gsampler_runtime::{parallel_map, parallel_scatter, parallel_scatter2, RngPool};
+use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::csc::Csc;
@@ -28,6 +29,26 @@ use crate::par_gate;
 use crate::slice;
 use crate::sparse::SparseMatrix;
 use crate::NodeId;
+
+/// A deterministic source of per-column RNG streams for the `_seeded`
+/// sampling entry points.
+///
+/// [`RngPool`] is the canonical implementation (column `c` draws from
+/// stream `c` of one pool). Callers that pack several independent batches
+/// into one matrix — cross-request super-batching — implement this to
+/// remap each column onto *its own batch's* pool, so the packed sample is
+/// bit-identical to sampling every batch alone. `Sync` because streams are
+/// derived on worker-pool threads.
+pub trait StreamSource: Sync {
+    /// The RNG stream for column (or candidate) `index`.
+    fn stream(&self, index: u64) -> StdRng;
+}
+
+impl StreamSource for RngPool {
+    fn stream(&self, index: u64) -> StdRng {
+        RngPool::stream(self, index)
+    }
+}
 
 /// Result of a collective (layer-wise) sampling step.
 #[derive(Debug, Clone)]
@@ -67,7 +88,7 @@ pub fn individual_sample_seeded(
     m: &SparseMatrix,
     k: usize,
     probs: Option<&SparseMatrix>,
-    pool: &RngPool,
+    pool: &impl StreamSource,
 ) -> Result<SparseMatrix> {
     let csc = m.to_csc();
     let probs_vals: Option<Vec<f32>> = match probs {
@@ -172,7 +193,7 @@ pub fn individual_sample_with_replacement_seeded(
     m: &SparseMatrix,
     k: usize,
     probs: Option<&SparseMatrix>,
-    pool: &RngPool,
+    pool: &impl StreamSource,
 ) -> Result<SparseMatrix> {
     let csc = m.to_csc();
     let probs_vals: Option<Vec<f32>> = match probs {

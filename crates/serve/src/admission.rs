@@ -1,0 +1,110 @@
+//! Admission control: requests are charged against the server's memory
+//! budget through a [`MemoryTracker`] *before* they are queued, so the
+//! queue can never hold more work than the device could run.
+//!
+//! The contract, tested edge-by-edge:
+//!
+//! - a request whose estimate exceeds the whole budget gets a typed
+//!   [`ServeError::RequestTooLarge`] immediately — it is never queued;
+//! - a request that fits alone but not alongside live reservations gets
+//!   [`ServeError::Backpressure`] (retryable);
+//! - zero-cost requests (metadata) are admitted even when the budget is
+//!   exactly exhausted;
+//! - completing, failing, or draining a request releases its reservation,
+//!   returning the tracker to baseline.
+
+use std::sync::Mutex;
+
+use gsampler_engine::MemoryTracker;
+
+use crate::error::{Result, ServeError};
+
+/// Budget-charging admission gate.
+pub struct Admission {
+    tracker: Mutex<MemoryTracker>,
+    budget: u64,
+}
+
+impl Admission {
+    /// A gate over `budget` bytes.
+    pub fn new(budget: u64) -> Admission {
+        Admission {
+            tracker: Mutex::new(MemoryTracker::default()),
+            budget,
+        }
+    }
+
+    /// The whole admission budget in bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.tracker.lock().unwrap().current()
+    }
+
+    /// Peak bytes ever reserved at once.
+    pub fn peak(&self) -> u64 {
+        self.tracker.lock().unwrap().peak()
+    }
+
+    /// Reserve `bytes` for a request from `tenant`, or reject with a
+    /// typed error. A zero-byte reservation always succeeds (metadata
+    /// requests must be admitted even at exact budget exhaustion).
+    pub fn reserve(&self, tenant: &str, bytes: u64) -> Result<()> {
+        if bytes > self.budget {
+            return Err(ServeError::RequestTooLarge {
+                tenant: tenant.to_string(),
+                requested: bytes,
+                budget: self.budget,
+            });
+        }
+        let mut tracker = self.tracker.lock().unwrap();
+        tracker
+            .try_alloc(bytes as usize, self.budget)
+            .map_err(|oom| ServeError::Backpressure {
+                requested: oom.requested,
+                live: oom.live,
+                budget: oom.budget,
+            })
+    }
+
+    /// Release a reservation (request completed, failed, or drained).
+    pub fn release(&self, bytes: u64) {
+        self.tracker.lock().unwrap().free(bytes as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_large_is_typed_and_not_reserved() {
+        let a = Admission::new(100);
+        match a.reserve("t", 101) {
+            Err(ServeError::RequestTooLarge {
+                requested, budget, ..
+            }) => {
+                assert_eq!((requested, budget), (101, 100));
+            }
+            other => panic!("expected RequestTooLarge, got {other:?}"),
+        }
+        assert_eq!(a.reserved(), 0);
+    }
+
+    #[test]
+    fn exhausted_budget_admits_zero_cost() {
+        let a = Admission::new(100);
+        a.reserve("t", 100).unwrap();
+        assert!(matches!(
+            a.reserve("t", 1),
+            Err(ServeError::Backpressure { .. })
+        ));
+        // Metadata requests cost nothing and must still be admitted.
+        a.reserve("t", 0).unwrap();
+        a.release(100);
+        assert_eq!(a.reserved(), 0);
+    }
+}

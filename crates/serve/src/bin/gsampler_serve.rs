@@ -1,0 +1,166 @@
+//! `gsampler-serve` — run the multi-tenant epoch server against a preset
+//! graph with a burst of synthetic tenants, printing per-tenant counters
+//! and optionally a Chrome-trace timeline.
+//!
+//! ```text
+//! gsampler-serve [options]
+//!   --dataset LJ|PD|PP|FS|tiny   preset graph (default: tiny)
+//!   --scale F                    preset scale factor (default 1.0)
+//!   --tenants N                  sessions to register (default 3)
+//!   --requests N                 requests per tenant (default 4)
+//!   --batch N                    frontier seeds per request (default 32)
+//!   --fanouts A,B,...            GraphSAGE fanouts (default 4,4)
+//!   --budget-mb N                admission budget (default 1024)
+//!   --no-batching                disable cross-request super-batching
+//!   --trace-out FILE             write a Chrome-trace timeline
+//! ```
+
+use std::sync::Arc;
+
+use gsampler_graphs::{Dataset, DatasetKind};
+use gsampler_matrix::NodeId;
+use gsampler_serve::{EpochServer, ServeConfig, TenantSpec};
+
+fn usage() -> ! {
+    eprintln!("usage: gsampler-serve [--dataset LJ|PD|PP|FS|tiny] [--scale F]");
+    eprintln!("  [--tenants N] [--requests N] [--batch N] [--fanouts A,B,...]");
+    eprintln!("  [--budget-mb N] [--no-batching] [--trace-out FILE]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dataset = DatasetKind::Tiny;
+    let mut scale = 1.0f64;
+    let mut tenants = 3usize;
+    let mut requests = 4usize;
+    let mut batch = 32usize;
+    let mut fanouts = vec![4usize, 4];
+    let mut budget_mb = 1024u64;
+    let mut batching = true;
+    let mut trace_out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--dataset" => {
+                dataset = match value().to_ascii_uppercase().as_str() {
+                    "LJ" => DatasetKind::LiveJournal,
+                    "PD" => DatasetKind::OgbnProducts,
+                    "PP" => DatasetKind::OgbnPapers,
+                    "FS" => DatasetKind::Friendster,
+                    "TINY" => DatasetKind::Tiny,
+                    _ => usage(),
+                }
+            }
+            "--scale" => scale = value().parse().unwrap_or_else(|_| usage()),
+            "--tenants" => tenants = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => requests = value().parse().unwrap_or_else(|_| usage()),
+            "--batch" => batch = value().parse().unwrap_or_else(|_| usage()),
+            "--fanouts" => {
+                fanouts = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--budget-mb" => budget_mb = value().parse().unwrap_or_else(|_| usage()),
+            "--no-batching" => batching = false,
+            "--trace-out" => trace_out = Some(value()),
+            _ => usage(),
+        }
+    }
+    if trace_out.is_some() {
+        gsampler_obs::enable();
+    }
+
+    let data = Dataset::generate(dataset, scale, 17);
+    let graph = Arc::new(data.graph);
+    println!(
+        "serving {} ({} nodes, {} edges), {} tenants x {} requests, batching {}",
+        dataset.abbr(),
+        graph.num_nodes(),
+        graph.num_edges(),
+        tenants,
+        requests,
+        if batching { "on" } else { "off" },
+    );
+
+    let server = EpochServer::start(
+        Arc::clone(&graph),
+        ServeConfig {
+            budget_bytes: budget_mb << 20,
+            batching,
+            max_pack: tenants.max(2),
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..tenants {
+        server
+            .register(TenantSpec::graphsage(
+                format!("tenant-{i}"),
+                &fanouts,
+                100 + i as u64,
+            ))
+            .unwrap_or_else(|e| {
+                eprintln!("gsampler-serve: register failed: {e}");
+                std::process::exit(1);
+            });
+    }
+
+    // Submit every tenant's burst atomically so the scheduler sees the
+    // full queue at once and cross-request packing actually happens.
+    let mut burst = Vec::new();
+    for r in 0..requests {
+        for i in 0..tenants {
+            let seeds: Vec<NodeId> = (0..batch)
+                .map(|j| ((r * batch + j) % graph.num_nodes()) as NodeId)
+                .collect();
+            burst.push((format!("tenant-{i}"), seeds, r as u64));
+        }
+    }
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for ticket in server.submit_burst(burst) {
+        match ticket.and_then(|t| t.wait()) {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                failed += 1;
+            }
+        }
+    }
+
+    let snap = server.snapshot();
+    println!(
+        "completed {ok}, failed {failed}; packed completions {}; plan-db hits {} misses {}",
+        snap.metrics.batched(),
+        snap.plan_db.hits,
+        snap.plan_db.misses,
+    );
+    let mut names: Vec<&String> = snap.metrics.tenants.keys().collect();
+    names.sort();
+    for name in names {
+        let t = &snap.metrics.tenants[name];
+        println!(
+            "  {name}: {} ok / {} failed, p50 {:.3} ms, p99 {:.3} ms, {} batched",
+            t.completed,
+            t.failed,
+            t.p50_ms(),
+            t.p99_ms(),
+            t.batched,
+        );
+    }
+    server.shutdown();
+
+    if let Some(path) = trace_out {
+        gsampler_obs::write_chrome_trace(&path).unwrap_or_else(|e| {
+            eprintln!("gsampler-serve: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

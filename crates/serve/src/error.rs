@@ -1,0 +1,82 @@
+//! Typed serving errors: every rejection a client can see is a distinct
+//! variant, so admission decisions are testable without string matching.
+
+use std::fmt;
+
+/// Why the server rejected or failed a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request's estimated transient memory exceeds the *entire*
+    /// admission budget — it could never run, so it is rejected up front
+    /// rather than queued forever.
+    RequestTooLarge {
+        /// Tenant that submitted the request.
+        tenant: String,
+        /// Estimated transient bytes of the request.
+        requested: u64,
+        /// The server's whole admission budget.
+        budget: u64,
+    },
+    /// The request fits the budget in isolation but not alongside the
+    /// reservations currently queued or executing; retry after the queue
+    /// drains.
+    Backpressure {
+        /// Estimated transient bytes of the request.
+        requested: u64,
+        /// Bytes currently reserved.
+        live: u64,
+        /// The server's whole admission budget.
+        budget: u64,
+    },
+    /// No session registered under this tenant name.
+    UnknownTenant(String),
+    /// A session with this tenant name already exists.
+    DuplicateTenant(String),
+    /// The tenant's session was quarantined by the recovery policy after
+    /// exhausting retries; co-tenants are unaffected.
+    TenantQuarantined(String),
+    /// Session compile failed.
+    Compile(String),
+    /// The request executed and failed (after recovery was exhausted).
+    Execution(String),
+    /// The request was cancelled by a queue drain; its admission
+    /// reservation has been released.
+    Drained,
+    /// The server shut down before the request ran.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::RequestTooLarge {
+                tenant,
+                requested,
+                budget,
+            } => write!(
+                f,
+                "request from {tenant} needs {requested} bytes, over the whole {budget}-byte budget"
+            ),
+            ServeError::Backpressure {
+                requested,
+                live,
+                budget,
+            } => write!(
+                f,
+                "admission backpressure: {requested} bytes requested with {live} reserved of {budget}"
+            ),
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            ServeError::DuplicateTenant(t) => write!(f, "tenant {t} already registered"),
+            ServeError::TenantQuarantined(t) => write!(f, "tenant {t} is quarantined"),
+            ServeError::Compile(e) => write!(f, "compile failed: {e}"),
+            ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+            ServeError::Drained => write!(f, "request drained from the queue"),
+            ServeError::Shutdown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,161 @@
+//! Closed-loop load generator for the epoch server: `tenants` client
+//! threads each keep exactly one request in flight, so offered load
+//! scales with tenant count and queue pressure is what makes
+//! cross-request super-batching kick in.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gsampler_core::Graph;
+use gsampler_engine::RngPool;
+use gsampler_matrix::NodeId;
+use rand::Rng;
+
+use crate::error::ServeError;
+use crate::server::{EpochServer, ServeConfig};
+use crate::session::TenantSpec;
+
+/// One load-generation scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Concurrent closed-loop clients, one session each.
+    pub tenants: usize,
+    /// Requests each client issues before stopping.
+    pub requests_per_tenant: usize,
+    /// Frontier seeds per request.
+    pub batch_size: usize,
+    /// GraphSAGE fanouts every tenant samples with.
+    pub fanouts: Vec<usize>,
+    /// Cross-request super-batching on or off (the ablation axis).
+    pub batching: bool,
+    /// Server admission budget in bytes.
+    pub budget_bytes: u64,
+    /// Base RNG seed; tenant `i` gets `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            tenants: 4,
+            requests_per_tenant: 32,
+            batch_size: 32,
+            fanouts: vec![4, 4],
+            batching: true,
+            budget_bytes: 1 << 30,
+            base_seed: 7,
+        }
+    }
+}
+
+/// What one scenario run measured.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Tenant count of the scenario.
+    pub tenants: usize,
+    /// Whether batching was on.
+    pub batching: bool,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that failed (excluding retried backpressure).
+    pub failed: u64,
+    /// Fraction of completions served from a packed super-batch.
+    pub batched_fraction: f64,
+    /// Pooled (all tenants) median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// Pooled 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Wall time of the whole scenario, milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_qps: f64,
+}
+
+fn pooled_percentile(latencies_us: &mut [u64], q: f64) -> f64 {
+    if latencies_us.is_empty() {
+        return 0.0;
+    }
+    latencies_us.sort_unstable();
+    let rank = ((latencies_us.len() as f64 - 1.0) * q).round() as usize;
+    latencies_us[rank.min(latencies_us.len() - 1)] as f64 / 1e3
+}
+
+/// Run one closed-loop scenario against a fresh server over `graph`.
+pub fn run_scenario(graph: Arc<Graph>, cfg: &ScenarioConfig) -> ScenarioReport {
+    let server = Arc::new(EpochServer::start(
+        Arc::clone(&graph),
+        ServeConfig {
+            budget_bytes: cfg.budget_bytes,
+            batching: cfg.batching,
+            max_pack: cfg.tenants.max(2),
+            ..ServeConfig::default()
+        },
+    ));
+    let num_nodes = graph.num_nodes();
+    for i in 0..cfg.tenants {
+        let mut spec = TenantSpec::graphsage(
+            format!("tenant-{i}"),
+            &cfg.fanouts,
+            cfg.base_seed + i as u64,
+        );
+        spec.batch_size = cfg.batch_size;
+        server.register(spec).expect("register tenant");
+    }
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..cfg.tenants {
+            let server = Arc::clone(&server);
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let tenant = format!("tenant-{i}");
+                // Seed picks are a pure function of (tenant, request), so
+                // reruns offer the identical workload.
+                let picks = RngPool::new(cfg.base_seed ^ 0x5eed_10adu64.rotate_left(i as u32));
+                for r in 0..cfg.requests_per_tenant {
+                    let mut rng = picks.stream(r as u64);
+                    let seeds: Vec<NodeId> = (0..cfg.batch_size)
+                        .map(|_| rng.gen_range(0..num_nodes as NodeId))
+                        .collect();
+                    while let Err(ServeError::Backpressure { .. }) =
+                        server.request_sync(&tenant, seeds.clone(), r as u64)
+                    {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let snapshot = server.snapshot();
+    server.shutdown();
+    let completed = snapshot.metrics.completed();
+    let batched = snapshot.metrics.batched();
+    let failed: u64 = snapshot.metrics.tenants.values().map(|t| t.failed).sum();
+    let mut pooled: Vec<u64> = snapshot
+        .metrics
+        .tenants
+        .values()
+        .flat_map(|t| t.latencies_us.iter().copied())
+        .collect();
+    ScenarioReport {
+        tenants: cfg.tenants,
+        batching: cfg.batching,
+        completed,
+        failed,
+        batched_fraction: if completed == 0 {
+            0.0
+        } else {
+            batched as f64 / completed as f64
+        },
+        p50_ms: pooled_percentile(&mut pooled, 0.50),
+        p99_ms: pooled_percentile(&mut pooled, 0.99),
+        wall_ms,
+        throughput_qps: if wall_ms > 0.0 {
+            completed as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    }
+}
