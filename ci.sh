@@ -75,6 +75,18 @@ GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 
     --require pass,kernel,pool,plan \
     --require-event plan/cache.hit
 
+# --- Cache-residency smoke ----------------------------------------------
+# PP runs partially resident behind a degree-skew cache plan: a traced
+# prefetch run must emit the cache/* event family — per-batch hit/miss
+# counts observed at dispatch plus the prefetch overlap accounting.
+GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PP --scale 0.05 \
+    --prefetch --trace-out "$TRACE_TMP/cache.json" >/dev/null
+./target/release/trace-check "$TRACE_TMP/cache.json" \
+    --require pass,kernel,pool,cache \
+    --require-event cache/plan \
+    --require-event cache/batch \
+    --require-event cache/prefetch
+
 # --- Serve smoke --------------------------------------------------------
 # Start the multi-tenant epoch server on a preset graph, fire a 3-tenant
 # burst, and require the serve-layer trace events: requests were admitted,
@@ -128,6 +140,13 @@ GS_BENCH_OUT="$TRACE_TMP/plan_cache.json" cargo bench -q -p gsampler-bench --ben
 # cross-host gate and the in-run ratios.
 GS_BENCH_OUT="$TRACE_TMP/single_thread.json" cargo bench -q -p gsampler-bench --bench single_thread >/dev/null
 ./target/release/perf-gate results/BENCH_single_thread.json "$TRACE_TMP/single_thread.json" --threshold 2.0
+
+# Same for the cache-residency sweep. Its leaves are deterministic
+# cost-model output (modeled ms, not wall time), so the re-measure must
+# reproduce the committed artifact exactly; the harness also asserts the
+# curve is monotone non-increasing in the pinned fraction.
+GS_BENCH_OUT="$TRACE_TMP/cache_bench.json" cargo bench -q -p gsampler-bench --bench cache_residency >/dev/null
+./target/release/perf-gate results/BENCH_cache.json "$TRACE_TMP/cache_bench.json" --threshold 2.0
 
 # Same for the serving bench: re-measure the closed-loop load sweep (the
 # harness itself asserts batching-on p99 <= batching-off p99 at 16

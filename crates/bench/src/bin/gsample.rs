@@ -26,6 +26,10 @@
 //!                                database (also: GSAMPLER_PLAN_DB env);
 //!                                cold runs insert plans, warm runs skip
 //!                                the layout/super-batch searches
+//!   --prefetch                   overlap next-batch seed-feature
+//!                                extraction with the current window's
+//!                                compute (hides the gather's modeled
+//!                                time behind the window it overlaps)
 //! ```
 //!
 //! With a fault schedule installed (flag or environment) the epoch lines
@@ -44,7 +48,7 @@ fn usage() -> ! {
     eprintln!("  --dataset LJ|PD|PP|FS|tiny   --edges FILE   --scale F");
     eprintln!("  --batch N   --device v100|t4|cpu   --plain   --epochs N");
     eprintln!("  --trace-out FILE   --metrics-out FILE");
-    eprintln!("  --faults SPEC   --budget MIB   --no-degrade   --plan-db FILE");
+    eprintln!("  --faults SPEC   --budget MIB   --no-degrade   --plan-db FILE   --prefetch");
     std::process::exit(2);
 }
 
@@ -77,6 +81,7 @@ fn main() {
     let mut breakdown = false;
     let mut dot = false;
     let mut no_degrade = false;
+    let mut prefetch = false;
     let mut faults_spec: Option<String> = None;
     let mut budget_mib: Option<f64> = None;
     let trace = TraceOpts::from_args(&args);
@@ -122,6 +127,7 @@ fn main() {
             "--breakdown" => breakdown = true,
             "--dot" => dot = true,
             "--no-degrade" => no_degrade = true,
+            "--prefetch" => prefetch = true,
             "--faults" => faults_spec = Some(value("--faults")),
             "--budget" => budget_mib = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
             // Parsed before the loop; skip the file path here.
@@ -190,6 +196,7 @@ fn main() {
         recovery,
         budget_override: budget_mib.map(|mib| mib * (1 << 20) as f64),
         plan_db,
+        prefetch,
     };
     let sampler = gsampler_bench::build_gsampler_with(&graph, algo, &h, device, opt, !plain, opts)
         .unwrap_or_else(|e| {

@@ -142,6 +142,10 @@ pub struct BuildOpts {
     /// from `--plan-db FILE` / `GSAMPLER_PLAN_DB`); `None` disables plan
     /// caching.
     pub plan_db: Option<Arc<gsampler_core::PlanDb>>,
+    /// Overlap next-batch seed-feature extraction with the current
+    /// window's compute (`--prefetch`). Off by default: on a
+    /// `host_parallelism: 1` host the overlap hides nothing.
+    pub prefetch: bool,
 }
 
 /// Build the gSampler sampler for an algorithm (default recovery policy:
@@ -194,6 +198,7 @@ pub fn build_gsampler_with(
         max_super_batch: 16,
         recovery: opts.recovery,
         plan_db: opts.plan_db,
+        prefetch_node_feats: opts.prefetch,
     };
     compile(graph.clone(), algo.layers(h), config)
 }

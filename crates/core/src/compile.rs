@@ -14,7 +14,9 @@ use gsampler_engine::plandb::{
     self, GraphSummary, LayerPlanRec, LayoutDecisionRec, Lookup, PlanArtifact, PlanDb, PlanDbStats,
     PlanKey, SuperBatchRec,
 };
-use gsampler_engine::{Device, DeviceProfile, ExecStats, FaultReport, MemoryTracker, RngPool};
+use gsampler_engine::{
+    workload, Device, DeviceProfile, ExecStats, FaultReport, MemoryTracker, Residency, RngPool,
+};
 use gsampler_ir::passes::{
     run_passes, run_passes_replay, run_passes_revalidate, LayoutDecision, LayoutPlan, OptConfig,
     OptimizedProgram,
@@ -106,6 +108,15 @@ pub struct SamplerConfig {
     /// in-memory database ([`plandb::global`]); `None` without it disables
     /// plan caching entirely.
     pub plan_db: Option<Arc<PlanDb>>,
+    /// Overlap the *next* window's frontier feature extraction with the
+    /// current window's compute on a prefetch thread (the Snippet-3
+    /// `prefetch_node_feats` stage): only the modeled gather time that
+    /// exceeds the overlapped window lands on the epoch's critical path.
+    /// No effect when the graph carries no features. Off by default — the
+    /// wall-clock benefit needs a host with more than one core (a
+    /// `host_parallelism: 1` machine overlaps nothing in wall time; the
+    /// modeled overlap is still reported).
+    pub prefetch_node_feats: bool,
 }
 
 impl SamplerConfig {
@@ -120,6 +131,7 @@ impl SamplerConfig {
             max_super_batch: 128,
             recovery: RecoveryPolicy::default(),
             plan_db: None,
+            prefetch_node_feats: false,
         }
     }
 }
@@ -803,9 +815,16 @@ impl Sampler {
     /// frontier columns (§4.4's analytic size model at factor 1, maxed
     /// over layers). This is the admission currency a serving layer
     /// charges against its memory budget before queueing a request.
+    ///
+    /// The §4.4 sum itself is residency-blind, so tail rows of a
+    /// partially-resident graph are charged on top: their adjacency reads
+    /// arrive through UVA in whole PCIe transactions that land in device
+    /// staging buffers, padding included. A fully-cached plan adds
+    /// nothing; an uncached UVA graph pays the full padded frontier read.
     pub fn estimate_request_bytes(&self, cols: usize) -> u64 {
         let stats = self.graph.stats();
-        self.layers
+        let base = self
+            .layers
             .iter()
             .map(|l| {
                 gsampler_ir::superbatch::replay(
@@ -817,7 +836,13 @@ impl Sampler {
                 )
                 .est_bytes
             })
-            .fold(0.0f64, f64::max) as u64
+            .fold(0.0f64, f64::max);
+        let tail_staging = cols.max(1) as f64
+            * self.graph.avg_degree()
+            * gsampler_engine::EDGE_BYTES as f64
+            * self.graph.residency.pcie_fraction()
+            * gsampler_engine::UVA_TRANSACTION_FACTOR;
+        (base + tail_staging) as u64
     }
 
     fn sample_groups_session(
@@ -889,73 +914,143 @@ impl Sampler {
         let batch = self.config.batch_size.max(1);
         let policy = &self.config.recovery;
         let pool = self.pool.subpool(epoch);
-        let mut factor = self.super_batch.max(1);
-        let mut batch_idx = 0usize;
-        let mut start = 0usize;
-        let mut exec_idx = 0u64;
-        while start < seeds.len() {
-            // Collect up to `factor` equal-sized groups; `start` is only
-            // committed once the window succeeds (or is quarantined).
-            let mut groups: Vec<Vec<NodeId>> = Vec::new();
-            let mut end = start;
-            while groups.len() < factor && end < seeds.len() {
-                let stop = (end + batch).min(seeds.len());
-                groups.push(seeds[end..stop].to_vec());
-                end = stop;
-            }
-            let window_batches = groups.len();
-            let mut rng = pool.stream(exec_idx);
-            match self.sample_groups(groups, bindings, &mut rng) {
-                Ok(samples) => {
-                    exec_idx += 1;
-                    start = end;
-                    for sample in samples {
-                        consume(batch_idx, sample);
-                        batch_idx += 1;
+        // Prefetch stage (Snippet 3's `prefetch_node_feats`): while a
+        // window's sampling computes, a helper thread extracts that
+        // window's seed features — sampling never reads them, the
+        // trainer downstream does, so the gather rides for free behind
+        // the window it belongs to. The modeled gather cost is charged
+        // with the overlapped compute's modeled time hidden; only the
+        // overhang reaches the epoch's critical path. (On a host with
+        // one core the wall-clock overlap is nil — see the config
+        // knob's docs — but the modeled accounting is unchanged.)
+        let feats: Option<&gsampler_matrix::Dense> = if self.config.prefetch_node_feats {
+            self.graph.features.as_ref()
+        } else {
+            None
+        };
+        let (batch_idx, factor) = std::thread::scope(|scope| -> Result<(usize, usize)> {
+            let mut factor = self.super_batch.max(1);
+            let mut batch_idx = 0usize;
+            let mut start = 0usize;
+            let mut exec_idx = 0u64;
+            // (rows, modeled time at spawn, gather thread handle)
+            let mut pending: Option<(usize, f64, std::thread::ScopedJoinHandle<'_, f64>)> = None;
+            // Join the in-flight prefetch and charge its gather with the
+            // window compute that ran since the spawn hidden.
+            let settle =
+                |pending: &mut Option<(usize, f64, std::thread::ScopedJoinHandle<f64>)>| {
+                    let Some((rows, spawn_modeled, handle)) = pending.take() else {
+                        return;
+                    };
+                    let wall = handle.join().expect("prefetch gather does not panic");
+                    let hidden = self.device.modeled_time() - spawn_modeled;
+                    let dim = self.graph.features.as_ref().map_or(0, |f| f.ncols());
+                    // Features of a host-resident graph live host-side; the
+                    // structure cache plan does not cover them.
+                    let feat_res = match self.graph.residency {
+                        Residency::Device => Residency::Device,
+                        _ => Residency::host_uva(0.0),
+                    };
+                    let mut desc = workload::gather_features(rows, dim, feat_res);
+                    desc.name = "prefetch::gather_features".into();
+                    let (full, _) = self.device.cost_model().time_and_utilization(&desc);
+                    self.device.charge_hidden(desc, hidden, wall);
+                    gsampler_obs::event(
+                        "cache",
+                        "prefetch",
+                        &[
+                            ("rows", gsampler_obs::Arg::from(rows)),
+                            ("hidden_s", gsampler_obs::Arg::from(hidden.min(full))),
+                            (
+                                "exposed_s",
+                                gsampler_obs::Arg::from((full - hidden).max(0.0)),
+                            ),
+                        ],
+                    );
+                };
+            while start < seeds.len() {
+                // Collect up to `factor` equal-sized groups; `start` is only
+                // committed once the window succeeds (or is quarantined).
+                let mut groups: Vec<Vec<NodeId>> = Vec::new();
+                let mut end = start;
+                while groups.len() < factor && end < seeds.len() {
+                    let stop = (end + batch).min(seeds.len());
+                    groups.push(seeds[end..stop].to_vec());
+                    end = stop;
+                }
+                // Launch this window's feature gather before its compute
+                // runs. One spawn per seed range: degradation retries of
+                // the current window keep the same prefetch in flight
+                // (the already-gathered superset is charged as spawned).
+                if let Some(f) = feats {
+                    if pending.is_none() {
+                        let slice = &seeds[start..end];
+                        let t0 = self.device.modeled_time();
+                        let handle = scope.spawn(move || {
+                            let t = Instant::now();
+                            let _ = f.gather_rows(slice);
+                            t.elapsed().as_secs_f64()
+                        });
+                        pending = Some((slice.len(), t0, handle));
                     }
                 }
-                Err(e) if e.is_oom() && policy.allow_degrade && factor > 1 => {
-                    // Degradation ladder: halve the super-batch factor and
-                    // re-execute the same seed window regrouped. Factor 1
-                    // windows that still do not fit take the streaming
-                    // rung inside `sample_groups`.
-                    let from = factor;
-                    factor = (factor / 2).max(1);
-                    self.device.note_faults(|f| {
-                        f.degrade_steps += 1;
-                        f.batch_retries += 1;
-                    });
-                    gsampler_obs::event(
-                        "degrade",
-                        "superbatch.factor",
-                        &[
-                            ("from", gsampler_obs::Arg::from(from as f64)),
-                            ("to", gsampler_obs::Arg::from(factor as f64)),
-                        ],
-                    );
+                let window_batches = groups.len();
+                let mut rng = pool.stream(exec_idx);
+                match self.sample_groups(groups, bindings, &mut rng) {
+                    Ok(samples) => {
+                        exec_idx += 1;
+                        start = end;
+                        settle(&mut pending);
+                        for sample in samples {
+                            consume(batch_idx, sample);
+                            batch_idx += 1;
+                        }
+                    }
+                    Err(e) if e.is_oom() && policy.allow_degrade && factor > 1 => {
+                        // Degradation ladder: halve the super-batch factor and
+                        // re-execute the same seed window regrouped. Factor 1
+                        // windows that still do not fit take the streaming
+                        // rung inside `sample_groups`.
+                        let from = factor;
+                        factor = (factor / 2).max(1);
+                        self.device.note_faults(|f| {
+                            f.degrade_steps += 1;
+                            f.batch_retries += 1;
+                        });
+                        gsampler_obs::event(
+                            "degrade",
+                            "superbatch.factor",
+                            &[
+                                ("from", gsampler_obs::Arg::from(from as f64)),
+                                ("to", gsampler_obs::Arg::from(factor as f64)),
+                            ],
+                        );
+                    }
+                    Err(e) if policy.quarantine => {
+                        // The window exhausted retries and degradation: skip
+                        // it, keep the epoch alive. Batch numbering stays
+                        // stable — the skipped indices are simply never given
+                        // to `consume`.
+                        self.device
+                            .note_faults(|f| f.quarantined_batches += window_batches as u64);
+                        gsampler_obs::event(
+                            "degrade",
+                            "quarantine",
+                            &[
+                                ("batches", gsampler_obs::Arg::from(window_batches as f64)),
+                                ("error", gsampler_obs::Arg::from(e.to_string())),
+                            ],
+                        );
+                        exec_idx += 1;
+                        start = end;
+                        settle(&mut pending);
+                        batch_idx += window_batches;
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) if policy.quarantine => {
-                    // The window exhausted retries and degradation: skip
-                    // it, keep the epoch alive. Batch numbering stays
-                    // stable — the skipped indices are simply never given
-                    // to `consume`.
-                    self.device
-                        .note_faults(|f| f.quarantined_batches += window_batches as u64);
-                    gsampler_obs::event(
-                        "degrade",
-                        "quarantine",
-                        &[
-                            ("batches", gsampler_obs::Arg::from(window_batches as f64)),
-                            ("error", gsampler_obs::Arg::from(e.to_string())),
-                        ],
-                    );
-                    exec_idx += 1;
-                    start = end;
-                    batch_idx += window_batches;
-                }
-                Err(e) => return Err(e),
             }
-        }
+            Ok((batch_idx, factor))
+        })?;
         epoch_span.arg("final_super_batch", factor);
         let mut stats = self.device.stats();
         stats.compact_records();

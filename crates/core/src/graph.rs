@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use gsampler_engine::Residency;
+use gsampler_engine::{CachePlan, Residency};
 use gsampler_ir::GraphStats;
 use gsampler_matrix::{Csc, Dense, GraphMatrix, NodeId, SparseMatrix};
 
@@ -21,8 +21,14 @@ pub struct Graph {
     pub matrix: GraphMatrix,
     /// Optional `N × d` node feature matrix.
     pub features: Option<Dense>,
-    /// Where the structure lives (device vs UVA host memory).
+    /// Where the structure lives (device vs UVA host memory, or partially
+    /// resident behind a [`CachePlan`]).
     pub residency: Residency,
+    /// The pinned hot set when the graph is partially resident: which
+    /// adjacency lists live on the device. `residency` carries the
+    /// byte-weighted summary for the cost model; this map is what the
+    /// dispatcher consults to count *actual* per-batch hits.
+    cache_plan: Option<Arc<CachePlan>>,
     /// Executor value for the adjacency matrix, built on first compile.
     /// The CSC buffers are large; cloning them per compile would dwarf a
     /// plan-cache hit, so every sampler compiled against this graph
@@ -39,6 +45,7 @@ impl Graph {
             matrix: GraphMatrix::from_sparse(SparseMatrix::Csc(csc)),
             features: None,
             residency: Residency::Device,
+            cache_plan: None,
             matrix_value: OnceLock::new(),
         }
     }
@@ -75,10 +82,29 @@ impl Graph {
     }
 
     /// Set the structure residency (UVA for graphs exceeding device
-    /// memory, with a cache hit rate reflecting access skew).
+    /// memory, with a cache hit rate reflecting access skew). Drops any
+    /// attached cache plan: a blended-rate residency and a membership map
+    /// must not disagree.
     pub fn with_residency(mut self, residency: Residency) -> Graph {
         self.residency = residency;
+        self.cache_plan = None;
         self
+    }
+
+    /// Make the graph partially resident behind `plan`: the plan's pinned
+    /// rows are served from device memory, tail rows are charged the
+    /// PCIe+transaction-padding term. Sets the summary residency to
+    /// [`Residency::partial`] of the plan's predicted hit rate and keeps
+    /// the membership map for per-batch hit counting at dispatch.
+    pub fn with_cache_plan(mut self, plan: CachePlan) -> Graph {
+        self.residency = Residency::partial(plan.hit_rate);
+        self.cache_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// The pinned-hot-set plan, when the graph is partially resident.
+    pub fn cache_plan(&self) -> Option<&CachePlan> {
+        self.cache_plan.as_deref()
     }
 
     /// Number of nodes.
@@ -117,9 +143,17 @@ impl Graph {
         }
     }
 
-    /// Approximate resident bytes of the structure (for reporting).
-    pub fn size_bytes(&self) -> usize {
+    /// Bytes of adjacency *structure* — the quantity the cache planner
+    /// can pin on the device (feature storage is never cached).
+    pub fn structure_bytes(&self) -> usize {
         self.matrix.data.size_bytes()
+    }
+
+    /// Approximate resident bytes of the whole graph — structure plus
+    /// feature storage (for reporting; use [`Graph::structure_bytes`] for
+    /// cache budgets).
+    pub fn size_bytes(&self) -> usize {
+        self.structure_bytes() + self.features.as_ref().map_or(0, |f| f.size_bytes())
     }
 }
 
@@ -147,6 +181,25 @@ mod tests {
         let s = g.stats();
         assert_eq!(s.num_nodes, 3);
         assert_eq!(s.feature_dim, 16);
+    }
+
+    #[test]
+    fn cache_plan_sets_partial_residency_and_is_dropped_on_override() {
+        let g = Graph::from_edges("toy", 4, &[(0, 1, 1.0), (2, 1, 0.5), (3, 0, 2.0)], true)
+            .unwrap()
+            .with_features(Dense::zeros(4, 8));
+        // size_bytes reports structure + features; only structure is
+        // cacheable.
+        assert_eq!(g.size_bytes(), g.structure_bytes() + 4 * 8 * 4);
+        let degrees = g.matrix.data.col_degrees();
+        let g = g.with_cache_plan(gsampler_engine::plan_cache(&degrees, u64::MAX));
+        assert!(matches!(g.residency, Residency::Partial { .. }));
+        let plan = g.cache_plan().expect("plan attached");
+        assert!((plan.hit_rate - 1.0).abs() < 1e-12);
+        assert!(plan.is_cached(0) && plan.is_cached(1));
+        // Overriding the residency drops the (now inconsistent) plan.
+        let g = g.with_residency(Residency::Device);
+        assert!(g.cache_plan().is_none());
     }
 
     #[test]

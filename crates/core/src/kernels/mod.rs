@@ -322,6 +322,37 @@ pub fn dispatch(
     let pool = pool_metrics().since(&pool_before);
     let arena = arena_metrics().since(&arena_before);
 
+    // Frontier-composition-aware cache accounting: when this op read the
+    // resident graph driven by a frontier node list and the graph carries
+    // a partial-residency plan, count which of *these* frontiers'
+    // adjacency lists were pinned — the observed per-batch hit rate, not
+    // the planner's byte-weighted prediction. Super-batched frontiers
+    // arrive in block space (id + group × n); `% n` maps them back.
+    if graph_input_resident {
+        if let Some(plan) = ctx.graph.cache_plan() {
+            if let Some(nodes) = inputs.iter().find_map(|v| v.as_nodes()) {
+                let n = ctx.n.max(1);
+                let hits = nodes
+                    .iter()
+                    .filter(|&&id| plan.is_cached(id as usize % n))
+                    .count() as u64;
+                let misses = nodes.len() as u64 - hits;
+                device.note_cache(hits, misses);
+                if gsampler_obs::is_enabled() {
+                    gsampler_obs::event(
+                        "cache",
+                        "batch",
+                        &[
+                            ("op", gsampler_obs::Arg::from(op.name())),
+                            ("hits", gsampler_obs::Arg::from(hits)),
+                            ("misses", gsampler_obs::Arg::from(misses)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
     let args = WorkloadArgs {
         op,
         in_fmts: &in_fmts,
@@ -400,6 +431,56 @@ mod tests {
         assert!(stats.total_time > 0.0);
         assert!(stats.records[0].wall_time >= 0.0);
         assert!(stats.per_kernel.keys().next().unwrap().contains("eltwise"));
+    }
+
+    #[test]
+    fn dispatch_counts_partial_residency_hits_per_batch() {
+        let run_batch = |budget: u64| -> (u64, u64) {
+            let degrees = graph().matrix.data.col_degrees();
+            let g = graph().with_cache_plan(gsampler_engine::plan_cache(&degrees, budget));
+            let bindings = Bindings::new();
+            let ctx = ExecCtx::plain(&g, &bindings);
+            let device = Device::new(DeviceProfile::v100());
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut rng = SessionRng::Shared(&mut rng);
+            let gv = Value::Matrix(g.matrix.clone());
+            let frontiers = Value::Nodes(vec![1, 5, 9, 13]);
+            dispatch(
+                &Op::SliceCols,
+                &[&gv, &frontiers],
+                true,
+                &ctx,
+                &device,
+                &mut rng,
+            )
+            .unwrap();
+            let s = device.stats();
+            (s.cache_hits, s.cache_misses)
+        };
+        // Unlimited budget pins everything: every frontier hits.
+        assert_eq!(run_batch(u64::MAX), (4, 0));
+        // Zero budget pins nothing: every frontier misses.
+        assert_eq!(run_batch(0), (0, 4));
+        // No plan at all: nothing is counted.
+        let g = graph();
+        let bindings = Bindings::new();
+        let ctx = ExecCtx::plain(&g, &bindings);
+        let device = Device::new(DeviceProfile::v100());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SessionRng::Shared(&mut rng);
+        let gv = Value::Matrix(g.matrix.clone());
+        let frontiers = Value::Nodes(vec![1, 5]);
+        dispatch(
+            &Op::SliceCols,
+            &[&gv, &frontiers],
+            true,
+            &ctx,
+            &device,
+            &mut rng,
+        )
+        .unwrap();
+        let s = device.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
     }
 
     #[test]

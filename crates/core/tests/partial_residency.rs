@@ -1,0 +1,176 @@
+//! Integration tests for the partial residency map: per-batch hit
+//! counting against the graph's `CachePlan`, admission-estimate honesty
+//! for tail rows, and the prefetch stage's sample-equivalence.
+
+use std::sync::Arc;
+
+use gsampler_core::builder::{Layer, LayerBuilder};
+use gsampler_core::{compile, Bindings, Graph, SamplerConfig};
+use gsampler_engine::{plan_cache, Residency};
+use gsampler_matrix::{Dense, NodeId};
+
+/// A 48-node graph with deliberate degree skew: node 0 receives an edge
+/// from every other node (a hub), the rest form a sparse ring.
+fn skewed_graph() -> Arc<Graph> {
+    let n = 48u32;
+    let mut edges: Vec<(NodeId, NodeId, f32)> = Vec::new();
+    for u in 1..n {
+        edges.push((u, 0, 1.0));
+    }
+    for u in 0..n {
+        edges.push((u, (u + 1) % n, 1.0));
+        edges.push(((u + 1) % n, u, 1.0));
+    }
+    let features = {
+        let data: Vec<f32> = (0..n as usize * 4).map(|i| (i % 7) as f32 * 0.5).collect();
+        Dense::from_vec(n as usize, 4, data).unwrap()
+    };
+    Arc::new(
+        Graph::from_edges("skewed", n as usize, &edges, false)
+            .unwrap()
+            .with_features(features),
+    )
+}
+
+fn sage_layer(k: usize) -> Layer {
+    let b = LayerBuilder::new();
+    let a = b.graph();
+    let f = b.frontiers();
+    let sample = a.slice_cols(&f).individual_sample(k, None);
+    b.output(&sample);
+    b.output_next_frontiers(&sample.row_nodes());
+    b.build()
+}
+
+fn seeds() -> Vec<NodeId> {
+    (0..48).collect()
+}
+
+#[test]
+fn dispatch_reports_actual_hits_under_full_and_empty_plans() {
+    let base = skewed_graph();
+    let degrees = base.matrix.data.col_degrees();
+
+    // Everything pinned: every frontier row hits.
+    let full = Arc::new(
+        (*base)
+            .clone()
+            .with_cache_plan(plan_cache(&degrees, u64::MAX)),
+    );
+    let sampler = compile(
+        full,
+        vec![sage_layer(4), sage_layer(4)],
+        SamplerConfig::new(),
+    )
+    .unwrap();
+    sampler
+        .run_epoch_with(&seeds(), &Bindings::new(), 0, |_, _| {})
+        .unwrap();
+    let stats = sampler.device().stats();
+    assert!(stats.cache_hits > 0, "full plan should record hits");
+    assert_eq!(stats.cache_misses, 0, "full plan cannot miss");
+
+    // Nothing pinned: every frontier row misses.
+    let empty = Arc::new((*base).clone().with_cache_plan(plan_cache(&degrees, 0)));
+    let sampler = compile(
+        empty,
+        vec![sage_layer(4), sage_layer(4)],
+        SamplerConfig::new(),
+    )
+    .unwrap();
+    sampler
+        .run_epoch_with(&seeds(), &Bindings::new(), 0, |_, _| {})
+        .unwrap();
+    let stats = sampler.device().stats();
+    assert_eq!(stats.cache_hits, 0, "empty plan cannot hit");
+    assert!(stats.cache_misses > 0, "empty plan should record misses");
+
+    // No plan at all: the counters stay untouched.
+    let sampler = compile(base, vec![sage_layer(4)], SamplerConfig::new()).unwrap();
+    sampler
+        .run_epoch_with(&seeds(), &Bindings::new(), 0, |_, _| {})
+        .unwrap();
+    let stats = sampler.device().stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0));
+}
+
+#[test]
+fn admission_estimate_charges_tail_rows() {
+    let base = skewed_graph();
+    let degrees = base.matrix.data.col_degrees();
+    let layers = || vec![sage_layer(4), sage_layer(4)];
+
+    let device = compile(base.clone(), layers(), SamplerConfig::new()).unwrap();
+    let full_plan = compile(
+        Arc::new(
+            (*base)
+                .clone()
+                .with_cache_plan(plan_cache(&degrees, u64::MAX)),
+        ),
+        layers(),
+        SamplerConfig::new(),
+    )
+    .unwrap();
+    let uva = compile(
+        Arc::new((*base).clone().with_residency(Residency::host_uva(0.0))),
+        layers(),
+        SamplerConfig::new(),
+    )
+    .unwrap();
+
+    let cols = 64;
+    // A fully pinned plan has no tail rows: it estimates like Device.
+    assert_eq!(
+        full_plan.estimate_request_bytes(cols),
+        device.estimate_request_bytes(cols)
+    );
+    // An uncached UVA graph stages every adjacency read through host
+    // memory; the §4.4 transient estimate must say so.
+    assert!(uva.estimate_request_bytes(cols) > device.estimate_request_bytes(cols));
+}
+
+#[test]
+fn prefetch_stage_preserves_samples_and_charges_the_gather() {
+    let graph = skewed_graph();
+    let degrees = graph.matrix.data.col_degrees();
+    let budget = gsampler_engine::list_bytes(degrees.iter().copied().max().unwrap());
+    let graph = Arc::new(
+        (*graph)
+            .clone()
+            .with_cache_plan(plan_cache(&degrees, budget)),
+    );
+
+    let run = |prefetch: bool| {
+        let config = SamplerConfig {
+            prefetch_node_feats: prefetch,
+            batch_size: 8,
+            ..SamplerConfig::new()
+        };
+        let sampler = compile(graph.clone(), vec![sage_layer(4), sage_layer(4)], config).unwrap();
+        let mut fingerprints = Vec::new();
+        sampler
+            .run_epoch_with(&seeds(), &Bindings::new(), 0, |idx, sample| {
+                fingerprints.push((idx, format!("{sample:?}")));
+            })
+            .unwrap();
+        (fingerprints, sampler.device().stats())
+    };
+
+    let (plain, plain_stats) = run(false);
+    let (prefetched, stats) = run(true);
+    // Prefetch overlaps feature extraction with compute; it must not
+    // change what is sampled.
+    assert_eq!(plain, prefetched);
+    assert!(
+        stats.per_kernel.contains_key("prefetch::gather_features"),
+        "prefetch runs should charge the gather kernel"
+    );
+    assert!(!plain_stats
+        .per_kernel
+        .contains_key("prefetch::gather_features"));
+    // Hit accounting is identical either way.
+    assert_eq!(
+        (plain_stats.cache_hits, plain_stats.cache_misses),
+        (stats.cache_hits, stats.cache_misses)
+    );
+}

@@ -18,16 +18,72 @@ pub enum Residency {
         /// Cache hit rate for structure reads, in `[0, 1]`.
         cache_hit_rate: f64,
     },
+    /// Partial residency: a planned hot set of adjacency lists (a
+    /// `CachePlan`, attached to the graph) is pinned in device memory and
+    /// served at device bandwidth; only the tail rows cross PCIe. The
+    /// field is the plan's byte-weighted hit fraction — the summary the
+    /// cost model uses; the membership map itself lives with the graph.
+    Partial {
+        /// Byte-weighted fraction of structure reads served by the pinned
+        /// hot set, in `[0, 1]`.
+        hot_fraction: f64,
+    },
 }
 
 impl Residency {
-    /// Fraction of graph-structure bytes that cross PCIe.
+    /// `HostUva` with the hit rate normalized at construction: NaN becomes
+    /// 0.0 (pessimal, never poisons downstream estimates), out-of-range
+    /// values are clamped into `[0, 1]` (debug builds assert instead).
+    pub fn host_uva(cache_hit_rate: f64) -> Residency {
+        Residency::HostUva {
+            cache_hit_rate: normalize_rate(cache_hit_rate),
+        }
+    }
+
+    /// `Partial` with the hot fraction normalized exactly like
+    /// [`Residency::host_uva`].
+    pub fn partial(hot_fraction: f64) -> Residency {
+        Residency::Partial {
+            hot_fraction: normalize_rate(hot_fraction),
+        }
+    }
+
+    /// Fraction of graph-structure bytes that cross PCIe. NaN-safe even
+    /// for values smuggled in through a struct literal: a NaN rate reads
+    /// as "nothing cached", never as a NaN cost.
     pub fn pcie_fraction(&self) -> f64 {
         match self {
             Residency::Device => 0.0,
-            Residency::HostUva { cache_hit_rate } => 1.0 - cache_hit_rate.clamp(0.0, 1.0),
+            Residency::HostUva {
+                cache_hit_rate: hit,
+            }
+            | Residency::Partial { hot_fraction: hit } => {
+                let hit = if hit.is_nan() {
+                    0.0
+                } else {
+                    hit.clamp(0.0, 1.0)
+                };
+                1.0 - hit
+            }
         }
     }
+
+    /// Fraction of graph-structure reads served at device bandwidth
+    /// (1.0 for a device-resident graph).
+    pub fn hit_fraction(&self) -> f64 {
+        1.0 - self.pcie_fraction()
+    }
+}
+
+/// NaN → 0.0, then clamp into `[0, 1]`; debug builds assert the range
+/// instead of silently clamping (an out-of-range rate is a planner bug).
+fn normalize_rate(rate: f64) -> f64 {
+    let rate = if rate.is_nan() { 0.0 } else { rate };
+    debug_assert!(
+        (0.0..=1.0).contains(&rate),
+        "residency hit fraction {rate} outside [0, 1]"
+    );
+    rate.clamp(0.0, 1.0)
 }
 
 /// Hardware parameters of one execution device.
@@ -150,6 +206,72 @@ mod tests {
             cache_hit_rate: 1.5,
         };
         assert_eq!(clamped.pcie_fraction(), 0.0);
+    }
+
+    #[test]
+    fn constructors_normalize_nan_and_pcie_fraction_is_nan_safe() {
+        // NaN at construction reads as "nothing cached".
+        assert_eq!(
+            Residency::host_uva(f64::NAN),
+            Residency::HostUva {
+                cache_hit_rate: 0.0
+            }
+        );
+        assert_eq!(
+            Residency::partial(f64::NAN),
+            Residency::Partial { hot_fraction: 0.0 }
+        );
+        // Even a NaN smuggled in through a struct literal must not
+        // propagate through the clamp into every downstream cost.
+        let poisoned = Residency::HostUva {
+            cache_hit_rate: f64::NAN,
+        };
+        assert_eq!(poisoned.pcie_fraction(), 1.0);
+        let poisoned = Residency::Partial {
+            hot_fraction: f64::NAN,
+        };
+        assert_eq!(poisoned.pcie_fraction(), 1.0);
+        // Property sweep: for any input, the constructed residency's
+        // pcie_fraction is finite and in [0, 1].
+        for raw in [0.0, 0.3, 1.0, f64::NAN] {
+            for r in [Residency::host_uva(raw), Residency::partial(raw)] {
+                let f = r.pcie_fraction();
+                assert!(f.is_finite() && (0.0..=1.0).contains(&f), "{r:?} -> {f}");
+                assert!((r.hit_fraction() + f - 1.0).abs() < 1e-12);
+            }
+        }
+        // Out-of-range literals (constructors debug-assert instead).
+        assert_eq!(
+            Residency::HostUva {
+                cache_hit_rate: 1.5
+            }
+            .pcie_fraction(),
+            0.0
+        );
+        assert_eq!(
+            Residency::Partial { hot_fraction: -3.0 }.pcie_fraction(),
+            1.0
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_rate_asserts_in_debug() {
+        let _ = Residency::host_uva(1.5);
+    }
+
+    #[test]
+    fn partial_endpoints_match_binary_residencies() {
+        // A full plan prices like Device; an empty plan like uncached UVA.
+        assert_eq!(
+            Residency::partial(1.0).pcie_fraction(),
+            Residency::Device.pcie_fraction()
+        );
+        assert_eq!(
+            Residency::partial(0.0).pcie_fraction(),
+            Residency::host_uva(0.0).pcie_fraction()
+        );
     }
 
     #[test]

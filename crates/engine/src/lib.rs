@@ -37,7 +37,7 @@ pub mod rng;
 pub mod stats;
 pub mod workload;
 
-pub use cache::{degree_cache_hit_rate, plan_cache, CachePlan};
+pub use cache::{degree_cache_hit_rate, list_bytes, plan_cache, CachePlan};
 pub use cost::CostModel;
 pub use device::{DeviceProfile, Residency};
 pub use faults::{FaultKind, FaultSpec, InjectedCounts};
@@ -52,7 +52,7 @@ pub use plandb::{
 };
 pub use rng::RngPool;
 pub use stats::{ExecStats, FaultReport, KernelAgg, KernelRecord};
-pub use workload::KernelDesc;
+pub use workload::{KernelDesc, EDGE_BYTES, UVA_TRANSACTION_FACTOR};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -148,6 +148,40 @@ impl Device {
         self.stats
             .lock()
             .record_timed_par(desc, time, util, wall_time, pool, arena);
+    }
+
+    /// Charge a kernel whose execution was overlapped with `hidden`
+    /// seconds of concurrent compute (the prefetch stage): bytes, FLOPs
+    /// and the launch are charged in full, but only the modeled time that
+    /// *exceeds* the overlap lands on the session's critical path.
+    pub fn charge_hidden(&self, desc: KernelDesc, hidden: f64, wall_time: f64) {
+        let (time, util) = self.cost.time_and_utilization(&desc);
+        let exposed = (time - hidden.max(0.0)).max(0.0);
+        self.stats.lock().record_timed_par(
+            desc,
+            exposed,
+            util,
+            wall_time,
+            PoolMetrics::default(),
+            ArenaMetrics::default(),
+        );
+    }
+
+    /// Total modeled device time accumulated so far (cheap accessor — no
+    /// stats snapshot clone).
+    pub fn modeled_time(&self) -> f64 {
+        self.stats.lock().total_time
+    }
+
+    /// Record observed structure-cache hit/miss counts (per-batch frontier
+    /// membership against the graph's `CachePlan`, counted at dispatch).
+    pub fn note_cache(&self, hits: u64, misses: u64) {
+        if hits == 0 && misses == 0 {
+            return;
+        }
+        let mut stats = self.stats.lock();
+        stats.cache_hits += hits;
+        stats.cache_misses += misses;
     }
 
     /// Register an allocation of `bytes` live device memory.
@@ -286,6 +320,36 @@ mod tests {
         dev.reset();
         assert_eq!(dev.stats().kernel_launches, 0);
         assert_eq!(dev.stats().total_time, 0.0);
+    }
+
+    #[test]
+    fn charge_hidden_exposes_only_the_overhang() {
+        let dev = Device::new(DeviceProfile::v100());
+        let desc = KernelDesc::new("prefetch")
+            .with_bytes(1 << 30, 0)
+            .with_parallelism(1 << 22);
+        let (full, _) = dev.cost_model().time_and_utilization(&desc);
+        // Fully hidden behind a longer window: zero critical-path time,
+        // but the bytes are still accounted.
+        dev.charge_hidden(desc.clone(), full * 2.0, 0.0);
+        let s = dev.stats();
+        assert_eq!(s.total_time, 0.0);
+        assert_eq!(s.total_bytes, 1 << 30);
+        assert_eq!(s.kernel_launches, 1);
+        // Half hidden: half the modeled time is exposed.
+        dev.charge_hidden(desc, full / 2.0, 0.0);
+        assert!((dev.stats().total_time - full / 2.0).abs() < full * 1e-9);
+    }
+
+    #[test]
+    fn note_cache_accumulates_into_stats() {
+        let dev = Device::new(DeviceProfile::v100());
+        dev.note_cache(3, 1);
+        dev.note_cache(0, 0); // no-op
+        dev.note_cache(1, 3);
+        let s = dev.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (4, 4));
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -158,6 +158,14 @@ pub struct ExecStats {
     /// Individual records (kept for breakdown reporting; cleared by
     /// `compact_records` when only aggregates are needed).
     pub records: Vec<KernelRecord>,
+    /// Frontier adjacency lists served from the pinned structure cache —
+    /// *observed* per batch at dispatch against the graph's `CachePlan`
+    /// membership map, not the planner's prediction. Zero unless a
+    /// partially-resident graph was sampled.
+    pub cache_hits: u64,
+    /// Frontier adjacency lists that missed the pinned set (tail rows,
+    /// read over PCIe).
+    pub cache_misses: u64,
     /// Injected faults and recovery actions observed this session.
     pub faults: FaultReport,
     /// Plan-database activity attributed to this session (hit/miss/drift
@@ -228,6 +236,18 @@ impl ExecStats {
         });
     }
 
+    /// Observed structure-cache hit rate over frontier adjacency reads,
+    /// in `[0, 1]` (0.0 when nothing was counted — device-resident graphs
+    /// never consult a plan).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total > 0 {
+            self.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Time-weighted average SM utilization in `[0, 1]` (0 when idle).
     pub fn sm_utilization(&self) -> f64 {
         if self.total_time > 0.0 {
@@ -261,6 +281,8 @@ impl ExecStats {
             agg.arena.accumulate(&a.arena);
         }
         self.records.extend(other.records.iter().cloned());
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
         self.faults.merge(&other.faults);
         self.plan_db.merge(&other.plan_db);
     }
@@ -490,6 +512,23 @@ mod tests {
         assert_eq!(a.faults.injected_oom, 1);
         assert_eq!(a.faults.degrade_steps, 3);
         assert_eq!(a.faults.spilled_bytes, 4096);
+    }
+
+    #[test]
+    fn cache_counters_merge_and_rate() {
+        let mut a = ExecStats::default();
+        assert_eq!(a.cache_hit_rate(), 0.0);
+        a.cache_hits = 30;
+        a.cache_misses = 10;
+        assert!((a.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let b = ExecStats {
+            cache_hits: 10,
+            cache_misses: 30,
+            ..ExecStats::default()
+        };
+        a.merge(&b);
+        assert_eq!((a.cache_hits, a.cache_misses), (40, 40));
+        assert!((a.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use gsampler_matrix::{Axis, Format};
 use crate::device::Residency;
 
 /// Bytes per stored edge index (u32 id) plus value (f32).
-const EDGE_BYTES: u64 = 8;
+pub const EDGE_BYTES: u64 = 8;
 /// Bytes per node-indexed scalar.
 const NODE_BYTES: u64 = 4;
 
@@ -123,14 +123,20 @@ impl MatShape {
 /// Random UVA accesses move whole PCIe transactions, not the useful
 /// bytes: adjacency-list reads of sampled neighbours are scattered, so
 /// each useful byte drags its transaction's padding across the bus.
-const UVA_TRANSACTION_FACTOR: f64 = 4.0;
+pub const UVA_TRANSACTION_FACTOR: f64 = 4.0;
 
-/// Apply graph residency: structure reads of a host-resident graph cross
-/// PCIe (minus the cached fraction), amplified by transaction padding.
+/// Apply graph residency with per-row charging: the cached (hot) rows
+/// are served at device bandwidth, and only the tail rows cross PCIe —
+/// amplified by transaction padding. A device-resident graph pays the
+/// whole read at device bandwidth; a fully-cached partial plan prices
+/// identically to `Residency::Device`, an empty plan identically to
+/// `HostUva { cache_hit_rate: 0.0 }` (both checked by the testkit's
+/// differential suite).
 fn residency_split(read_bytes: u64, residency: Residency) -> (u64, u64) {
     let frac = residency.pcie_fraction();
+    let device = (read_bytes as f64 * (1.0 - frac)) as u64;
     let pcie = (read_bytes as f64 * frac * UVA_TRANSACTION_FACTOR) as u64;
-    (read_bytes, pcie)
+    (device, pcie)
 }
 
 /// `A[:, frontiers]` — extract step.
@@ -610,6 +616,29 @@ mod tests {
         assert_eq!(dev.bytes_pcie, 0);
         assert!(uva.bytes_pcie > 0);
         assert!(modeled_ms(&uva) > modeled_ms(&dev));
+    }
+
+    #[test]
+    fn per_row_charging_splits_reads_between_tiers() {
+        let g = pd_graph();
+        let dev = slice_cols(Format::Csc, g, 25_600, 512, Residency::Device);
+        let half = slice_cols(Format::Csc, g, 25_600, 512, Residency::partial(0.5));
+        // Cached rows pay device bandwidth, tail rows pay padded PCIe —
+        // the read is split per-row, not charged twice.
+        assert!(half.bytes < dev.bytes, "device bytes must shrink with hits");
+        assert!(half.bytes_pcie > 0);
+        // Endpoints reproduce the binary residencies exactly.
+        let full = slice_cols(Format::Csc, g, 25_600, 512, Residency::partial(1.0));
+        assert_eq!(full.bytes, dev.bytes);
+        assert_eq!(full.bytes_pcie, 0);
+        let empty = slice_cols(Format::Csc, g, 25_600, 512, Residency::partial(0.0));
+        let uva0 = slice_cols(Format::Csc, g, 25_600, 512, Residency::host_uva(0.0));
+        assert_eq!(empty.bytes, uva0.bytes);
+        assert_eq!(empty.bytes_pcie, uva0.bytes_pcie);
+        // A larger hot set is never modeled slower.
+        let quarter = slice_cols(Format::Csc, g, 25_600, 512, Residency::partial(0.25));
+        assert!(modeled_ms(&half) <= modeled_ms(&quarter));
+        assert!(modeled_ms(&full) <= modeled_ms(&half));
     }
 
     #[test]

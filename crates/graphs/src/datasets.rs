@@ -9,11 +9,12 @@
 //!
 //! Each preset preserves the property the evaluation depends on: PD has
 //! the largest average degree (~50), LJ the social-network skew, PP/FS
-//! exceed device memory and run behind UVA with a cache hit rate
-//! reflecting their access skew, FS samples 1% of nodes as frontiers.
+//! exceed device memory and run partially resident — a degree-skew hot
+//! set pinned on device, tail lists behind UVA — and FS samples 1% of
+//! nodes as frontiers.
 
 use gsampler_core::{Graph, Residency};
-use gsampler_engine::degree_cache_hit_rate;
+use gsampler_engine::plan_cache;
 use gsampler_matrix::NodeId;
 
 use crate::features::{random_edge_weights, random_features};
@@ -143,15 +144,16 @@ impl Dataset {
             .with_residency(residency);
         if matches!(residency, Residency::HostUva { .. }) {
             // Device memory left for adjacency caching: the paper's 16 GB
-            // card holds roughly a third of PP/FS's structure. Keep that
-            // ratio at our scale and derive the hit rate from the actual
-            // degree skew (descending-degree pinning, engine::cache).
+            // card holds roughly a third of PP/FS's *structure*. The
+            // budget must be derived from structure bytes — features are
+            // never pinned, and sizing the cache off the feature-inclusive
+            // footprint would hand the planner several times the memory a
+            // real card has free. Attach the full plan (not just a
+            // blended rate) so dispatch can count actual per-batch hits
+            // against the pinned set.
             let degrees = graph.matrix.data.col_degrees();
-            let budget = (graph.size_bytes() as f64 * 0.35) as u64;
-            let hit = degree_cache_hit_rate(&degrees, budget);
-            graph = graph.with_residency(Residency::HostUva {
-                cache_hit_rate: hit,
-            });
+            let budget = (graph.structure_bytes() as f64 * 0.35) as u64;
+            graph = graph.with_cache_plan(plan_cache(&degrees, budget));
         }
         let graph = graph;
 
@@ -206,11 +208,26 @@ mod tests {
     }
 
     #[test]
-    fn large_presets_are_uva_resident() {
+    fn large_presets_are_partially_resident_with_a_structure_budget_plan() {
         let pp = Dataset::generate(DatasetKind::OgbnPapers, 0.02, 3);
-        assert!(matches!(pp.graph.residency, Residency::HostUva { .. }));
+        assert!(matches!(pp.graph.residency, Residency::Partial { .. }));
+        let plan = pp.graph.cache_plan().expect("PP derives a cache plan");
+        // The 35% budget is over *structure* bytes, not the feature-
+        // inclusive footprint: the pinned set must fit it.
+        let budget = (pp.graph.structure_bytes() as f64 * 0.35) as u64;
+        assert!(plan.bytes_used <= budget, "{} > {budget}", plan.bytes_used);
+        assert!(plan.cached_nodes > 0 && plan.cached_nodes < pp.graph.num_nodes());
+        // Degree skew makes the byte-weighted hit rate exceed the raw
+        // fraction of the structure that fits.
+        assert!(
+            plan.hit_rate > 0.35 && plan.hit_rate < 1.0,
+            "{}",
+            plan.hit_rate
+        );
+        assert!((pp.graph.residency.hit_fraction() - plan.hit_rate).abs() < 1e-12);
         let lj = Dataset::generate(DatasetKind::LiveJournal, 0.02, 3);
         assert!(matches!(lj.graph.residency, Residency::Device));
+        assert!(lj.graph.cache_plan().is_none());
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Differential check for the partial residency map's endpoints: a plan
+//! that pins *everything* must model exactly like a `Device`-resident
+//! graph, and a plan that pins *nothing* must model exactly like
+//! `HostUva { cache_hit_rate: 0.0 }` — same samples, same modeled epoch
+//! time, same byte traffic. The generalization is only allowed to add
+//! states between the two binary residencies, never to move them.
+
+use std::sync::Arc;
+
+use gsampler_core::{compile, Bindings, Graph, SamplerConfig};
+use gsampler_engine::{plan_cache, Residency};
+use gsampler_testkit::gen::{GraphSpec, Topology};
+
+fn skewed_graph() -> Graph {
+    let arc = GraphSpec {
+        topology: Topology::PowerLaw,
+        nodes: 64,
+        edges: 400,
+        weighted: true,
+        self_loops: true,
+        duplicate_edges: true,
+        dangling: false,
+        seed: 0x5EED,
+    }
+    .build();
+    (*arc).clone()
+}
+
+/// Run one graphsage epoch and return (modeled time, device bytes, PCIe
+/// bytes, per-batch sample fingerprints).
+fn run(graph: Graph) -> (f64, u64, u64, Vec<String>) {
+    let layers = gsampler_algos::nodewise::graphsage(&[4, 4]);
+    let config = SamplerConfig {
+        batch_size: 16,
+        ..SamplerConfig::new()
+    };
+    let sampler = compile(Arc::new(graph), layers, config).unwrap();
+    let seeds: Vec<_> = (0..64).collect();
+    let mut fp = Vec::new();
+    sampler
+        .run_epoch_with(&seeds, &Bindings::new(), 0, |idx, s| {
+            fp.push(format!("{idx}:{s:?}"));
+        })
+        .unwrap();
+    let stats = sampler.device().stats();
+    (
+        stats.total_time,
+        stats.total_bytes,
+        stats.total_bytes_pcie,
+        fp,
+    )
+}
+
+#[test]
+fn full_plan_models_exactly_like_device_residency() {
+    let base = skewed_graph();
+    let degrees = base.matrix.data.col_degrees();
+    let device = run(base.clone().with_residency(Residency::Device));
+    let pinned = run(base.with_cache_plan(plan_cache(&degrees, u64::MAX)));
+    assert_eq!(device, pinned);
+}
+
+#[test]
+fn empty_plan_models_exactly_like_uncached_uva_residency() {
+    let base = skewed_graph();
+    let degrees = base.matrix.data.col_degrees();
+    let uva = run(base.clone().with_residency(Residency::host_uva(0.0)));
+    let unpinned = run(base.with_cache_plan(plan_cache(&degrees, 0)));
+    assert_eq!(uva, unpinned);
+}
+
+#[test]
+fn intermediate_plans_model_between_the_endpoints() {
+    let base = skewed_graph();
+    let degrees = base.matrix.data.col_degrees();
+    let total: u64 = degrees
+        .iter()
+        .map(|&d| gsampler_engine::list_bytes(d))
+        .sum();
+    let (device_t, ..) = run(base.clone().with_residency(Residency::Device));
+    let (uva_t, ..) = run(base.clone().with_residency(Residency::host_uva(0.0)));
+    let (half_t, ..) = run(base.with_cache_plan(plan_cache(&degrees, total / 2)));
+    assert!(
+        device_t <= half_t && half_t <= uva_t,
+        "half-pinned time {half_t} outside [{device_t}, {uva_t}]"
+    );
+}

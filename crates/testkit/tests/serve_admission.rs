@@ -166,3 +166,42 @@ fn draining_a_loaded_queue_releases_reservations_to_baseline() {
     );
     server.shutdown();
 }
+
+#[test]
+fn uncached_tail_rows_raise_the_admission_estimate() {
+    // §4.4 honesty for partial residency: the transient estimate must
+    // charge tail adjacency reads their PCIe staging, so a host-resident
+    // graph estimates strictly more than the same graph on-device, and a
+    // fully pinned cache plan estimates exactly like Device.
+    let device_graph = tiny_graph();
+    let degrees = device_graph.matrix.data.col_degrees();
+    let uva_graph = Arc::new(
+        (*device_graph)
+            .clone()
+            .with_residency(gsampler_engine::Residency::host_uva(0.0)),
+    );
+    let pinned_graph = Arc::new(
+        (*device_graph)
+            .clone()
+            .with_cache_plan(gsampler_engine::plan_cache(&degrees, u64::MAX)),
+    );
+
+    let estimate = |graph: Arc<gsampler_core::Graph>| {
+        let server = EpochServer::start(graph, ServeConfig::default());
+        server
+            .register(TenantSpec::graphsage("t", &[4, 4], 1))
+            .unwrap();
+        let est = server.estimate("t", 32).unwrap();
+        server.shutdown();
+        est
+    };
+
+    let on_device = estimate(device_graph);
+    let behind_uva = estimate(uva_graph);
+    let fully_pinned = estimate(pinned_graph);
+    assert!(
+        behind_uva > on_device,
+        "UVA estimate {behind_uva} must exceed device estimate {on_device}"
+    );
+    assert_eq!(fully_pinned, on_device, "a full pin has no tail rows");
+}
