@@ -62,6 +62,33 @@ if ./target/release/gsample graphsage --dataset tiny --budget 0.000001 --no-degr
 fi
 ./target/release/gsample graphsage --dataset tiny --budget 0.000001 >/dev/null
 
+# --- Watchdog / deadline smoke ------------------------------------------
+# An injected infinite stall (hang) must be detected by the stall
+# watchdog, the parked share reclaimed, and the epoch must still finish
+# (exit 0) well inside a generous deadline — bounded recovery, not a
+# hang. Low threshold keeps the smoke fast; GSAMPLER_THREADS=2 gives the
+# hang a worker site to fire at.
+GSAMPLER_THREADS=2 GSAMPLER_WATCHDOG_MS=100 ./target/release/gsample graphsage \
+    --dataset PD --scale 0.05 --faults "seed=3;hang:at=1" --deadline-ms 30000 \
+    --trace-out "$TRACE_TMP/watchdog.json" >/dev/null
+./target/release/trace-check "$TRACE_TMP/watchdog.json" \
+    --require pass,kernel,pool,watchdog \
+    --require-event watchdog/reclaim \
+    --require-event fault/worker.hang \
+    --require-event deadline/set
+
+# A 1 ms deadline must fail the epoch (exit nonzero) while still writing
+# the trace, with the typed deadline/exceeded event recorded — the
+# post-mortem survives the miss.
+if GSAMPLER_THREADS=2 ./target/release/gsample graphsage --dataset PD --scale 0.05 \
+    --deadline-ms 1 --trace-out "$TRACE_TMP/deadline.json" >/dev/null 2>&1; then
+    echo "gsample finished a PD epoch inside a 1 ms deadline (gate is vacuous)" >&2
+    exit 1
+fi
+./target/release/trace-check "$TRACE_TMP/deadline.json" \
+    --require-event deadline/set \
+    --require-event deadline/exceeded
+
 # --- Plan-database smoke ------------------------------------------------
 # Two runs sharing an on-disk plan DB: the first populates it, the second
 # must hit (the trace proves it — a plan/cache.hit event), and the file
@@ -137,7 +164,11 @@ GS_BENCH_OUT="$TRACE_TMP/plan_cache.json" cargo bench -q -p gsampler-bench --ben
 # Same for the single-thread kernel bench. This one also self-asserts its
 # two floors (blocked-SpMM >= 1.5x over spmm_baseline, pool width-1
 # overhead <= 2%) inside the harness, so a pass here certifies both the
-# cross-host gate and the in-run ratios.
+# cross-host gate and the in-run ratios. With no deadline configured the
+# cancel-token checks on every kernel dispatch are live in this bench
+# (one thread-local read each), so the gate also certifies that the
+# deadline plane's disabled-path overhead stays within the noise
+# threshold.
 GS_BENCH_OUT="$TRACE_TMP/single_thread.json" cargo bench -q -p gsampler-bench --bench single_thread >/dev/null
 ./target/release/perf-gate results/BENCH_single_thread.json "$TRACE_TMP/single_thread.json" --threshold 2.0
 

@@ -30,6 +30,10 @@
 //!                                extraction with the current window's
 //!                                compute (hides the gather's modeled
 //!                                time behind the window it overlaps)
+//!   --deadline-ms MS             per-epoch wall-clock deadline; an
+//!                                epoch that exceeds it stops
+//!                                cooperatively with a DeadlineExceeded
+//!                                error (exit 1, trace still written)
 //! ```
 //!
 //! With a fault schedule installed (flag or environment) the epoch lines
@@ -49,6 +53,7 @@ fn usage() -> ! {
     eprintln!("  --batch N   --device v100|t4|cpu   --plain   --epochs N");
     eprintln!("  --trace-out FILE   --metrics-out FILE");
     eprintln!("  --faults SPEC   --budget MIB   --no-degrade   --plan-db FILE   --prefetch");
+    eprintln!("  --deadline-ms MS");
     std::process::exit(2);
 }
 
@@ -84,6 +89,7 @@ fn main() {
     let mut prefetch = false;
     let mut faults_spec: Option<String> = None;
     let mut budget_mib: Option<f64> = None;
+    let mut deadline_ms: Option<u64> = None;
     let trace = TraceOpts::from_args(&args);
     let plan_db = gsampler_bench::plan_db_from_args(&args);
     let mut it = args[1..].iter();
@@ -130,6 +136,9 @@ fn main() {
             "--prefetch" => prefetch = true,
             "--faults" => faults_spec = Some(value("--faults")),
             "--budget" => budget_mib = Some(value("--budget").parse().unwrap_or_else(|_| usage())),
+            "--deadline-ms" => {
+                deadline_ms = Some(value("--deadline-ms").parse().unwrap_or_else(|_| usage()))
+            }
             // Parsed before the loop; skip the file path here.
             "--trace-out" | "--metrics-out" | "--plan-db" => {
                 let _ = value(flag);
@@ -197,6 +206,7 @@ fn main() {
         budget_override: budget_mib.map(|mib| mib * (1 << 20) as f64),
         plan_db,
         prefetch,
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
     };
     let sampler = gsampler_bench::build_gsampler_with(&graph, algo, &h, device, opt, !plain, opts)
         .unwrap_or_else(|e| {
@@ -240,6 +250,9 @@ fn main() {
     for epoch in 0..epochs {
         let est = gsampler_epoch(&sampler, &graph, algo, &seeds, &h).unwrap_or_else(|e| {
             eprintln!("epoch failed: {e}");
+            // The trace is the post-mortem: a deadline miss or fault that
+            // kills the epoch must still leave the timeline behind.
+            trace.export();
             std::process::exit(1);
         });
         println!(
@@ -260,13 +273,14 @@ fn main() {
     if faults_on {
         let i = gsampler_engine::faults::injected();
         println!(
-            "fault plane: {} fires (oom={} kernel={} worker_panic={} worker_stall={}) over \
-             {} alloc / {} kernel / {} pool sites",
+            "fault plane: {} fires (oom={} kernel={} worker_panic={} worker_stall={} \
+             worker_hang={}) over {} alloc / {} kernel / {} pool sites",
             i.total(),
             i.oom,
             i.kernel,
             i.worker_panic,
             i.worker_stall,
+            i.worker_hang,
             i.alloc_sites,
             i.kernel_sites,
             i.worker_sites,

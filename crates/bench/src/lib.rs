@@ -146,6 +146,10 @@ pub struct BuildOpts {
     /// window's compute (`--prefetch`). Off by default: on a
     /// `host_parallelism: 1` host the overlap hides nothing.
     pub prefetch: bool,
+    /// Per-epoch deadline (`--deadline-ms`); an epoch that exceeds it
+    /// stops cooperatively with `DeadlineExceeded`. `None` disables the
+    /// deadline plane (its disabled-path check is one thread-local read).
+    pub deadline: Option<std::time::Duration>,
 }
 
 /// Build the gSampler sampler for an algorithm (default recovery policy:
@@ -199,6 +203,8 @@ pub fn build_gsampler_with(
         recovery: opts.recovery,
         plan_db: opts.plan_db,
         prefetch_node_feats: opts.prefetch,
+        deadline: opts.deadline,
+        cancel: None,
     };
     compile(graph.clone(), algo.layers(h), config)
 }
@@ -566,7 +572,8 @@ pub fn install_faults_from_env() -> bool {
 pub fn fmt_fault_report(f: &gsampler_engine::FaultReport) -> String {
     format!(
         "injected: oom={} kernel={} worker_panics={}; recovery: kernel_retries={} \
-         batch_retries={} degrade_steps={} spill_events={} spilled={} quarantined={}",
+         batch_retries={} degrade_steps={} spill_events={} spilled={} quarantined={} \
+         watchdog_reclaims={} deadline_shed_retries={}",
         f.injected_oom,
         f.injected_kernel,
         f.worker_panics,
@@ -576,6 +583,8 @@ pub fn fmt_fault_report(f: &gsampler_engine::FaultReport) -> String {
         f.spill_events,
         fmt_bytes(f.spilled_bytes),
         f.quarantined_batches,
+        f.watchdog_reclaims,
+        f.deadline_shed_retries,
     )
 }
 

@@ -117,6 +117,23 @@ pub struct SamplerConfig {
     /// `host_parallelism: 1` machine overlaps nothing in wall time; the
     /// modeled overlap is still reported).
     pub prefetch_node_feats: bool,
+    /// Per-epoch wall-clock budget. Each [`Sampler::run_epoch_with`] call
+    /// arms its cancel token with this budget at epoch start; once it
+    /// elapses, the epoch stops cooperatively at the next check point
+    /// (kernel chunk boundary / window boundary) with
+    /// [`Error::DeadlineExceeded`]. `None` (the default) disables the
+    /// deadline — the token fast-path then costs one thread-local read
+    /// per check.
+    pub deadline: Option<std::time::Duration>,
+    /// Caller-supplied cancel token, for drivers that want to stop an
+    /// epoch from another thread ([`CancelToken::cancel`]) or share one
+    /// deadline across several samplers. `None` with `deadline` set makes
+    /// each epoch build its own token; `None` without a deadline runs
+    /// uncancellable (beyond any token installed by an enclosing scope,
+    /// e.g. the serving layer's per-request tokens).
+    ///
+    /// [`CancelToken::cancel`]: gsampler_runtime::CancelToken::cancel
+    pub cancel: Option<gsampler_runtime::CancelToken>,
 }
 
 impl SamplerConfig {
@@ -132,6 +149,8 @@ impl SamplerConfig {
             recovery: RecoveryPolicy::default(),
             plan_db: None,
             prefetch_node_feats: false,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -224,6 +243,14 @@ fn execute_recovering(
         ) {
             Ok(out) => return Ok(out),
             Err(e) if e.is_transient() && retries < policy.max_retries => {
+                // A fired cancel token outranks the retry budget: restore
+                // the RNG (a later rerun of this execution is bit-identical
+                // to a clean run) and surface the cancellation, not the
+                // fault it interrupted.
+                if let Some(cause) = gsampler_runtime::cancel::poll() {
+                    rng.restore(&checkpoint);
+                    return Err(Error::from_cancel(cause));
+                }
                 retries += 1;
                 device.note_faults(|f| f.kernel_retries += 1);
                 gsampler_obs::event(
@@ -236,9 +263,40 @@ fn execute_recovering(
                     // recovery *behavior* is a pure function of the fault
                     // schedule (only wall time varies).
                     let shift = (retries - 1).min(16);
-                    std::thread::sleep(std::time::Duration::from_millis(
-                        policy.backoff_ms << shift,
-                    ));
+                    let backoff = std::time::Duration::from_millis(policy.backoff_ms << shift);
+                    // Deadline-aware rung skip: backoff the remaining
+                    // budget cannot afford is not spent — the retry is
+                    // shed and the deadline surfaced now, so a request
+                    // near its deadline fails in microseconds instead of
+                    // burning the tail on sleeps it can never recover.
+                    match gsampler_runtime::cancel::remaining() {
+                        Some(rem) if rem < backoff => {
+                            device.note_faults(|f| f.deadline_shed_retries += 1);
+                            gsampler_obs::event(
+                                "deadline",
+                                "shed_retry",
+                                &[
+                                    (
+                                        "backoff_ms",
+                                        gsampler_obs::Arg::from(backoff.as_millis() as f64),
+                                    ),
+                                    (
+                                        "remaining_ms",
+                                        gsampler_obs::Arg::from(rem.as_millis() as f64),
+                                    ),
+                                ],
+                            );
+                            rng.restore(&checkpoint);
+                            let budget_ms = gsampler_runtime::cancel::current()
+                                .and_then(|t| t.budget_ms())
+                                .unwrap_or(0);
+                            return Err(Error::DeadlineExceeded {
+                                budget_ms,
+                                elapsed_ms: budget_ms.saturating_sub(rem.as_millis() as u64),
+                            });
+                        }
+                        _ => std::thread::sleep(backoff),
+                    }
                 }
                 rng.restore(&checkpoint);
             }
@@ -910,6 +968,33 @@ impl Sampler {
         epoch_span.arg("epoch", epoch);
         epoch_span.arg("seeds", seeds.len());
         epoch_span.arg("super_batch", self.super_batch);
+        // Deadline plane: arm the caller's token (or a fresh one) with the
+        // per-epoch budget and install it as this thread's current token.
+        // Every kernel dispatch and pool chunk claim below polls it; pool
+        // workers inherit it through the dispatched job. With neither a
+        // deadline nor a caller token, nothing is installed and any
+        // enclosing scope (e.g. a serving request) stays in effect.
+        let token = match (&self.config.cancel, self.config.deadline) {
+            (Some(t), d) => {
+                if let Some(d) = d {
+                    t.arm_deadline(d);
+                }
+                Some(t.clone())
+            }
+            (None, Some(d)) => Some(gsampler_runtime::CancelToken::with_deadline(d)),
+            (None, None) => None,
+        };
+        let _cancel_scope = token
+            .as_ref()
+            .map(|t| gsampler_runtime::cancel::scope(t.clone()));
+        if let Some(d) = self.config.deadline {
+            gsampler_obs::event(
+                "deadline",
+                "set",
+                &[("budget_ms", gsampler_obs::Arg::from(d.as_millis() as f64))],
+            );
+        }
+        let watchdog_before = gsampler_runtime::watchdog_metrics();
         let wall_start = Instant::now();
         let batch = self.config.batch_size.max(1);
         let policy = &self.config.recovery;
@@ -928,7 +1013,7 @@ impl Sampler {
         } else {
             None
         };
-        let (batch_idx, factor) = std::thread::scope(|scope| -> Result<(usize, usize)> {
+        let result = std::thread::scope(|scope| -> Result<(usize, usize)> {
             let mut factor = self.super_batch.max(1);
             let mut batch_idx = 0usize;
             let mut start = 0usize;
@@ -969,6 +1054,13 @@ impl Sampler {
                     );
                 };
             while start < seeds.len() {
+                // Window boundary is the coarse cancellation check point:
+                // epoch RNG streams are derived fresh per window, so
+                // stopping here needs no RNG restore — a rerun replays the
+                // remaining windows bit-identically.
+                if let Some(cause) = gsampler_runtime::cancel::poll() {
+                    return Err(Error::from_cancel(cause));
+                }
                 // Collect up to `factor` equal-sized groups; `start` is only
                 // committed once the window succeeds (or is quarantined).
                 let mut groups: Vec<Vec<NodeId>> = Vec::new();
@@ -1026,7 +1118,7 @@ impl Sampler {
                             ],
                         );
                     }
-                    Err(e) if policy.quarantine => {
+                    Err(e) if policy.quarantine && !e.is_cancelled() => {
                         // The window exhausted retries and degradation: skip
                         // it, keep the epoch alive. Batch numbering stays
                         // stable — the skipped indices are simply never given
@@ -1050,7 +1142,39 @@ impl Sampler {
                 }
             }
             Ok((batch_idx, factor))
-        })?;
+        });
+        // Watchdog reclaims during this epoch count as recovery actions of
+        // this epoch, whether it ultimately succeeded or not.
+        let watchdog_delta = gsampler_runtime::watchdog_metrics().since(&watchdog_before);
+        if watchdog_delta.reclaims > 0 {
+            self.device
+                .note_faults(|f| f.watchdog_reclaims += watchdog_delta.reclaims);
+        }
+        let (batch_idx, factor) = match result {
+            Ok(v) => v,
+            Err(e) => {
+                match &e {
+                    Error::DeadlineExceeded {
+                        budget_ms,
+                        elapsed_ms,
+                    } => gsampler_obs::event(
+                        "deadline",
+                        "exceeded",
+                        &[
+                            ("budget_ms", gsampler_obs::Arg::from(*budget_ms as f64)),
+                            ("elapsed_ms", gsampler_obs::Arg::from(*elapsed_ms as f64)),
+                        ],
+                    ),
+                    Error::Cancelled(_) => gsampler_obs::event(
+                        "cancel",
+                        "fired",
+                        &[("error", gsampler_obs::Arg::from(e.to_string()))],
+                    ),
+                    _ => {}
+                }
+                return Err(e);
+            }
+        };
         epoch_span.arg("final_super_batch", factor);
         let mut stats = self.device.stats();
         stats.compact_records();

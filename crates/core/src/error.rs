@@ -21,6 +21,22 @@ pub enum Error {
     /// The super-batch memory budget cannot be satisfied even at factor 1
     /// and degradation is disabled.
     MemoryBudget(String),
+    /// The execution was cancelled through its [`CancelToken`] — not a
+    /// fault: partial output was discarded at the next check point and
+    /// the RNG state was restored, so a rerun is bit-identical to a
+    /// clean run.
+    ///
+    /// [`CancelToken`]: gsampler_runtime::CancelToken
+    Cancelled(String),
+    /// The configured deadline elapsed before the execution finished.
+    /// Like [`Error::Cancelled`] this is a clean cooperative stop, with
+    /// the budget/elapsed pair preserved for shedding decisions upstream.
+    DeadlineExceeded {
+        /// The deadline budget, in milliseconds.
+        budget_ms: u64,
+        /// Elapsed time when the expiry was observed, in milliseconds.
+        elapsed_ms: u64,
+    },
 }
 
 impl Error {
@@ -34,6 +50,33 @@ impl Error {
     /// can respond to.
     pub fn is_oom(&self) -> bool {
         matches!(self, Error::Oom(_))
+    }
+
+    /// Whether this is a cooperative cancellation (explicit or deadline) —
+    /// not a fault, never retried, never quarantined.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, Error::Cancelled(_) | Error::DeadlineExceeded { .. })
+    }
+
+    /// Whether this is specifically a deadline expiry.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, Error::DeadlineExceeded { .. })
+    }
+
+    /// Build the matching error for a fired cancel token.
+    pub fn from_cancel(cause: gsampler_runtime::CancelCause) -> Error {
+        match cause {
+            gsampler_runtime::CancelCause::Explicit => {
+                Error::Cancelled("cancelled by caller".to_string())
+            }
+            gsampler_runtime::CancelCause::Deadline {
+                budget_ms,
+                elapsed_ms,
+            } => Error::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms,
+            },
+        }
     }
 }
 
@@ -53,6 +96,14 @@ impl std::fmt::Display for Error {
             Error::Transient(s) => write!(f, "transient fault: {s}"),
             Error::Oom(e) => write!(f, "{e}"),
             Error::MemoryBudget(s) => write!(f, "memory budget unsatisfiable: {s}"),
+            Error::Cancelled(s) => write!(f, "cancelled: {s}"),
+            Error::DeadlineExceeded {
+                budget_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms}ms elapsed against a {budget_ms}ms budget"
+            ),
         }
     }
 }
@@ -98,5 +149,20 @@ mod tests {
         let b = Error::MemoryBudget("factor 1 needs 2x budget".into());
         assert!(!b.is_transient() && !b.is_oom());
         assert!(b.to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn cancellation_classification() {
+        let c = Error::from_cancel(gsampler_runtime::CancelCause::Explicit);
+        assert!(c.is_cancelled() && !c.is_deadline());
+        assert!(!c.is_transient() && !c.is_oom());
+        let d = Error::from_cancel(gsampler_runtime::CancelCause::Deadline {
+            budget_ms: 50,
+            elapsed_ms: 61,
+        });
+        assert!(d.is_cancelled() && d.is_deadline());
+        assert!(!d.is_transient() && !d.is_oom());
+        assert!(d.to_string().contains("50ms budget"));
+        assert!(d.to_string().contains("61ms elapsed"));
     }
 }

@@ -295,6 +295,13 @@ pub fn dispatch(
         )));
     }
 
+    // Cancellation: back out before starting work on a fired token. One
+    // thread-local flag read when no token is installed — the same
+    // disabled-path discipline as the span above.
+    if let Some(cause) = gsampler_runtime::cancel::poll() {
+        return Err(Error::from_cancel(cause));
+    }
+
     let pool_before = pool_metrics();
     let arena_before = arena_metrics();
     let start = Instant::now();
@@ -321,6 +328,14 @@ pub fn dispatch(
     let wall = start.elapsed().as_secs_f64();
     let pool = pool_metrics().since(&pool_before);
     let arena = arena_metrics().since(&arena_before);
+
+    // Post-run cancellation check: a token that fired *during* the kernel
+    // made the pool's chunk-claim loops bail between chunks, so `value`
+    // may be built from partially-filled buffers. Discard it — the
+    // cancelled window is re-derived from scratch if it ever reruns.
+    if let Some(cause) = gsampler_runtime::cancel::poll() {
+        return Err(Error::from_cancel(cause));
+    }
 
     // Frontier-composition-aware cache accounting: when this op read the
     // resident graph driven by a frontier node list and the graph carries

@@ -196,6 +196,9 @@ pub struct PlanDbStats {
     pub inserts: u64,
     /// Entries evicted by the LRU cap.
     pub evictions: u64,
+    /// On-disk files discarded at open because they were corrupted,
+    /// truncated, or carried an unsupported format version.
+    pub corrupt_discards: u64,
 }
 
 impl PlanDbStats {
@@ -226,6 +229,7 @@ impl PlanDbStats {
         self.drifts += other.drifts;
         self.inserts += other.inserts;
         self.evictions += other.evictions;
+        self.corrupt_discards += other.corrupt_discards;
     }
 
     /// Counter deltas since an earlier snapshot of the same database.
@@ -236,6 +240,7 @@ impl PlanDbStats {
             drifts: self.drifts - before.drifts,
             inserts: self.inserts - before.inserts,
             evictions: self.evictions - before.evictions,
+            corrupt_discards: self.corrupt_discards - before.corrupt_discards,
         }
     }
 }
@@ -321,8 +326,17 @@ impl PlanDb {
     }
 
     /// Open (or create) an on-disk database: entries load from `path` if
-    /// it exists, and every insert rewrites it. A malformed file is an
-    /// error — silently dropping a plan corpus would mask corruption.
+    /// it exists, and every insert rewrites it.
+    ///
+    /// A corrupted, truncated, or version-mismatched file is **not** an
+    /// error: the cache is an accelerator, and refusing to start over a
+    /// stale artifact would turn a crash mid-write into a persistent
+    /// outage. The file is discarded with a `plan/cache.corrupt` warning
+    /// event (and a `corrupt_discards` counter tick) and the database
+    /// starts empty — compiles re-search and the next insert rewrites the
+    /// file under the current format version. I/O errors (permissions,
+    /// unreadable directory) still fail: those are environment problems,
+    /// not stale data.
     pub fn open(path: impl AsRef<Path>) -> io::Result<PlanDb> {
         let path = path.as_ref().to_path_buf();
         let db = PlanDb::in_memory();
@@ -331,12 +345,24 @@ impl PlanDb {
             inner.path = Some(path.clone());
             if path.exists() {
                 let text = std::fs::read_to_string(&path)?;
-                let json = Json::parse(&text)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                let (entries, order) = entries_from_json(&json)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                inner.entries = entries;
-                inner.order = order;
+                match Json::parse(&text).and_then(|j| entries_from_json(&j)) {
+                    Ok((entries, order)) => {
+                        inner.entries = entries;
+                        inner.order = order;
+                    }
+                    Err(reason) => {
+                        inner.stats.corrupt_discards += 1;
+                        gsampler_obs::event(
+                            "plan",
+                            "cache.corrupt",
+                            &[
+                                ("path", gsampler_obs::Arg::Str(path.display().to_string())),
+                                ("reason", gsampler_obs::Arg::Str(reason)),
+                                ("bytes", gsampler_obs::Arg::from(text.len())),
+                            ],
+                        );
+                    }
+                }
             }
         }
         Ok(db)
@@ -823,13 +849,40 @@ mod tests {
     }
 
     #[test]
-    fn malformed_file_is_an_error() {
+    fn corrupt_file_is_discarded_not_fatal() {
         let dir = std::env::temp_dir().join(format!("gs-plandb-bad-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("bad.json");
-        std::fs::write(&path, "{not json").unwrap();
-        assert!(PlanDb::open(&path).is_err());
-        let _ = std::fs::remove_file(&path);
+        // Malformed JSON, a truncated write, and an unsupported format
+        // version must all open as an *empty* database (one
+        // corrupt_discards tick each), keep the path, and recover on the
+        // next insert: the rewritten file reloads cleanly.
+        for (name, bytes) in [
+            ("bad.json", "{not json".to_string()),
+            (
+                "trunc.json",
+                "{\"version\":1,\"entries\":[{\"key\":\"x".to_string(),
+            ),
+            ("vers.json", "{\"version\":999,\"entries\":[]}".to_string()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, bytes).unwrap();
+            let db = PlanDb::open(&path).expect("stale data must not be fatal");
+            assert!(db.is_empty(), "{name}: corrupt entries were not discarded");
+            assert_eq!(db.stats().corrupt_discards, 1, "{name}");
+            assert_eq!(db.path().as_deref(), Some(path.as_path()), "{name}");
+            let a = artifact(1000.0);
+            db.insert(&key(7, &a.graph), a.clone());
+            let reopened = PlanDb::open(&path).unwrap();
+            assert_eq!(
+                reopened.len(),
+                1,
+                "{name}: rewrite did not recover the file"
+            );
+            assert_eq!(reopened.stats().corrupt_discards, 0, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+        // A genuinely unreadable path is still an I/O error.
+        assert!(PlanDb::open(&dir).is_err(), "reading a directory must fail");
     }
 
     #[test]

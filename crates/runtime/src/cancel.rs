@@ -1,0 +1,312 @@
+//! Cooperative cancellation and deadlines.
+//!
+//! A [`CancelToken`] is a shared flag plus an optional deadline. The party
+//! that owns an execution (an epoch driver, a serving scheduler) installs
+//! its token on its own thread with [`scope`]; everything downstream —
+//! kernel dispatch, pool work-queue claims, retry/backoff decisions —
+//! polls the *current* token through [`poll`] and backs out at the next
+//! check point when it has fired.
+//!
+//! The discipline mirrors the obs disabled-span path: with no token
+//! installed, a poll is a single thread-local flag read (no atomics, no
+//! clock). Only armed polls pay for an `Instant::now()` against the
+//! deadline. Tokens are **thread-scoped**, not process-global, so two
+//! concurrent executions (a serving scheduler next to a test-driven
+//! epoch) can never cancel each other; the worker pool forwards the
+//! dispatching caller's token to spawned participants for the duration of
+//! their share (see `parallel::run_participant`), which keeps the scope's
+//! reach exactly "this execution", never "this process".
+//!
+//! Cancellation is *cooperative and advisory*: a fired token makes every
+//! later check point return early, it never interrupts a running chunk.
+//! That is what keeps it compatible with the determinism contract — the
+//! work decomposition is unchanged, only the point at which the caller
+//! abandons (and then discards) the region's output moves.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CAUSE_NONE: u8 = 0;
+const CAUSE_EXPLICIT: u8 = 1;
+const CAUSE_DEADLINE: u8 = 2;
+
+/// Why a token fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called.
+    Explicit,
+    /// The armed deadline elapsed.
+    Deadline {
+        /// The budget the token was armed with, in milliseconds.
+        budget_ms: u64,
+        /// Time since arming when the expiry was first observed, in
+        /// milliseconds.
+        elapsed_ms: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Sticky cause: once fired, every later poll sees the same cause.
+    cause: AtomicU8,
+    /// Deadline expiry in nanoseconds after `armed_at`; 0 = not armed.
+    deadline_ns: AtomicU64,
+    /// Reference point for the armed deadline (set at construction; the
+    /// offset in `deadline_ns` moves on re-arm).
+    origin: Instant,
+}
+
+/// A shared cancellation flag with an optional deadline. Cloning is cheap
+/// (an `Arc` bump); all clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`cancel`](Self::cancel).
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cause: AtomicU8::new(CAUSE_NONE),
+                deadline_ns: AtomicU64::new(0),
+                origin: Instant::now(),
+            }),
+        }
+    }
+
+    /// A token armed to fire `budget` from now.
+    pub fn with_deadline(budget: Duration) -> CancelToken {
+        let t = CancelToken::new();
+        t.arm_deadline(budget);
+        t
+    }
+
+    /// Arm (or re-arm) the deadline to `budget` from *now*. Re-arming a
+    /// not-yet-fired token moves the expiry; a fired token stays fired.
+    pub fn arm_deadline(&self, budget: Duration) {
+        let offset = self.inner.origin.elapsed() + budget;
+        let ns = (offset.as_nanos() as u64).max(1);
+        self.inner.deadline_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Fire the token explicitly. Idempotent; an already-fired token
+    /// keeps its original cause.
+    pub fn cancel(&self) {
+        let _ = self.inner.cause.compare_exchange(
+            CAUSE_NONE,
+            CAUSE_EXPLICIT,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The millisecond budget the deadline was armed with, if any.
+    pub fn budget_ms(&self) -> Option<u64> {
+        // Budget = armed expiry minus arming instant; we only keep the
+        // expiry offset, so report it relative to origin — close enough
+        // for diagnostics, and exact when armed at construction.
+        let ns = self.inner.deadline_ns.load(Ordering::Relaxed);
+        (ns != 0).then_some(ns / 1_000_000)
+    }
+
+    /// Check the token: `None` while live, the (sticky) cause once fired.
+    /// The first poll past an armed deadline latches the cause, so every
+    /// observer agrees on why the execution stopped.
+    pub fn status(&self) -> Option<CancelCause> {
+        match self.inner.cause.load(Ordering::Relaxed) {
+            CAUSE_EXPLICIT => return Some(CancelCause::Explicit),
+            CAUSE_DEADLINE => return Some(self.deadline_cause()),
+            _ => {}
+        }
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline != 0 && self.elapsed_ns() >= deadline {
+            let _ = self.inner.cause.compare_exchange(
+                CAUSE_NONE,
+                CAUSE_DEADLINE,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            // Re-read: a racing explicit cancel may have won the latch.
+            return match self.inner.cause.load(Ordering::Relaxed) {
+                CAUSE_EXPLICIT => Some(CancelCause::Explicit),
+                _ => Some(self.deadline_cause()),
+            };
+        }
+        None
+    }
+
+    /// True once the token has fired (either cause).
+    pub fn is_cancelled(&self) -> bool {
+        self.status().is_some()
+    }
+
+    /// Time left before the armed deadline (`None` with no deadline,
+    /// zero once expired or explicitly cancelled).
+    pub fn remaining(&self) -> Option<Duration> {
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline == 0 {
+            return None;
+        }
+        if self.inner.cause.load(Ordering::Relaxed) != CAUSE_NONE {
+            return Some(Duration::ZERO);
+        }
+        Some(Duration::from_nanos(
+            deadline.saturating_sub(self.elapsed_ns()),
+        ))
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        self.inner.origin.elapsed().as_nanos() as u64
+    }
+
+    fn deadline_cause(&self) -> CancelCause {
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        CancelCause::Deadline {
+            budget_ms: deadline / 1_000_000,
+            elapsed_ms: self.elapsed_ns() / 1_000_000,
+        }
+    }
+}
+
+thread_local! {
+    /// Fast-path flag: true iff this thread has a current token. Keeps
+    /// the no-token poll to one thread-local read.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Install `token` as this thread's current token, returning the previous
+/// one (for nesting). Prefer the RAII [`scope`] wrapper.
+pub fn set_current(token: Option<CancelToken>) -> Option<CancelToken> {
+    ACTIVE.with(|a| a.set(token.is_some()));
+    CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), token))
+}
+
+/// This thread's current token, if one is installed.
+pub fn current() -> Option<CancelToken> {
+    if !ACTIVE.with(|a| a.get()) {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Poll this thread's current token. One thread-local read when no token
+/// is installed; the cause once the installed token has fired.
+pub fn poll() -> Option<CancelCause> {
+    if !ACTIVE.with(|a| a.get()) {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|t| t.status()))
+}
+
+/// Time remaining on the current token's deadline (`None` when no token
+/// is installed or it has no deadline).
+pub fn remaining() -> Option<Duration> {
+    if !ACTIVE.with(|a| a.get()) {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().as_ref().and_then(|t| t.remaining()))
+}
+
+/// RAII guard installing a token for a lexical scope; the previous token
+/// is restored on drop (scopes nest).
+pub struct CancelScope {
+    prior: Option<CancelToken>,
+    restored: bool,
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        if !self.restored {
+            self.restored = true;
+            set_current(self.prior.take());
+        }
+    }
+}
+
+/// Install `token` as the current token until the returned guard drops.
+pub fn scope(token: CancelToken) -> CancelScope {
+    CancelScope {
+        prior: set_current(Some(token)),
+        restored: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_sticky() {
+        let t = CancelToken::new();
+        assert_eq!(t.status(), None);
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(t.status(), Some(CancelCause::Explicit));
+        // A later deadline arm does not change the cause.
+        t.arm_deadline(Duration::ZERO);
+        assert_eq!(t.status(), Some(CancelCause::Explicit));
+    }
+
+    #[test]
+    fn deadline_fires_and_latches() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        match t.status() {
+            Some(CancelCause::Deadline { .. }) => {}
+            other => panic!("expected deadline cause, got {other:?}"),
+        }
+        // Sticky: an explicit cancel after the fact keeps the cause.
+        t.cancel();
+        assert!(matches!(t.status(), Some(CancelCause::Deadline { .. })));
+    }
+
+    #[test]
+    fn remaining_counts_down_and_floors_at_zero() {
+        let t = CancelToken::new();
+        assert_eq!(t.remaining(), None);
+        t.arm_deadline(Duration::from_secs(3600));
+        let r = t.remaining().unwrap();
+        assert!(r > Duration::from_secs(3000) && r <= Duration::from_secs(3600));
+        t.cancel();
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert_eq!(poll(), None);
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        inner.cancel();
+        {
+            let _a = scope(outer.clone());
+            assert_eq!(poll(), None);
+            {
+                let _b = scope(inner);
+                assert_eq!(poll(), Some(CancelCause::Explicit));
+            }
+            // Outer token restored, still live.
+            assert_eq!(poll(), None);
+            outer.cancel();
+            assert_eq!(poll(), Some(CancelCause::Explicit));
+        }
+        assert_eq!(poll(), None);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+}

@@ -27,16 +27,20 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod cancel;
 pub mod parallel;
 pub mod prefetch;
 pub mod rng;
+pub mod watchdog;
 
 pub use arena::{
     arena_metrics, take as take_scratch, take_filled as take_scratch_filled, ArenaMetrics, Recycled,
 };
+pub use cancel::{CancelCause, CancelScope, CancelToken};
 pub use parallel::{
     num_threads, parallel_for_chunks, parallel_for_dynamic, parallel_map, parallel_scatter,
     parallel_scatter2, pool_metrics, set_worker_fault_hook, PoolError, PoolMetrics, WorkQueue,
     WorkerFault, WorkerFaultHook,
 };
 pub use rng::RngPool;
+pub use watchdog::{set_stall_threshold_ms, stall_threshold_ms, watchdog_metrics, WatchdogMetrics};

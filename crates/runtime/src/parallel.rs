@@ -81,6 +81,12 @@ pub enum WorkerFault {
         /// Injected delay in milliseconds.
         ms: u64,
     },
+    /// Stall the participant *forever*: it parks in a cooperative loop —
+    /// before the region closure runs — until the watchdog orders the
+    /// share abandoned, then fails the region like a worker panic and
+    /// exits through the respawn path. With the watchdog disabled the
+    /// share fails immediately instead of hanging the caller.
+    Hang,
 }
 
 /// A fault-injection hook polled once per dispatched region, on the
@@ -182,6 +188,10 @@ struct Job {
     payload: Mutex<Option<Box<dyn Any + Send>>>,
     /// Injected fault for this region, consumed by one participant.
     fault: Mutex<Option<WorkerFault>>,
+    /// The dispatching caller's cancel token, forwarded to spawned
+    /// participants for the duration of their share so chunk-claim
+    /// loops observe the same deadline the caller does.
+    cancel: Option<crate::cancel::CancelToken>,
 }
 
 struct PendingJob {
@@ -336,33 +346,68 @@ fn worker_loop(pool: &'static Pool) {
 /// by the pool).
 fn run_participant(job: &Job, tid: usize) -> bool {
     let start = Instant::now();
+    // Heartbeat: the watchdog sees this share from here until return.
+    let monitor = crate::watchdog::register_share();
     // SAFETY: the dispatching caller blocks until `finished == max`, so
     // the closure (and everything it borrows) outlives this call.
     let f = unsafe { &*job.func.0 };
     let fault = job.fault.lock().unwrap_or_else(|p| p.into_inner()).take();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        match fault {
-            Some(WorkerFault::Panic) => {
-                panic!("injected fault: worker panic (participant {tid})")
+    let survived = if matches!(fault, Some(WorkerFault::Hang)) {
+        // The cooperative infinite stall. Crucially this parks *before*
+        // the region closure runs: the share never touches `f`, so the
+        // watchdog may abandon it without racing the caller on borrowed
+        // state. The share then fails the region exactly like a worker
+        // panic and this thread exits through the respawn path.
+        let reason = match &monitor {
+            Some(m) => {
+                let waited = m.park_until_reclaimed();
+                format!(
+                    "injected fault: worker hang (participant {tid}), reclaimed by watchdog \
+                     after {}ms",
+                    waited.as_millis()
+                )
             }
-            Some(WorkerFault::Stall { ms }) => {
-                std::thread::sleep(std::time::Duration::from_millis(ms))
-            }
-            None => {}
+            None => format!(
+                "injected fault: worker hang (participant {tid}), watchdog disabled — \
+                 failing the share immediately"
+            ),
+        };
+        let mut slot = job.payload.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(Box::new(reason) as Box<dyn Any + Send>);
         }
-        f(tid)
-    }));
-    let survived = match result {
-        Ok(()) => true,
-        Err(payload) => {
-            let mut slot = job.payload.lock().unwrap_or_else(|p| p.into_inner());
-            if slot.is_none() {
-                *slot = Some(payload);
+        drop(slot);
+        job.panicked.store(true, Ordering::SeqCst);
+        false
+    } else {
+        // Spawned participants inherit the caller's cancel token so the
+        // chunk-claim loops inside `f` poll the right deadline.
+        let _cancel = job.cancel.as_ref().map(|t| crate::cancel::scope(t.clone()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                Some(WorkerFault::Panic) => {
+                    panic!("injected fault: worker panic (participant {tid})")
+                }
+                Some(WorkerFault::Stall { ms }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms))
+                }
+                Some(WorkerFault::Hang) | None => {}
             }
-            job.panicked.store(true, Ordering::SeqCst);
-            false
+            f(tid)
+        }));
+        match result {
+            Ok(()) => true,
+            Err(payload) => {
+                let mut slot = job.payload.lock().unwrap_or_else(|p| p.into_inner());
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                job.panicked.store(true, Ordering::SeqCst);
+                false
+            }
         }
     };
+    drop(monitor);
     job.busy_ns
         .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     job.finished.fetch_add(1, Ordering::SeqCst);
@@ -393,6 +438,7 @@ fn dispatch(extra: usize, f: &(dyn Fn(usize) + Sync)) {
         panicked: AtomicBool::new(false),
         payload: Mutex::new(None),
         fault: Mutex::new(injected),
+        cancel: crate::cancel::current(),
     });
     {
         let mut g = pool.state.lock().unwrap_or_else(|p| p.into_inner());
@@ -487,6 +533,11 @@ where
         return;
     }
     dispatch(participants - 1, &|tid| {
+        // Chunk-boundary cancel check: a fired token skips the share
+        // (the caller discards the region's output on the same poll).
+        if crate::cancel::poll().is_some() {
+            return;
+        }
         let start = tid * chunk;
         if start < len {
             f(start, (start + chunk).min(len));
@@ -519,6 +570,11 @@ where
     let fr = &f;
     dispatch(threads - 1, &move |_tid| {
         while let Some((s, e)) = q.claim(len, grain) {
+            // Claim-boundary cancel check: back out between chunks; the
+            // caller discards the region's (partial) output.
+            if crate::cancel::poll().is_some() {
+                break;
+            }
             for i in s..e {
                 fr(i);
             }
@@ -601,6 +657,9 @@ where
     let fr = &f;
     dispatch(threads - 1, &move |_tid| {
         while let Some((s, e)) = q.claim(segs, grain) {
+            if crate::cancel::poll().is_some() {
+                break;
+            }
             for i in s..e {
                 let (a, b) = (offsets[i], offsets[i + 1]);
                 let ptr = base;
@@ -670,6 +729,9 @@ pub fn parallel_scatter2<A, B, F>(
     let fr = &f;
     dispatch(threads - 1, &move |_tid| {
         while let Some((s, e)) = q.claim(segs, grain) {
+            if crate::cancel::poll().is_some() {
+                break;
+            }
             for i in s..e {
                 let (lo, hi) = (offsets[i], offsets[i + 1]);
                 let (pa, pb) = (base_a, base_b);
@@ -933,6 +995,98 @@ mod tests {
         assert!(err.message().contains("injected fault"), "got: {err}");
         let out = parallel_map(10_000, 1, |i| i * 3);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn injected_hang_is_reclaimed_by_watchdog() {
+        if num_threads() < 2 {
+            return;
+        }
+        // Fast threshold so the test does not sit out the 1s default;
+        // other tests in this binary only run short shares, so the
+        // lowered bound cannot misfire on them (warnings are the worst
+        // case, and those are observational).
+        crate::watchdog::set_stall_threshold_ms(Some(40));
+        set_worker_fault_hook(Some(one_shot_hook(WorkerFault::Hang)));
+        let before = crate::watchdog::watchdog_metrics();
+        let result = catch_unwind(|| parallel_map(10_000, 1, |i| i * 5));
+        set_worker_fault_hook(None);
+        crate::watchdog::set_stall_threshold_ms(None);
+        let payload = result.expect_err("a hung share must fail the region");
+        let err = payload.downcast_ref::<PoolError>().expect("typed payload");
+        assert!(
+            err.message().contains("reclaimed by watchdog"),
+            "got: {err}"
+        );
+        let delta = crate::watchdog::watchdog_metrics().since(&before);
+        assert!(delta.reclaims >= 1, "watchdog recorded no reclaim");
+        // The pool healed: the retried region completes normally.
+        let out = parallel_map(10_000, 1, |i| i * 5);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 5));
+    }
+
+    #[test]
+    fn hang_with_watchdog_disabled_fails_fast() {
+        if num_threads() < 2 {
+            return;
+        }
+        // Serialize against the reclaim test above: both mutate the
+        // process-global threshold override.
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        crate::watchdog::set_stall_threshold_ms(Some(0));
+        set_worker_fault_hook(Some(one_shot_hook(WorkerFault::Hang)));
+        let started = Instant::now();
+        let result = catch_unwind(|| parallel_map(10_000, 1, |i| i + 2));
+        set_worker_fault_hook(None);
+        crate::watchdog::set_stall_threshold_ms(None);
+        let payload = result.expect_err("a hang must still fail the region");
+        let err = payload.downcast_ref::<PoolError>().expect("typed payload");
+        assert!(err.message().contains("watchdog disabled"), "got: {err}");
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "disabled-watchdog hang did not fail fast"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_short_circuits_regions() {
+        if num_threads() < 2 {
+            return;
+        }
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let _scope = crate::cancel::scope(token);
+        let ran = AtomicU64::new(0);
+        parallel_for_dynamic(100_000, 16, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "dynamic claims must stop at the first poll of a fired token"
+        );
+        parallel_for_chunks(100_000, 16, |s, e| {
+            ran.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "static chunks must skip their share under a fired token"
+        );
+    }
+
+    #[test]
+    fn live_token_changes_nothing() {
+        let token = crate::cancel::CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let _scope = crate::cancel::scope(token);
+        let out = parallel_map(5000, 16, |i| i * 2);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+        let hits: Vec<AtomicU64> = (0..5_000).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_dynamic(hits.len(), 16, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -83,11 +83,14 @@ fn main() {
                         ..ScenarioConfig::default()
                     },
                 );
+                // Every request is accounted for: a reply is either a
+                // completion or a typed deadline miss — nothing is lost.
                 assert_eq!(
-                    report.completed,
+                    report.completed + report.deadline_missed,
                     (tenants * requests) as u64,
-                    "scenario t{tenants} batching={batching} lost requests ({} failed)",
+                    "scenario t{tenants} batching={batching} lost requests ({} failed, {} deadline-missed)",
                     report.failed,
+                    report.deadline_missed,
                 );
                 eprintln!(
                     "  round {round} t{tenants} batching={}: p50 {:.3} ms p99 {:.3} ms {:.1} req/s ({:.0}% packed)",
@@ -117,12 +120,15 @@ fn main() {
         for (bi, label) in [(1usize, "batching_on"), (0, "batching_off")] {
             let r = results[ti][bi].as_ref().unwrap();
             modes.push_str(&format!(
-                "      \"{label}\": {{\n        \"median_wall_ms_by_threads\": {{\n          \"p50\": {:.6},\n          \"p99\": {:.6}\n        }},\n        \"throughput_qps\": {:.3},\n        \"batched_fraction\": {:.4},\n        \"completed\": {}\n      }}{}\n",
+                "      \"{label}\": {{\n        \"median_wall_ms_by_threads\": {{\n          \"p50\": {:.6},\n          \"p99\": {:.6}\n        }},\n        \"throughput_qps\": {:.3},\n        \"batched_fraction\": {:.4},\n        \"completed\": {},\n        \"deadline_missed\": {},\n        \"shed\": {},\n        \"deadline_miss_rate\": {:.4}\n      }}{}\n",
                 r.p50_ms,
                 r.p99_ms,
                 r.throughput_qps,
                 r.batched_fraction,
                 r.completed,
+                r.deadline_missed,
+                r.shed,
+                r.deadline_miss_rate,
                 if bi == 1 { "," } else { "" },
             ));
         }

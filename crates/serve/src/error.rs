@@ -39,6 +39,18 @@ pub enum ServeError {
     Compile(String),
     /// The request executed and failed (after recovery was exhausted).
     Execution(String),
+    /// The request's deadline elapsed — either while it waited in the
+    /// queue (shed before running) or mid-execution (stopped
+    /// cooperatively at the next check point). Not a fault: the tenant
+    /// is never quarantined for missing a deadline.
+    DeadlineExceeded {
+        /// Tenant whose request missed its deadline.
+        tenant: String,
+        /// The deadline budget, in milliseconds.
+        budget_ms: u64,
+        /// Submit-to-expiry-observation time, in milliseconds.
+        elapsed_ms: u64,
+    },
     /// The request was cancelled by a queue drain; its admission
     /// reservation has been released.
     Drained,
@@ -70,6 +82,14 @@ impl fmt::Display for ServeError {
             ServeError::TenantQuarantined(t) => write!(f, "tenant {t} is quarantined"),
             ServeError::Compile(e) => write!(f, "compile failed: {e}"),
             ServeError::Execution(e) => write!(f, "execution failed: {e}"),
+            ServeError::DeadlineExceeded {
+                tenant,
+                budget_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "deadline exceeded for {tenant}: {elapsed_ms}ms elapsed against a {budget_ms}ms budget"
+            ),
             ServeError::Drained => write!(f, "request drained from the queue"),
             ServeError::Shutdown => write!(f, "server shut down"),
         }

@@ -32,6 +32,11 @@ pub struct ScenarioConfig {
     pub budget_bytes: u64,
     /// Base RNG seed; tenant `i` gets `base_seed + i`.
     pub base_seed: u64,
+    /// Per-request deadline installed as the server's
+    /// [`ServeConfig::default_deadline`]. The default is generous (10 s):
+    /// a healthy run misses nothing, and the report's miss/shed counters
+    /// prove the deadline plane was armed rather than disabled.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for ScenarioConfig {
@@ -44,6 +49,7 @@ impl Default for ScenarioConfig {
             batching: true,
             budget_bytes: 1 << 30,
             base_seed: 7,
+            deadline: Some(std::time::Duration::from_secs(10)),
         }
     }
 }
@@ -59,6 +65,14 @@ pub struct ScenarioReport {
     pub completed: u64,
     /// Requests that failed (excluding retried backpressure).
     pub failed: u64,
+    /// Requests that missed their deadline (shed from the queue or
+    /// stopped mid-execution); a subset of `failed`.
+    pub deadline_missed: u64,
+    /// Deadline misses shed before running (queue-expired).
+    pub shed: u64,
+    /// `deadline_missed / (completed + deadline_missed)` — the tail-SLO
+    /// headline number per cell.
+    pub deadline_miss_rate: f64,
     /// Fraction of completions served from a packed super-batch.
     pub batched_fraction: f64,
     /// Pooled (all tenants) median end-to-end latency, milliseconds.
@@ -88,6 +102,7 @@ pub fn run_scenario(graph: Arc<Graph>, cfg: &ScenarioConfig) -> ScenarioReport {
             budget_bytes: cfg.budget_bytes,
             batching: cfg.batching,
             max_pack: cfg.tenants.max(2),
+            default_deadline: cfg.deadline,
             ..ServeConfig::default()
         },
     ));
@@ -133,6 +148,8 @@ pub fn run_scenario(graph: Arc<Graph>, cfg: &ScenarioConfig) -> ScenarioReport {
     let completed = snapshot.metrics.completed();
     let batched = snapshot.metrics.batched();
     let failed: u64 = snapshot.metrics.tenants.values().map(|t| t.failed).sum();
+    let deadline_missed = snapshot.metrics.deadline_missed();
+    let shed = snapshot.metrics.shed();
     let mut pooled: Vec<u64> = snapshot
         .metrics
         .tenants
@@ -144,6 +161,13 @@ pub fn run_scenario(graph: Arc<Graph>, cfg: &ScenarioConfig) -> ScenarioReport {
         batching: cfg.batching,
         completed,
         failed,
+        deadline_missed,
+        shed,
+        deadline_miss_rate: if completed + deadline_missed == 0 {
+            0.0
+        } else {
+            deadline_missed as f64 / (completed + deadline_missed) as f64
+        },
         batched_fraction: if completed == 0 {
             0.0
         } else {

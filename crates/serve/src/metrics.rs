@@ -19,6 +19,14 @@ pub struct TenantCounters {
     pub batched: u64,
     /// Completions served solo.
     pub solo: u64,
+    /// Requests that missed their deadline — shed from the queue or
+    /// stopped mid-execution. A subset of `failed` in spirit but counted
+    /// separately: a deadline miss is a latency event, not a fault, and
+    /// never quarantines the tenant.
+    pub deadline_missed: u64,
+    /// Deadline misses shed *before* running (queue-expired); the rest of
+    /// `deadline_missed` expired mid-execution.
+    pub shed: u64,
     /// End-to-end latency samples in microseconds (submit → reply).
     pub latencies_us: Vec<u64>,
 }
@@ -63,6 +71,16 @@ impl MetricsSnapshot {
     /// Sum of packed completions across tenants.
     pub fn batched(&self) -> u64 {
         self.tenants.values().map(|t| t.batched).sum()
+    }
+
+    /// Sum of deadline misses across tenants.
+    pub fn deadline_missed(&self) -> u64 {
+        self.tenants.values().map(|t| t.deadline_missed).sum()
+    }
+
+    /// Sum of queue-expired (shed-before-running) requests across tenants.
+    pub fn shed(&self) -> u64 {
+        self.tenants.values().map(|t| t.shed).sum()
     }
 }
 
@@ -120,6 +138,24 @@ impl Metrics {
                 ("latency_us", gsampler_obs::Arg::Num(latency_us as f64)),
                 ("batched", gsampler_obs::Arg::from(batched)),
             ],
+        );
+        gsampler_obs::counter("serve.queue_depth", -1.0);
+    }
+
+    /// A request missed its deadline. `shed` says it expired in the queue
+    /// and never ran; otherwise it was stopped mid-execution.
+    pub fn note_deadline_missed(&self, tenant: &str, shed: bool) {
+        self.with(tenant, |t| {
+            t.failed += 1;
+            t.deadline_missed += 1;
+            if shed {
+                t.shed += 1;
+            }
+        });
+        gsampler_obs::event(
+            if shed { "serve" } else { "deadline" },
+            if shed { "shed" } else { "miss" },
+            &[("tenant", gsampler_obs::Arg::Str(tenant.to_string()))],
         );
         gsampler_obs::counter("serve.queue_depth", -1.0);
     }

@@ -52,6 +52,13 @@ pub struct ServeConfig {
     pub recovery: RecoveryPolicy,
     /// Device profile every tenant session models.
     pub device: DeviceProfile,
+    /// Deadline applied to every request that does not carry its own
+    /// (via [`EpochServer::submit_with_deadline`]). A request past its
+    /// deadline is shed from the queue without running, and one that
+    /// expires mid-execution is stopped cooperatively at the next check
+    /// point; both get [`ServeError::DeadlineExceeded`]. `None` (the
+    /// default) leaves requests unbounded.
+    pub default_deadline: Option<std::time::Duration>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +69,7 @@ impl Default for ServeConfig {
             max_pack: 16,
             recovery: RecoveryPolicy::default(),
             device: DeviceProfile::v100(),
+            default_deadline: None,
         }
     }
 }
@@ -109,6 +117,8 @@ struct QueuedRequest {
     bytes: u64,
     reply: mpsc::Sender<Result<GraphSample>>,
     submitted_at: Instant,
+    /// (expiry instant, original budget in ms); `None` = unbounded.
+    deadline: Option<(Instant, u64)>,
 }
 
 #[derive(Default)]
@@ -212,7 +222,21 @@ impl EpochServer {
     /// `session.sampler.sample_batch_seeded(&seeds, &Bindings::new(),
     /// stream)` run alone.
     pub fn submit(&self, tenant: &str, seeds: Vec<NodeId>, stream: u64) -> Result<Ticket> {
-        let (request, ticket) = self.prepare(tenant, seeds, stream)?;
+        self.submit_with_deadline(tenant, seeds, stream, self.inner.config.default_deadline)
+    }
+
+    /// [`EpochServer::submit`] with an explicit per-request deadline
+    /// (overriding [`ServeConfig::default_deadline`]; `None` = this
+    /// request is unbounded even if the server has a default). The
+    /// deadline clock starts now — queue wait counts against it.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        seeds: Vec<NodeId>,
+        stream: u64,
+        deadline: Option<std::time::Duration>,
+    ) -> Result<Ticket> {
+        let (request, ticket) = self.prepare(tenant, seeds, stream, deadline)?;
         let mut queue = self.inner.queue.lock().unwrap();
         if queue.shutdown {
             drop(queue);
@@ -236,8 +260,9 @@ impl EpochServer {
     pub fn submit_burst(&self, requests: Vec<(String, Vec<NodeId>, u64)>) -> Vec<Result<Ticket>> {
         let mut out: Vec<Result<Ticket>> = Vec::with_capacity(requests.len());
         let mut admitted: Vec<(usize, QueuedRequest)> = Vec::new();
+        let deadline = self.inner.config.default_deadline;
         for (slot, (tenant, seeds, stream)) in requests.into_iter().enumerate() {
-            match self.prepare(&tenant, seeds, stream) {
+            match self.prepare(&tenant, seeds, stream, deadline) {
                 Ok((request, ticket)) => {
                     admitted.push((slot, request));
                     out.push(Ok(ticket));
@@ -271,6 +296,7 @@ impl EpochServer {
         tenant: &str,
         seeds: Vec<NodeId>,
         stream: u64,
+        deadline: Option<std::time::Duration>,
     ) -> Result<(QueuedRequest, Ticket)> {
         let session = self.session(tenant)?;
         if session.is_quarantined() {
@@ -282,13 +308,15 @@ impl EpochServer {
         let depth = self.inner.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.inner.metrics.note_submitted(tenant, depth);
         let (reply, rx) = mpsc::channel();
+        let now = Instant::now();
         let request = QueuedRequest {
             session,
             seeds,
             stream,
             bytes,
             reply,
-            submitted_at: Instant::now(),
+            submitted_at: now,
+            deadline: deadline.map(|d| (now + d, d.as_millis() as u64)),
         };
         Ok((request, Ticket { rx }))
     }
@@ -338,6 +366,36 @@ impl EpochServer {
                 "serve",
                 "drain",
                 &[("cancelled", gsampler_obs::Arg::from(n))],
+            );
+        }
+        n
+    }
+
+    /// Graceful drain: wait up to `timeout` for the queue (queued *and*
+    /// executing requests) to empty naturally, then cancel whatever is
+    /// still queued via [`EpochServer::drain`]. Returns how many requests
+    /// were forcibly cancelled — 0 means the drain completed cleanly
+    /// within the timeout.
+    pub fn drain_with_timeout(&self, timeout: std::time::Duration) -> usize {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if self.queue_depth() == 0 {
+                return 0;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let n = self.drain();
+        if n > 0 {
+            gsampler_obs::event(
+                "serve",
+                "drain.timeout",
+                &[
+                    (
+                        "timeout_ms",
+                        gsampler_obs::Arg::from(timeout.as_millis() as f64),
+                    ),
+                    ("cancelled", gsampler_obs::Arg::from(n)),
+                ],
             );
         }
         n
@@ -435,6 +493,16 @@ fn run_batch(inner: &Inner, batch: Vec<QueuedRequest>) {
     let mut solo: Vec<(QueuedRequest, Option<FaultSpec>)> = Vec::new();
     let mut groups: HashMap<(String, usize), Vec<QueuedRequest>> = HashMap::new();
     for request in batch {
+        // Shed requests that expired while queued: they never run, so a
+        // backlog burns no execution time on replies nobody is waiting
+        // for — the bounded-tail-latency half of the deadline plane.
+        if request
+            .deadline
+            .is_some_and(|(expiry, _)| Instant::now() >= expiry)
+        {
+            shed(inner, request);
+            continue;
+        }
         let tenant = request.session.spec.name.clone();
         let fault = inner.pending_faults.lock().unwrap().remove(&tenant);
         if fault.is_some() || !inner.config.batching || !request.session.sampler.pack_exact() {
@@ -473,6 +541,32 @@ fn run_batch(inner: &Inner, batch: Vec<QueuedRequest>) {
 /// with one independent RNG stream per member. Falls back to solo runs if
 /// the packed execution fails — per-group RNG isolation means the
 /// fallback is still bit-identical for every member.
+/// Reply [`ServeError::DeadlineExceeded`] to a request that expired
+/// before (or without) running, and release its reservation.
+fn shed(inner: &Inner, request: QueuedRequest) {
+    let tenant = request.session.spec.name.clone();
+    let budget_ms = request.deadline.map_or(0, |(_, b)| b);
+    inner.metrics.note_deadline_missed(&tenant, true);
+    inner.release(&request);
+    let _ = request.reply.send(Err(ServeError::DeadlineExceeded {
+        tenant,
+        budget_ms,
+        elapsed_ms: request.submitted_at.elapsed().as_millis() as u64,
+    }));
+}
+
+/// The cancel token for one execution covering `deadlines` (the earliest
+/// expiry wins), installed as the scheduler thread's current token so
+/// kernels and pool workers under this run poll it.
+fn deadline_token(
+    deadlines: impl Iterator<Item = Option<(Instant, u64)>>,
+) -> Option<gsampler_runtime::CancelToken> {
+    let earliest = deadlines.flatten().map(|(e, _)| e).min()?;
+    Some(gsampler_runtime::CancelToken::with_deadline(
+        earliest.saturating_duration_since(Instant::now()),
+    ))
+}
+
 fn run_packed(inner: &Inner, group: Vec<QueuedRequest>) {
     let executor = Arc::clone(&group[0].session.sampler);
     let seeds: Vec<Vec<NodeId>> = group.iter().map(|r| r.seeds.clone()).collect();
@@ -497,7 +591,18 @@ fn run_packed(inner: &Inner, group: Vec<QueuedRequest>) {
             ),
         ],
     );
-    match executor.sample_groups_isolated(seeds, &Bindings::new(), &mut rngs) {
+    let result = {
+        // Earliest member deadline bounds the whole pack; a mid-run expiry
+        // aborts the packed execution and each member retries solo below,
+        // where expired members shed and live ones run bit-identically
+        // (per-group RNG isolation makes the fallback invisible).
+        let token = deadline_token(group.iter().map(|r| r.deadline));
+        let _scope = token
+            .as_ref()
+            .map(|t| gsampler_runtime::cancel::scope(t.clone()));
+        executor.sample_groups_isolated(seeds, &Bindings::new(), &mut rngs)
+    };
+    match result {
         Ok(samples) => {
             for (request, sample) in group.into_iter().zip(samples) {
                 finish(inner, request, Ok(sample), true);
@@ -515,20 +620,49 @@ fn run_packed(inner: &Inner, group: Vec<QueuedRequest>) {
 /// one-shot fault installed around it (the scheduler is single-threaded,
 /// so the process-global fault plane touches exactly this request).
 fn run_solo(inner: &Inner, request: QueuedRequest, fault: Option<FaultSpec>) {
+    // The packed→solo fallback can arrive here after the deadline that
+    // aborted the pack; shed instead of starting a run that cannot finish.
+    if request
+        .deadline
+        .is_some_and(|(expiry, _)| Instant::now() >= expiry)
+    {
+        shed(inner, request);
+        return;
+    }
     let injected = fault.is_some();
     if let Some(spec) = fault {
         faults::install(spec);
     }
-    let result = request.session.sampler.sample_batch_seeded(
-        &request.seeds,
-        &Bindings::new(),
-        request.stream,
-    );
+    let result = {
+        let token = deadline_token(std::iter::once(request.deadline));
+        let _scope = token
+            .as_ref()
+            .map(|t| gsampler_runtime::cancel::scope(t.clone()));
+        request.session.sampler.sample_batch_seeded(
+            &request.seeds,
+            &Bindings::new(),
+            request.stream,
+        )
+    };
     if injected {
         faults::clear();
     }
     match result {
         Ok(sample) => finish(inner, request, Ok(sample), false),
+        Err(e) if e.is_cancelled() => {
+            // Deadline expiry mid-execution: a latency event, not a fault
+            // — no quarantine, and the typed reply carries the original
+            // budget so the client can distinguish shed from slow.
+            let tenant = request.session.spec.name.clone();
+            let budget_ms = request.deadline.map_or(0, |(_, b)| b);
+            inner.metrics.note_deadline_missed(&tenant, false);
+            inner.release(&request);
+            let _ = request.reply.send(Err(ServeError::DeadlineExceeded {
+                tenant,
+                budget_ms,
+                elapsed_ms: request.submitted_at.elapsed().as_millis() as u64,
+            }));
+        }
         Err(e) => {
             if inner.config.recovery.quarantine {
                 request.session.quarantine();
